@@ -1,0 +1,188 @@
+//! Inter-user fairness metrics.
+//!
+//! The three machines differ precisely in their *fair-share* flavor (§3),
+//! and a worry any facility has before enabling interstitial computing is
+//! whether the delay cascade lands evenly or on particular users. This
+//! module quantifies both: per-user service shares, the Gini coefficient of
+//! delivered CPU·time, and Jain's fairness index of per-user slowdowns.
+
+use std::collections::HashMap;
+use workload::CompletedJob;
+
+/// Per-user aggregate over a job log.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UserService {
+    /// Jobs completed.
+    pub jobs: u64,
+    /// CPU·seconds delivered.
+    pub cpu_seconds: f64,
+    /// Total wait, seconds.
+    pub total_wait: f64,
+}
+
+/// Aggregate native jobs per user.
+pub fn per_user(completed: &[CompletedJob]) -> HashMap<u32, UserService> {
+    let mut out: HashMap<u32, UserService> = HashMap::new();
+    for c in completed {
+        if c.job.class.is_interstitial() {
+            continue;
+        }
+        let e = out.entry(c.job.user).or_default();
+        e.jobs += 1;
+        e.cpu_seconds += c.job.cpu_seconds();
+        e.total_wait += c.wait().as_secs_f64();
+    }
+    out
+}
+
+/// Gini coefficient of a set of non-negative values: 0 = perfectly equal,
+/// → 1 = concentrated on one holder. Returns 0 for empty or all-zero input.
+pub fn gini(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    debug_assert!(values.iter().all(|&v| v >= 0.0));
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let total: f64 = sorted.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    // G = (2·Σ i·x_i)/(n·Σx) − (n+1)/n with 1-based ranks over ascending x.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+/// Jain's fairness index of non-negative values: 1 = perfectly equal,
+/// 1/n = maximally concentrated. Returns 1 for empty input.
+pub fn jain(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (values.len() as f64 * sum_sq)
+}
+
+/// Gini coefficient of per-user delivered CPU·time in a log.
+pub fn service_gini(completed: &[CompletedJob]) -> f64 {
+    let per = per_user(completed);
+    let values: Vec<f64> = per.values().map(|s| s.cpu_seconds).collect();
+    gini(&values)
+}
+
+/// Jain index of per-user *mean waits* — how evenly the queueing pain is
+/// spread. Users with no jobs are excluded.
+pub fn wait_jain(completed: &[CompletedJob]) -> f64 {
+    let per = per_user(completed);
+    let values: Vec<f64> = per
+        .values()
+        .filter(|s| s.jobs > 0)
+        .map(|s| s.total_wait / s.jobs as f64)
+        .collect();
+    jain(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::time::{SimDuration, SimTime};
+    use workload::{Job, JobClass};
+
+    fn completed(user: u32, cpus: u32, wait: u64, run: u64) -> CompletedJob {
+        CompletedJob::new(
+            Job {
+                id: (user as u64) << 32 | wait,
+                class: JobClass::Native,
+                user,
+                group: 0,
+                submit: SimTime::from_secs(0),
+                cpus,
+                runtime: SimDuration::from_secs(run),
+                estimate: SimDuration::from_secs(run),
+            },
+            SimTime::from_secs(wait),
+        )
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+        assert!(gini(&[5.0, 5.0, 5.0, 5.0]).abs() < 1e-12, "equal → 0");
+        // One holder of everything among n → (n−1)/n.
+        let g = gini(&[0.0, 0.0, 0.0, 100.0]);
+        assert!((g - 0.75).abs() < 1e-12, "{g}");
+    }
+
+    #[test]
+    fn gini_is_scale_invariant_and_monotone() {
+        let a = gini(&[1.0, 2.0, 3.0]);
+        let b = gini(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+        assert!(gini(&[1.0, 1.0, 10.0]) > gini(&[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert_eq!(jain(&[]), 1.0);
+        assert!((jain(&[3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+        let j = jain(&[0.0, 0.0, 0.0, 9.0]);
+        assert!((j - 0.25).abs() < 1e-12, "{j}");
+    }
+
+    #[test]
+    fn per_user_aggregation() {
+        let jobs = vec![
+            completed(1, 10, 100, 50),
+            completed(1, 2, 0, 100),
+            completed(2, 4, 10, 10),
+        ];
+        let per = per_user(&jobs);
+        assert_eq!(per.len(), 2);
+        let u1 = per[&1];
+        assert_eq!(u1.jobs, 2);
+        assert!((u1.cpu_seconds - (10.0 * 50.0 + 2.0 * 100.0)).abs() < 1e-9);
+        assert!((u1.total_wait - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interstitial_jobs_excluded() {
+        let mut ij = completed(7, 32, 0, 100);
+        ij.job.class = JobClass::Interstitial;
+        let per = per_user(&[ij]);
+        assert!(per.is_empty());
+    }
+
+    #[test]
+    fn service_gini_detects_concentration() {
+        let even = vec![
+            completed(1, 10, 0, 100),
+            completed(2, 10, 0, 100),
+            completed(3, 10, 0, 100),
+        ];
+        let skewed = vec![
+            completed(1, 100, 0, 1_000),
+            completed(2, 1, 0, 10),
+            completed(3, 1, 0, 10),
+        ];
+        assert!(service_gini(&even) < 0.01);
+        assert!(service_gini(&skewed) > 0.5);
+    }
+
+    #[test]
+    fn wait_jain_flags_uneven_pain() {
+        let even = vec![completed(1, 1, 100, 10), completed(2, 1, 100, 10)];
+        assert!((wait_jain(&even) - 1.0).abs() < 1e-12);
+        let uneven = vec![completed(1, 1, 0, 10), completed(2, 1, 10_000, 10)];
+        assert!(wait_jain(&uneven) < 0.6);
+    }
+}

@@ -1,0 +1,226 @@
+//! Figure series and ASCII plots.
+//!
+//! Each figure regenerator produces (a) the numeric series as CSV for real
+//! plotting and (b) a terminal-friendly ASCII rendering so the shape is
+//! visible straight from `cargo run`.
+
+use simkit::series::BinnedSeries;
+use simkit::stats::{Ecdf, Log10Histogram};
+use simkit::time::{SimDuration, SimTime};
+use workload::CompletedJob;
+
+/// Hourly (or other `bin`-width) utilization trace over `[0, horizon)` —
+/// Figure 4's series. `include` filters by class: `(native, interstitial)`.
+pub fn utilization_series(
+    completed: &[CompletedJob],
+    total_cpus: u32,
+    horizon: SimTime,
+    bin: SimDuration,
+    include_native: bool,
+    include_interstitial: bool,
+) -> Vec<f64> {
+    let mut s = BinnedSeries::new(horizon, bin);
+    for c in completed {
+        let inter = c.job.class.is_interstitial();
+        if (inter && !include_interstitial) || (!inter && !include_native) {
+            continue;
+        }
+        s.add_span(c.start, c.finish, c.job.cpus as f64);
+    }
+    s.normalized(total_cpus as f64)
+}
+
+/// Log₁₀-decade wait histogram over a class-filtered job set (Figures 5–6):
+/// decades `[10⁰,10¹) … [10⁵,10⁶)` seconds.
+pub fn wait_histogram<'a>(jobs: impl Iterator<Item = &'a CompletedJob>) -> Log10Histogram {
+    let mut h = Log10Histogram::new(0, 6);
+    for c in jobs {
+        h.push(c.wait().as_secs_f64());
+    }
+    h
+}
+
+/// Survival curve `P(makespan > x)` of project makespans (hours) on an even
+/// grid — Figure 3's y-axis ("CDF > Makespan").
+pub fn survival_curve(makespans_hours: &[f64], points: usize) -> Vec<(f64, f64)> {
+    if makespans_hours.is_empty() {
+        return Vec::new();
+    }
+    let e = Ecdf::new(makespans_hours.to_vec());
+    e.curve(points)
+        .into_iter()
+        .map(|(x, f)| (x, 1.0 - f))
+        .collect()
+}
+
+/// Render a numeric series as a block-character ASCII chart with `height`
+/// rows. Values are clamped to `[0, max]` where `max` is the series maximum
+/// (or 1.0 for utilization-like series when `unit_scale`).
+pub fn ascii_chart(values: &[f64], height: usize, unit_scale: bool) -> String {
+    if values.is_empty() || height == 0 {
+        return String::new();
+    }
+    let max = if unit_scale {
+        1.0
+    } else {
+        values.iter().cloned().fold(f64::MIN_POSITIVE, f64::max)
+    };
+    let mut out = String::new();
+    for level in (0..height).rev() {
+        let lo = level as f64 / height as f64 * max;
+        let label = if level == height - 1 {
+            format!("{max:6.2} |")
+        } else if level == 0 {
+            format!("{:6.2} |", 0.0)
+        } else {
+            "       |".to_string()
+        };
+        out.push_str(&label);
+        for &v in values {
+            out.push(if v > lo { '█' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    out.push_str("       +");
+    out.push_str(&"-".repeat(values.len()));
+    out.push('\n');
+    out
+}
+
+/// Render labelled probability bars (Figures 5–6 style).
+pub fn ascii_bars(labels: &[String], probs: &[f64], width: usize) -> String {
+    assert_eq!(labels.len(), probs.len());
+    let label_w = labels.iter().map(|l| l.chars().count()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (l, &p) in labels.iter().zip(probs) {
+        let bar = (p * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{l:label_w$} {p:6.3} {}\n",
+            "#".repeat(bar.min(width))
+        ));
+    }
+    out
+}
+
+/// Downsample a long series by averaging into at most `max_points` buckets —
+/// keeps ASCII charts terminal-width.
+pub fn downsample(values: &[f64], max_points: usize) -> Vec<f64> {
+    if values.len() <= max_points || max_points == 0 {
+        return values.to_vec();
+    }
+    let chunk = values.len().div_ceil(max_points);
+    values
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// Emit `(x, y)` pairs as a two-column CSV with headers.
+pub fn xy_csv(points: &[(f64, f64)], x_name: &str, y_name: &str) -> String {
+    let mut out = format!("{x_name},{y_name}\n");
+    for (x, y) in points {
+        out.push_str(&format!("{x},{y}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::{Job, JobClass};
+
+    fn completed(class: JobClass, cpus: u32, start: u64, run: u64, wait: u64) -> CompletedJob {
+        CompletedJob::new(
+            Job {
+                id: start * 1000 + run,
+                class,
+                user: 0,
+                group: 0,
+                submit: SimTime::from_secs(start - wait.min(start)),
+                cpus,
+                runtime: SimDuration::from_secs(run),
+                estimate: SimDuration::from_secs(run),
+            },
+            SimTime::from_secs(start),
+        )
+    }
+
+    #[test]
+    fn utilization_series_filters_classes() {
+        let jobs = vec![
+            completed(JobClass::Native, 5, 0, 3_600, 0),
+            completed(JobClass::Interstitial, 5, 3_600, 3_600, 0),
+        ];
+        let horizon = SimTime::from_secs(7_200);
+        let bin = SimDuration::from_hours(1);
+        let native = utilization_series(&jobs, 10, horizon, bin, true, false);
+        assert_eq!(native, vec![0.5, 0.0]);
+        let both = utilization_series(&jobs, 10, horizon, bin, true, true);
+        assert_eq!(both, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn wait_histogram_decades() {
+        let jobs = [
+            completed(JobClass::Native, 1, 100, 10, 0), // wait 0 → bin 0
+            completed(JobClass::Native, 1, 100, 10, 50), // wait 50 → bin [1,2)
+            completed(JobClass::Native, 1, 100_000, 10, 50_000), // bin [4,5)
+        ];
+        let h = wait_histogram(jobs.iter());
+        assert_eq!(h.total(), 3);
+        let p = h.probabilities();
+        assert!((p[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((p[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((p[4] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_curve_decreases_from_one() {
+        let ms = vec![10.0, 20.0, 30.0, 40.0];
+        let c = survival_curve(&ms, 5);
+        assert_eq!(c.len(), 5);
+        assert!(c.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert!((c[0].1 - 0.75).abs() < 1e-9, "P(>10) = 0.75");
+        assert!((c.last().unwrap().1 - 0.0).abs() < 1e-9);
+        assert!(survival_curve(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn ascii_chart_shape() {
+        let chart = ascii_chart(&[0.2, 0.9, 0.5], 4, true);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Top row: only the 0.9 column is filled.
+        assert!(lines[0].contains('█'));
+        assert_eq!(lines[0].matches('█').count(), 1);
+        // Bottom data row: all three filled.
+        assert_eq!(lines[3].matches('█').count(), 3);
+        assert!(lines[4].starts_with("       +---"));
+        assert_eq!(ascii_chart(&[], 4, true), "");
+    }
+
+    #[test]
+    fn ascii_bars_render() {
+        let bars = ascii_bars(&["[0,1)".into(), "[1,2)".into()], &[0.5, 0.25], 20);
+        let lines: Vec<&str> = bars.lines().collect();
+        assert_eq!(lines[0].matches('#').count(), 10);
+        assert_eq!(lines[1].matches('#').count(), 5);
+    }
+
+    #[test]
+    fn downsample_averages() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = downsample(&v, 10);
+        assert_eq!(d.len(), 10);
+        assert!((d[0] - 4.5).abs() < 1e-12);
+        assert!((d[9] - 94.5).abs() < 1e-12);
+        // No-op when short enough.
+        assert_eq!(downsample(&v, 200), v);
+    }
+
+    #[test]
+    fn xy_csv_format() {
+        let csv = xy_csv(&[(1.0, 2.0), (3.0, 4.5)], "x", "y");
+        assert_eq!(csv, "x,y\n1,2\n3,4.5\n");
+    }
+}

@@ -1,0 +1,39 @@
+//! # analysis — metrics, tables and figures
+//!
+//! Turns simulation job logs into the paper's reported quantities:
+//!
+//! * [`metrics`] — wait-time statistics (all jobs and the 5% largest by
+//!   CPU·seconds), expansion factors, utilization splits.
+//! * [`tables`] — fixed-width text/Markdown/CSV table rendering for the
+//!   regenerated Tables 1–8.
+//! * [`figures`] — series emitters and ASCII plots for Figures 2–6
+//!   (scatter, CDF, utilization time series, log₁₀ wait histograms).
+//! * [`interstices`] — gap-structure analysis: how much of a free-capacity
+//!   profile a given job shape can actually harvest (exact space × time
+//!   breakage).
+//! * [`fairness`] — per-user service shares, Gini and Jain indices: does
+//!   the interstitial delay cascade land evenly across users?
+//!
+//! The crate is deliberately independent of the `interstitial` core: every
+//! function works on plain `&[CompletedJob]` slices, so it can analyze logs
+//! from any source (including SWF replays of real machines).
+
+//!
+//! ```
+//! use analysis::fairness::gini;
+//! use analysis::tables::fmt_k;
+//!
+//! assert!(gini(&[1.0, 1.0, 1.0]) < 1e-12);
+//! assert_eq!(fmt_k(4_400.0), "4.4k");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fairness;
+pub mod figures;
+pub mod interstices;
+pub mod metrics;
+pub mod tables;
+
+pub use metrics::{largest_fraction, NativeImpact, WaitStats};
+pub use tables::Table;

@@ -1,0 +1,185 @@
+//! Native-impact metrics.
+//!
+//! Tables 5–8 report, for native jobs: average and median wait, average and
+//! median expansion factor (`EF = 1 + wait/runtime`), each for *all* jobs
+//! and for the *5% largest* jobs (by CPU·seconds, per Figure 6's caption) —
+//! plus utilization and throughput aggregates.
+
+use simkit::stats::{median, sorted};
+use workload::CompletedJob;
+
+/// Wait/EF statistics over a set of completed jobs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WaitStats {
+    /// Number of jobs aggregated.
+    pub count: u64,
+    /// Mean wait, seconds.
+    pub avg_wait: f64,
+    /// Median wait, seconds.
+    pub median_wait: f64,
+    /// Mean expansion factor.
+    pub avg_ef: f64,
+    /// Median expansion factor.
+    pub median_ef: f64,
+}
+
+/// Compute [`WaitStats`] over an iterator of jobs.
+pub fn wait_stats<'a>(jobs: impl Iterator<Item = &'a CompletedJob>) -> WaitStats {
+    let mut waits = Vec::new();
+    let mut efs = Vec::new();
+    for c in jobs {
+        waits.push(c.wait().as_secs_f64());
+        efs.push(c.expansion_factor());
+    }
+    if waits.is_empty() {
+        return WaitStats::default();
+    }
+    let count = waits.len() as u64;
+    let avg_wait = waits.iter().sum::<f64>() / count as f64;
+    let avg_ef = efs.iter().sum::<f64>() / count as f64;
+    let waits = sorted(waits);
+    let efs = sorted(efs);
+    WaitStats {
+        count,
+        avg_wait,
+        median_wait: median(&waits).unwrap(),
+        avg_ef,
+        median_ef: median(&efs).unwrap(),
+    }
+}
+
+/// Select the largest `fraction` (e.g. 0.05) of jobs by CPU·seconds — the
+/// paper's "5% largest jobs … in terms of CPU-sec" population.
+pub fn largest_fraction(jobs: &[&CompletedJob], fraction: f64) -> Vec<CompletedJob> {
+    assert!((0.0..=1.0).contains(&fraction));
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let mut by_size: Vec<&CompletedJob> = jobs.to_vec();
+    by_size.sort_by(|a, b| {
+        b.job
+            .cpu_seconds()
+            .partial_cmp(&a.job.cpu_seconds())
+            .unwrap()
+            .then(a.job.id.cmp(&b.job.id))
+    });
+    let n = ((jobs.len() as f64 * fraction).ceil() as usize).max(1);
+    by_size.into_iter().take(n).copied().collect()
+}
+
+/// The Table 5 panel: wait statistics for all native jobs and for the 5%
+/// largest.
+#[derive(Clone, Copy, Debug)]
+pub struct NativeImpact {
+    /// All native jobs.
+    pub all: WaitStats,
+    /// The largest 5% by CPU·seconds.
+    pub largest: WaitStats,
+}
+
+impl NativeImpact {
+    /// Compute both panels from a job log (interstitial entries ignored).
+    pub fn of(completed: &[CompletedJob]) -> Self {
+        let natives: Vec<&CompletedJob> = completed
+            .iter()
+            .filter(|c| !c.job.class.is_interstitial())
+            .collect();
+        let all = wait_stats(natives.iter().copied());
+        let top = largest_fraction(&natives, 0.05);
+        let largest = wait_stats(top.iter());
+        NativeImpact { all, largest }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::time::{SimDuration, SimTime};
+    use workload::{Job, JobClass};
+
+    fn completed(id: u64, class: JobClass, cpus: u32, wait: u64, run: u64) -> CompletedJob {
+        CompletedJob::new(
+            Job {
+                id,
+                class,
+                user: 0,
+                group: 0,
+                submit: SimTime::from_secs(1_000),
+                cpus,
+                runtime: SimDuration::from_secs(run),
+                estimate: SimDuration::from_secs(run),
+            },
+            SimTime::from_secs(1_000 + wait),
+        )
+    }
+
+    #[test]
+    fn wait_stats_basics() {
+        let jobs = [
+            completed(1, JobClass::Native, 1, 0, 100),
+            completed(2, JobClass::Native, 1, 100, 100),
+            completed(3, JobClass::Native, 1, 200, 100),
+        ];
+        let s = wait_stats(jobs.iter());
+        assert_eq!(s.count, 3);
+        assert!((s.avg_wait - 100.0).abs() < 1e-12);
+        assert!((s.median_wait - 100.0).abs() < 1e-12);
+        // EFs: 1, 2, 3.
+        assert!((s.avg_ef - 2.0).abs() < 1e-12);
+        assert!((s.median_ef - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_stats_empty() {
+        let s = wait_stats(std::iter::empty());
+        assert_eq!(s, WaitStats::default());
+    }
+
+    #[test]
+    fn largest_fraction_selects_by_cpu_seconds() {
+        // Sizes: 1×100=100, 2×100=200, …, 100×100=10000.
+        let jobs: Vec<CompletedJob> = (1..=100)
+            .map(|i| completed(i, JobClass::Native, i as u32, 0, 100))
+            .collect();
+        let refs: Vec<&CompletedJob> = jobs.iter().collect();
+        let top = largest_fraction(&refs, 0.05);
+        assert_eq!(top.len(), 5);
+        let ids: Vec<u64> = top.iter().map(|c| c.job.id).collect();
+        assert_eq!(ids, vec![100, 99, 98, 97, 96]);
+    }
+
+    #[test]
+    fn largest_fraction_minimum_one() {
+        let jobs = [completed(1, JobClass::Native, 4, 0, 100)];
+        let refs: Vec<&CompletedJob> = jobs.iter().collect();
+        assert_eq!(largest_fraction(&refs, 0.05).len(), 1);
+        assert!(largest_fraction(&[], 0.05).is_empty());
+    }
+
+    #[test]
+    fn native_impact_ignores_interstitial() {
+        let jobs = vec![
+            completed(1, JobClass::Native, 1, 50, 100),
+            completed(2, JobClass::Interstitial, 32, 1_000_000, 100),
+        ];
+        let impact = NativeImpact::of(&jobs);
+        assert_eq!(impact.all.count, 1);
+        assert!((impact.all.avg_wait - 50.0).abs() < 1e-12);
+        // The single native job is also the "largest 5%".
+        assert_eq!(impact.largest.count, 1);
+    }
+
+    #[test]
+    fn tail_waits_show_up_in_mean_not_median() {
+        // 99 jobs with zero wait + 1 with a huge wait: the cascade pattern
+        // of §4.3.2.1 — "only about 1% of the jobs are actually accounting
+        // for this large difference".
+        let mut jobs: Vec<CompletedJob> = (1..100)
+            .map(|i| completed(i, JobClass::Native, 1, 0, 100))
+            .collect();
+        jobs.push(completed(100, JobClass::Native, 1, 1_000_000, 100));
+        let s = wait_stats(jobs.iter());
+        assert_eq!(s.median_wait, 0.0);
+        assert!(s.avg_wait > 9_000.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Table rendering.
+//!
+//! Every regenerated table is assembled as a [`Table`] and printed as
+//! aligned text (for the terminal), GitHub Markdown (for EXPERIMENTS.md) or
+//! CSV (for downstream plotting).
+
+/// A simple rectangular table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of string-likes (convenience).
+    pub fn row_strs(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+
+    /// Render as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(c);
+                for _ in c.chars().count()..w[i] {
+                    out.push(' ');
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let total: usize = w.iter().sum::<usize>() + 2 * (w.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Render as GitHub-flavored Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("### ");
+        out.push_str(&self.title);
+        out.push_str("\n\n| ");
+        out.push_str(&self.headers.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-ish: quotes only where needed).
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| field(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds the way the paper's tables do: `2k` for 2000, plain
+/// integers below 1000.
+pub fn fmt_k(seconds: f64) -> String {
+    if seconds >= 1_000.0 {
+        format!("{:.1}k", seconds / 1_000.0)
+    } else {
+        format!("{:.0}", seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row_strs(&["alpha", "1"]);
+        t.row(&["beta,gamma".to_string(), "2".to_string()]);
+        t
+    }
+
+    #[test]
+    fn text_rendering_aligns_columns() {
+        let text = sample().to_text();
+        assert!(text.starts_with("Demo\n"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[1], "name        value");
+        assert!(lines[2].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("alpha"));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| name | value |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| beta,gamma | 2 |"));
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "alpha,1");
+        assert_eq!(lines[2], "\"beta,gamma\",2");
+    }
+
+    #[test]
+    fn csv_escapes_quotes() {
+        let mut t = Table::new("q", &["a"]);
+        t.row_strs(&["say \"hi\""]);
+        assert!(t.to_csv().contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row_strs(&["only one"]);
+    }
+
+    #[test]
+    fn fmt_k_matches_paper_style() {
+        assert_eq!(fmt_k(2_000.0), "2.0k");
+        assert_eq!(fmt_k(86_400.0), "86.4k");
+        assert_eq!(fmt_k(624.0), "624");
+        assert_eq!(fmt_k(0.0), "0");
+    }
+
+    #[test]
+    fn len_and_title() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.title(), "Demo");
+    }
+}

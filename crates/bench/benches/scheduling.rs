@@ -1,0 +1,94 @@
+//! Benchmarks of the scheduling layer: one dispatch-plan cycle under each
+//! backfill policy, and trace generation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use machine::{RunningJob, RunningSet};
+use sched::backfill::{plan, BackfillPolicy};
+use sched::DispatchWindow;
+use simkit::rng::Rng;
+use simkit::time::{SimDuration, SimTime};
+use std::hint::black_box;
+use workload::traces::native_trace;
+use workload::{Job, JobClass};
+
+/// A plausible mid-log scheduling state: ~60 running jobs, queue of `q`.
+fn scenario(queue_len: usize) -> (SimTime, u32, RunningSet, Vec<Job>) {
+    let mut rng = Rng::new(42);
+    let now = SimTime::from_days(30);
+    let mut rs = RunningSet::new();
+    let total = 4_662u32;
+    let mut used = 0;
+    for i in 0..60 {
+        let cpus = 1 << rng.below(7); // 1..64
+        if used + cpus > total * 8 / 10 {
+            break;
+        }
+        used += cpus;
+        let rem = rng.below(20_000) + 60;
+        rs.insert(RunningJob {
+            id: 1_000 + i,
+            cpus,
+            start: now - SimDuration::from_secs(1_000),
+            actual_end: now + SimDuration::from_secs(rem),
+            estimated_end: now + SimDuration::from_secs(rem + rng.below(20_000)),
+            interstitial: false,
+        });
+    }
+    let queue: Vec<Job> = (0..queue_len)
+        .map(|i| Job {
+            id: i as u64 + 1,
+            class: JobClass::Native,
+            user: i as u32 % 30,
+            group: i as u32 % 5,
+            submit: now - SimDuration::from_secs(600),
+            cpus: 1 << rng.below(9),
+            runtime: SimDuration::from_secs(rng.below(7_000) + 60),
+            estimate: SimDuration::from_secs(rng.below(21_600) + 900),
+        })
+        .collect();
+    (now, total - used, rs, queue)
+}
+
+fn bench_dispatch_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch_plan");
+    for &qlen in &[5usize, 50, 200] {
+        let (now, free, rs, queue) = scenario(qlen);
+        for policy in [
+            ("easy", BackfillPolicy::Easy),
+            ("conservative", BackfillPolicy::Conservative),
+            ("restrictive", BackfillPolicy::Restrictive { depth: 8 }),
+        ] {
+            g.bench_with_input(BenchmarkId::new(policy.0, qlen), &qlen, |b, _| {
+                b.iter(|| {
+                    black_box(plan(
+                        policy.1,
+                        &queue,
+                        now,
+                        free,
+                        &rs,
+                        DispatchWindow::Always,
+                    ))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_generation");
+    g.sample_size(20);
+    let cfg = machine::config::blue_mountain();
+    g.throughput(Throughput::Elements(cfg.log_jobs as u64));
+    g.bench_function("blue_mountain_full_log", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(native_trace(&cfg, seed).len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch_plan, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Run the DESIGN.md ablation studies. Args: `[reps]`
+fn main() {
+    let reps: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+    let mut lab = bench::Lab::new();
+    for e in [
+        bench::experiments::ablations::backfill_flavors(&mut lab),
+        bench::experiments::ablations::estimate_quality(),
+        bench::experiments::ablations::breakage_sweep(&mut lab, reps),
+        bench::experiments::ablations::cap_sweep(&mut lab),
+        bench::experiments::ablations::preemption(&mut lab),
+        bench::experiments::ablations::gap_structure(&mut lab),
+        bench::experiments::ablations::multi_project(&mut lab),
+        bench::experiments::ablations::fairness(&mut lab),
+        bench::experiments::ablations::open_vs_closed(&mut lab),
+    ] {
+        println!("{}\n", e.body);
+    }
+}

@@ -1,0 +1,30 @@
+//! Calibration check: delivered native utilization vs Table 1 targets.
+use bench::lab::TRACE_SEED;
+use interstitial::experiment::native_baseline;
+use machine::config::all_machines;
+
+fn main() {
+    for cfg in all_machines() {
+        let t0 = std::time::Instant::now();
+        let out = native_baseline(&cfg, TRACE_SEED);
+        let med_wait = {
+            let mut w: Vec<f64> = out.natives().map(|c| c.wait().as_secs_f64()).collect();
+            w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            if w.is_empty() {
+                0.0
+            } else {
+                w[w.len() / 2]
+            }
+        };
+        println!(
+            "{:14} target U={:.3} delivered U={:.3} jobs={} throughput={} median_wait={:.0}s elapsed={:.1?}",
+            cfg.name,
+            cfg.target_utilization,
+            out.native_utilization(),
+            out.native_submitted,
+            out.native_throughput_in_window(),
+            med_wait,
+            t0.elapsed()
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerate Figure 2 (actual vs theoretical makespan + fit). Args: `[reps]`
+fn main() {
+    let reps: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20);
+    let mut lab = bench::Lab::new();
+    let data = bench::experiments::omniscient::compute(&mut lab, reps);
+    println!("{}", bench::experiments::omniscient::figure2(&data).body);
+}

@@ -1,0 +1,12 @@
+//! Regenerate Figure 3 (makespan CDF on Blue Mountain). Args: `[samples]`
+fn main() {
+    let samples: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(500);
+    let mut lab = bench::Lab::new();
+    println!(
+        "{}",
+        bench::experiments::fallible::figure3(&mut lab, samples).body
+    );
+}

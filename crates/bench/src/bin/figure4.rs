@@ -1,0 +1,5 @@
+//! Regenerate figure4 from the paper.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::continual::figure4(&mut lab).body);
+}

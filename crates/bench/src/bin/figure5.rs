@@ -1,0 +1,5 @@
+//! Regenerate figure5 from the paper.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::continual::figure5(&mut lab).body);
+}

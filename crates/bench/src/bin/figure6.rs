@@ -1,0 +1,5 @@
+//! Regenerate figure6 from the paper.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::continual::figure6(&mut lab).body);
+}

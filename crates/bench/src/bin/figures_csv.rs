@@ -1,0 +1,114 @@
+//! Dump every figure's numeric series as CSV files for external plotting.
+//!
+//! Usage: figures_csv `[output_dir]`   (default: ./figures)
+
+use analysis::figures::{utilization_series, wait_histogram, xy_csv};
+use analysis::metrics::largest_fraction;
+use bench::lab::REPLICATION_SEED;
+use bench::Lab;
+use interstitial::experiment::{omniscient_makespans, window_makespans};
+use interstitial::{theory, InterstitialPolicy, InterstitialProject};
+use machine::config::{all_machines, blue_mountain};
+use simkit::time::SimDuration;
+use std::path::Path;
+
+fn write(dir: &Path, name: &str, text: &str) {
+    let path = dir.join(name);
+    std::fs::write(&path, text).expect("write csv");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "figures".to_string());
+    let dir = Path::new(&dir);
+    std::fs::create_dir_all(dir).expect("create output dir");
+    let mut lab = Lab::new();
+
+    // Figure 2: theory vs measured scatter (reduced replication).
+    let mut points = Vec::new();
+    for cfg in all_machines() {
+        let baseline = lab.baseline(&cfg);
+        for (_, project) in InterstitialProject::table2_grid() {
+            let th = theory::ideal_makespan_secs(&project, &cfg) / 3_600.0;
+            for m in omniscient_makespans(&baseline, &project, 10, REPLICATION_SEED, 5)
+                .iter()
+                .flatten()
+            {
+                points.push((th, *m));
+            }
+        }
+    }
+    write(
+        dir,
+        "figure2_scatter.csv",
+        &xy_csv(&points, "theory_h", "measured_h"),
+    );
+
+    // Figure 3: makespan survival curves for the two Blue Mountain projects.
+    let bm = blue_mountain();
+    for (jobs, rt, tag) in [(32_000u64, 120.0, "458s"), (4_000, 960.0, "3664s")] {
+        let run = lab.continual(&bm, 32, rt, InterstitialPolicy::default());
+        let ms: Vec<f64> = window_makespans(&run, jobs, 500, REPLICATION_SEED)
+            .into_iter()
+            .flatten()
+            .collect();
+        let curve = analysis::figures::survival_curve(&ms, 60);
+        write(
+            dir,
+            &format!("figure3_survival_{tag}.csv"),
+            &xy_csv(&curve, "makespan_h", "p_exceeds"),
+        );
+    }
+
+    // Figure 4: hourly utilization series, baseline vs continual.
+    let baseline = lab.baseline(&bm);
+    let continual = lab.continual(&bm, 32, 120.0, InterstitialPolicy::default());
+    for (out, tag) in [
+        (&baseline, "native_only"),
+        (&continual, "with_interstitial"),
+    ] {
+        let series = utilization_series(
+            &out.completed,
+            bm.cpus,
+            out.horizon,
+            SimDuration::from_hours(1),
+            true,
+            true,
+        );
+        let pts: Vec<(f64, f64)> = series
+            .iter()
+            .enumerate()
+            .map(|(h, &u)| (h as f64, u))
+            .collect();
+        write(
+            dir,
+            &format!("figure4_utilization_{tag}.csv"),
+            &xy_csv(&pts, "hour", "utilization"),
+        );
+    }
+
+    // Figures 5 and 6: wait histograms (probability per log10 decade).
+    for (largest, tag) in [(false, "figure5_all"), (true, "figure6_largest5pct")] {
+        let mut csv = String::from("case,decade,probability\n");
+        for (label, out) in [("baseline", &baseline), ("458s", &continual)] {
+            let natives: Vec<_> = out
+                .completed
+                .iter()
+                .filter(|c| !c.job.class.is_interstitial())
+                .collect();
+            let h = if largest {
+                let top = largest_fraction(&natives, 0.05);
+                wait_histogram(top.iter())
+            } else {
+                wait_histogram(natives.into_iter())
+            };
+            for (bin, p) in h.labels().iter().zip(h.probabilities()) {
+                csv.push_str(&format!("{label},{bin},{p}\n"));
+            }
+        }
+        write(dir, &format!("{tag}.csv"), &csv);
+    }
+    println!("done.");
+}

@@ -1,0 +1,5 @@
+//! Regenerate Table 1 (machine comparison).
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::table1::run(&mut lab).body);
+}

@@ -1,0 +1,10 @@
+//! Regenerate Table 3 (breakage theory vs actual). Args: `[reps]`
+fn main() {
+    let reps: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20);
+    let mut lab = bench::Lab::new();
+    let data = bench::experiments::omniscient::compute(&mut lab, reps);
+    println!("{}", bench::experiments::omniscient::table3(&data).body);
+}

@@ -1,0 +1,12 @@
+//! Regenerate Table 4 (estimate-based makespans). Args: `[samples]`
+fn main() {
+    let samples: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(500);
+    let mut lab = bench::Lab::new();
+    println!(
+        "{}",
+        bench::experiments::fallible::table4(&mut lab, samples).body
+    );
+}

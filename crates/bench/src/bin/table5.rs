@@ -1,0 +1,5 @@
+//! Regenerate table5 from the paper.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::continual::table5(&mut lab).body);
+}

@@ -1,0 +1,5 @@
+//! Regenerate table6 from the paper.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::continual::table6(&mut lab).body);
+}

@@ -1,0 +1,5 @@
+//! Regenerate table7 from the paper.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!("{}", bench::experiments::continual::table7(&mut lab).body);
+}

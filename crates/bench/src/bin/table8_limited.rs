@@ -1,0 +1,8 @@
+//! Regenerate table8 limited from the paper.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!(
+        "{}",
+        bench::experiments::continual::table8_limited(&mut lab).body
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerate table8 ross from the paper.
+fn main() {
+    let mut lab = bench::Lab::new();
+    println!(
+        "{}",
+        bench::experiments::continual::table8_ross(&mut lab).body
+    );
+}

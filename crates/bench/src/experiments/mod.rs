@@ -1,0 +1,51 @@
+//! Experiment regenerators, one per paper artifact.
+//!
+//! | module | artifacts |
+//! |--------|-----------|
+//! | [`table1`] | Table 1 (machine comparison) |
+//! | [`omniscient`] | Table 2, Table 3, Figure 2 |
+//! | [`fallible`] | Table 4, Figure 3 |
+//! | [`continual`] | Tables 5–8 (both 8s), Figures 4–6 |
+//! | [`ablations`] | DESIGN.md's ablation studies |
+
+pub mod ablations;
+pub mod continual;
+pub mod fallible;
+pub mod omniscient;
+pub mod table1;
+
+use crate::Experiment;
+use crate::Lab;
+
+/// Run every experiment in suite order (the shared [`Lab`] makes later
+/// experiments reuse earlier runs).
+pub fn run_all(lab: &mut Lab, quick: bool) -> Vec<Experiment> {
+    let reps = if quick { 6 } else { 20 };
+    let samples = if quick { 100 } else { 500 };
+    let t2 = omniscient::compute(lab, reps);
+    vec![
+        table1::run(lab),
+        omniscient::table2(&t2),
+        omniscient::table3(&t2),
+        omniscient::figure2(&t2),
+        fallible::table4(lab, samples),
+        fallible::figure3(lab, samples),
+        continual::table5(lab),
+        continual::table6(lab),
+        continual::table7(lab),
+        continual::table8_ross(lab),
+        continual::table8_limited(lab),
+        continual::figure4(lab),
+        continual::figure5(lab),
+        continual::figure6(lab),
+        ablations::backfill_flavors(lab),
+        ablations::estimate_quality(),
+        ablations::breakage_sweep(lab, reps),
+        ablations::cap_sweep(lab),
+        ablations::preemption(lab),
+        ablations::gap_structure(lab),
+        ablations::multi_project(lab),
+        ablations::fairness(lab),
+        ablations::open_vs_closed(lab),
+    ]
+}

@@ -1,0 +1,281 @@
+//! The paper's reported numbers, as data.
+//!
+//! Every regenerator prints its measured values next to these so
+//! EXPERIMENTS.md is a self-contained paper-vs-measured record. Values are
+//! transcribed from the CLUSTER 2003 text; units follow the tables (hours
+//! for makespans, seconds for waits).
+
+/// One Table 2 row: (peta-cycles label, kJobs, CPUs/job, makespan hours on
+/// [Ross, Blue Mountain, Blue Pacific] with ± std).
+pub type Table2Row = (&'static str, f64, u32, [(f64, f64); 3]);
+
+/// Table 2's reported values.
+pub const TABLE2: &[Table2Row] = &[
+    ("7.7", 64.0, 1, [(12.3, 11.4), (13.5, 8.5), (56.8, 18.3)]),
+    ("7.7", 2.0, 32, [(13.1, 13.0), (13.8, 8.7), (61.6, 22.0)]),
+    (
+        "30.1",
+        256.0,
+        1,
+        [(36.1, 20.3), (41.5, 22.0), (229.0, 44.0)],
+    ),
+    ("30.1", 8.0, 32, [(37.4, 21.2), (42.5, 23.0), (255.0, 49.0)]),
+    (
+        "123",
+        1024.0,
+        1,
+        [(135.0, 45.0), (166.0, 91.0), (979.0, 41.0)],
+    ),
+    (
+        "123",
+        32.0,
+        32,
+        [(133.0, 48.0), (170.0, 95.0), (1089.0, 31.0)],
+    ),
+];
+
+/// Table 3: breakage theory vs actual per machine (32-CPU vs 1-CPU ratio).
+pub const TABLE3_THEORY: [f64; 3] = [1.035, 1.020, 1.346];
+/// Table 3 "Actual (Table 2)" row.
+pub const TABLE3_ACTUAL: [f64; 3] = [1.023, 1.024, 1.105];
+
+/// §4.2's fitted predictor: `Makespan(sec) = 5256 + 1.16·P/(nC(1−U))`,
+/// quoted as good to ±17%.
+pub const FIT_OFFSET_SECS: f64 = 5_256.0;
+/// Slope of the §4.2 fit.
+pub const FIT_SLOPE: f64 = 1.16;
+/// Quoted accuracy of the fit.
+pub const FIT_REL_ERR: f64 = 0.17;
+
+/// One Table 4 row: (peta-cycles, kJobs, CPUs, runtime s@1GHz, Blue Mountain
+/// mean±std hours, Blue Pacific mean±std hours or None for "n/a*").
+pub type Table4Row = (f64, f64, u32, f64, (f64, f64), Option<(f64, f64)>);
+
+/// Table 4's reported values.
+pub const TABLE4: &[Table4Row] = &[
+    (7.7, 2.0, 32, 120.0, (11.4, 13.9), Some((111.0, 39.0))),
+    (7.7, 0.25, 32, 960.0, (12.3, 18.2), Some((154.0, 67.0))),
+    (7.7, 8.0, 8, 120.0, (11.3, 13.3), Some((93.0, 24.0))),
+    (7.7, 1.0, 8, 960.0, (11.7, 16.6), Some((119.0, 42.0))),
+    (123.0, 32.0, 32, 120.0, (186.0, 157.0), None),
+    (123.0, 4.0, 32, 960.0, (200.0, 227.0), None),
+    (123.0, 128.0, 8, 120.0, (192.0, 181.0), None),
+    (123.0, 16.0, 8, 960.0, (179.0, 231.0), None),
+];
+
+/// Table 5 (Blue Mountain native impact). Rows: all-jobs then 5%-largest;
+/// columns: (baseline, +32k×458 s project, +4k×3664 s project).
+pub struct Table5Row {
+    /// Mean wait, seconds.
+    pub avg_wait: [f64; 3],
+    /// Median wait, seconds.
+    pub median_wait: [f64; 3],
+    /// Mean expansion factor.
+    pub avg_ef: [f64; 3],
+    /// Median expansion factor.
+    pub median_ef: [f64; 3],
+}
+
+/// Table 5, all native jobs.
+pub const TABLE5_ALL: Table5Row = Table5Row {
+    avg_wait: [2_000.0, 22_000.0, 24_000.0],
+    median_wait: [0.0, 200.0, 400.0],
+    avg_ef: [6.5, 61.0, 264.0],
+    median_ef: [1.0, 1.5, 1.6],
+};
+
+/// Table 5, the 5% largest native jobs.
+pub const TABLE5_LARGEST: Table5Row = Table5Row {
+    avg_wait: [10_000.0, 66_000.0, 93_000.0],
+    median_wait: [624.0, 4_400.0, 5_700.0],
+    avg_ef: [1.6, 3.2, 4.0],
+    median_ef: [1.3, 2.0, 2.1],
+};
+
+/// A continual-interstitial table row (Tables 6–8): interstitial jobs,
+/// native jobs, overall util, native util, median wait all / 5% largest (s).
+#[derive(Clone, Copy, Debug)]
+pub struct ContinualRow {
+    /// Interstitial jobs completed.
+    pub interstitial: u64,
+    /// Native jobs.
+    pub native: u64,
+    /// Overall utilization.
+    pub overall_util: f64,
+    /// Native utilization.
+    pub native_util: f64,
+    /// Median wait, all native jobs (seconds).
+    pub median_wait_all: f64,
+    /// Median wait, 5% largest native jobs (seconds).
+    pub median_wait_largest: f64,
+}
+
+/// Table 6 (Blue Mountain): baseline, 32CPU×458 s, 32CPU×3664 s.
+pub const TABLE6: [ContinualRow; 3] = [
+    ContinualRow {
+        interstitial: 0,
+        native: 8_171,
+        overall_util: 0.776,
+        native_util: 0.776,
+        median_wait_all: 0.0,
+        median_wait_largest: 1_000.0,
+    },
+    ContinualRow {
+        interstitial: 408_685,
+        native: 8_171,
+        overall_util: 0.942,
+        native_util: 0.776,
+        median_wait_all: 200.0,
+        median_wait_largest: 4_400.0,
+    },
+    ContinualRow {
+        interstitial: 49_465,
+        native: 8_171,
+        overall_util: 0.939,
+        native_util: 0.776,
+        median_wait_all: 400.0,
+        median_wait_largest: 5_700.0,
+    },
+];
+
+/// Table 7 (Blue Pacific): baseline, 32CPU×325 s, 32CPU×2601 s.
+pub const TABLE7: [ContinualRow; 3] = [
+    ContinualRow {
+        interstitial: 0,
+        native: 10_465,
+        overall_util: 0.916,
+        native_util: 0.916,
+        median_wait_all: 2_100.0,
+        median_wait_largest: 79_000.0,
+    },
+    ContinualRow {
+        interstitial: 11_392,
+        native: 10_383,
+        overall_util: 0.964,
+        native_util: 0.900,
+        median_wait_all: 2_000.0,
+        median_wait_largest: 86_000.0,
+    },
+    ContinualRow {
+        interstitial: 1_066,
+        native: 10_346,
+        overall_util: 0.946,
+        native_util: 0.898,
+        median_wait_all: 2_500.0,
+        median_wait_largest: 86_000.0,
+    },
+];
+
+/// Table 8, first instance (Ross): baseline, 32CPU×204 s, 32CPU×1633 s.
+pub const TABLE8_ROSS: [ContinualRow; 3] = [
+    ContinualRow {
+        interstitial: 0,
+        native: 4_445,
+        overall_util: 0.631,
+        native_util: 0.631,
+        median_wait_all: 1_100.0,
+        median_wait_largest: 0.0,
+    },
+    ContinualRow {
+        interstitial: 257_396,
+        native: 4_423,
+        overall_util: 0.988,
+        native_util: 0.623,
+        median_wait_all: 1_200.0,
+        median_wait_largest: 200.0,
+    },
+    ContinualRow {
+        interstitial: 33_780,
+        native: 4_415,
+        overall_util: 0.988,
+        native_util: 0.609,
+        median_wait_all: 1_900.0,
+        median_wait_largest: 3_900.0,
+    },
+];
+
+/// Table 8, second instance (limited interstitial on Blue Mountain,
+/// 32CPU×458 s): caps 90%, 95%, 98%.
+pub const TABLE8_LIMITED: [(f64, ContinualRow); 3] = [
+    (
+        0.90,
+        ContinualRow {
+            interstitial: 260_309,
+            native: 8_171,
+            overall_util: 0.876,
+            native_util: 0.776,
+            median_wait_all: 0.0,
+            median_wait_largest: 1_300.0,
+        },
+    ),
+    (
+        0.95,
+        ContinualRow {
+            interstitial: 329_470,
+            native: 8_171,
+            overall_util: 0.904,
+            native_util: 0.776,
+            median_wait_all: 0.0,
+            median_wait_largest: 2_300.0,
+        },
+    ),
+    (
+        0.98,
+        ContinualRow {
+            interstitial: 368_249,
+            native: 8_171,
+            overall_util: 0.924,
+            native_util: 0.776,
+            median_wait_all: 100.0,
+            median_wait_largest: 4_100.0,
+        },
+    ),
+];
+
+/// Figure 3's two Blue Mountain projects: (jobs, runtime s@1GHz, mean h,
+/// std h).
+pub const FIGURE3: [(u64, f64, f64, f64); 2] =
+    [(32_000, 120.0, 186.0, 157.0), (4_000, 960.0, 200.0, 227.0)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_pairs_share_project_size() {
+        for pair in TABLE2.chunks(2) {
+            assert_eq!(pair[0].0, pair[1].0);
+            // Same work: kJobs × CPUs equal across the pair.
+            let a = pair[0].1 * pair[0].2 as f64;
+            let b = pair[1].1 * pair[1].2 as f64;
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn breakage_actual_below_theory_except_bm() {
+        // Sanity on transcription: Blue Pacific theory 1.346 > actual 1.105.
+        let (theory, actual) = (TABLE3_THEORY[2], TABLE3_ACTUAL[2]);
+        assert!(theory > actual);
+    }
+
+    #[test]
+    fn continual_tables_keep_native_counts() {
+        for t in [&TABLE6, &TABLE7, &TABLE8_ROSS] {
+            let n0 = t[0].native;
+            for row in t.iter() {
+                // Native throughput within 2% of baseline in every case.
+                let drift = (row.native as f64 - n0 as f64).abs() / (n0 as f64);
+                assert!(drift < 0.02);
+            }
+        }
+    }
+
+    #[test]
+    fn limited_caps_are_monotone() {
+        let jobs: Vec<u64> = TABLE8_LIMITED.iter().map(|(_, r)| r.interstitial).collect();
+        assert!(jobs.windows(2).all(|w| w[0] < w[1]));
+        let utils: Vec<f64> = TABLE8_LIMITED.iter().map(|(_, r)| r.overall_util).collect();
+        assert!(utils.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,254 @@
+//! Tiny dependency-free argument parser.
+//!
+//! Grammar: `interstitial <command> [positional…] [--flag [value]]…`.
+//! Flags may appear anywhere after the command; `--flag=value` and
+//! `--flag value` are both accepted; a flag without a value is boolean.
+
+use std::collections::HashMap;
+
+/// Parsed command line.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// The subcommand name (first non-flag token).
+    pub command: String,
+    /// Positional arguments after the command.
+    pub positional: Vec<String>,
+    /// `--key value` / `--key=value` / bare `--key` (value `""`).
+    flags: HashMap<String, String>,
+}
+
+/// A parse or validation error with a user-facing message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse raw tokens (without the binary name).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgError> {
+        let mut out = Args::default();
+        let mut it = tokens.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(flag) = tok.strip_prefix("--") {
+                if flag.is_empty() {
+                    return Err(ArgError("empty flag '--'".into()));
+                }
+                if let Some((k, v)) = flag.split_once('=') {
+                    out.flags.insert(k.to_string(), v.to_string());
+                } else {
+                    // Greedy value unless the next token is another flag.
+                    let take_value = it.peek().map(|n| !n.starts_with("--")).unwrap_or(false);
+                    let v = if take_value {
+                        it.next().unwrap()
+                    } else {
+                        String::new()
+                    };
+                    out.flags.insert(flag.to_string(), v);
+                }
+            } else if out.command.is_empty() {
+                out.command = tok;
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        if out.command.is_empty() {
+            return Err(ArgError(
+                "no command given (try `interstitial help`)".into(),
+            ));
+        }
+        Ok(out)
+    }
+
+    /// True if `--name` was present (with or without a value).
+    #[allow(dead_code)] // exercised in tests; kept for parser completeness
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// String value of `--name`, if present and non-empty.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .get(name)
+            .map(|s| s.as_str())
+            .filter(|s| !s.is_empty())
+    }
+
+    /// Parsed value of `--name` with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// Required parsed value of `--name`.
+    pub fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
+        let v = self
+            .get(name)
+            .ok_or_else(|| ArgError(format!("missing required flag --{name}")))?;
+        v.parse()
+            .map_err(|_| ArgError(format!("--{name}: cannot parse {v:?}")))
+    }
+
+    /// Reject any flag not in `allowed` — catches typos early.
+    pub fn check_flags(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for k in self.flags.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{k} (allowed: {})",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Resolve a machine by name (case/space-insensitive), or a custom
+/// `CPUSxCLOCK` spec like `1024x0.5`.
+pub fn machine_by_name(name: &str) -> Result<machine::MachineConfig, ArgError> {
+    let squashed: String = name
+        .to_lowercase()
+        .chars()
+        .filter(|c| c.is_alphanumeric())
+        .collect();
+    match squashed.as_str() {
+        "ross" => Ok(machine::config::ross()),
+        "bluemountain" | "bm" => Ok(machine::config::blue_mountain()),
+        "bluepacific" | "bp" => Ok(machine::config::blue_pacific()),
+        _ => {
+            if let Some((cpus, clock)) = name.split_once('x') {
+                let cpus: u32 = cpus
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad CPU count in machine spec {name:?}")))?;
+                let clock: f64 = clock
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad clock in machine spec {name:?}")))?;
+                if cpus == 0 || clock <= 0.0 {
+                    return Err(ArgError("machine spec must be positive".into()));
+                }
+                let mut m = machine::config::blue_mountain();
+                m.name = "custom";
+                m.site = "custom";
+                m.cpus = cpus;
+                m.clock_ghz = clock;
+                Ok(m)
+            } else {
+                Err(ArgError(format!(
+                    "unknown machine {name:?} (ross | bluemountain | bluepacific | CPUSxGHZ)"
+                )))
+            }
+        }
+    }
+}
+
+/// Parse an interstitial job-shape spec `CPUSxSECS`, e.g. `32x120` (seconds
+/// at 1 GHz).
+pub fn shape_spec(spec: &str) -> Result<(u32, f64), ArgError> {
+    let (cpus, secs) = spec
+        .split_once('x')
+        .ok_or_else(|| ArgError(format!("bad shape {spec:?}, expected CPUSxSECS")))?;
+    let cpus: u32 = cpus
+        .parse()
+        .map_err(|_| ArgError(format!("bad CPU count in {spec:?}")))?;
+    let secs: f64 = secs
+        .parse()
+        .map_err(|_| ArgError(format!("bad seconds in {spec:?}")))?;
+    if cpus == 0 || secs <= 0.0 {
+        return Err(ArgError("shape must be positive".into()));
+    }
+    Ok((cpus, secs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn command_and_positionals() {
+        let a = parse(&["simulate", "log.swf", "extra"]).unwrap();
+        assert_eq!(a.command, "simulate");
+        assert_eq!(a.positional, vec!["log.swf", "extra"]);
+    }
+
+    #[test]
+    fn flags_in_both_styles() {
+        let a = parse(&["sim", "--seed=7", "--machine", "ross", "--verbose"]).unwrap();
+        assert_eq!(a.get("seed"), Some("7"));
+        assert_eq!(a.get("machine"), Some("ross"));
+        assert!(a.has("verbose"));
+        assert_eq!(a.get("verbose"), None, "bare flag has no value");
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_boolean() {
+        let a = parse(&["x", "--a", "--b", "2"]).unwrap();
+        assert!(a.has("a"));
+        assert_eq!(a.get("a"), None);
+        assert_eq!(a.get("b"), Some("2"));
+    }
+
+    #[test]
+    fn get_or_and_require() {
+        let a = parse(&["x", "--n", "5"]).unwrap();
+        assert_eq!(a.get_or("n", 1u32).unwrap(), 5);
+        assert_eq!(a.get_or("m", 9u32).unwrap(), 9);
+        assert_eq!(a.require::<u32>("n").unwrap(), 5);
+        assert!(a.require::<u32>("missing").is_err());
+        let bad = parse(&["x", "--n", "abc"]).unwrap();
+        assert!(bad.get_or("n", 1u32).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let a = parse(&["x", "--ok", "1", "--oops", "2"]).unwrap();
+        assert!(a.check_flags(&["ok"]).is_err());
+        assert!(a.check_flags(&["ok", "oops"]).is_ok());
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--flag"]).is_err(), "flag before command");
+    }
+
+    #[test]
+    fn machines_resolve() {
+        assert_eq!(machine_by_name("ross").unwrap().name, "Ross");
+        assert_eq!(
+            machine_by_name("Blue Mountain").unwrap().name,
+            "Blue Mountain"
+        );
+        assert_eq!(machine_by_name("bp").unwrap().name, "Blue Pacific");
+        let custom = machine_by_name("512x1.5").unwrap();
+        assert_eq!(custom.cpus, 512);
+        assert!((custom.clock_ghz - 1.5).abs() < 1e-12);
+        assert!(machine_by_name("nonesuch").is_err());
+        assert!(machine_by_name("0x1.0").is_err());
+    }
+
+    #[test]
+    fn shapes_parse() {
+        assert_eq!(shape_spec("32x120").unwrap(), (32, 120.0));
+        assert_eq!(shape_spec("1x960.5").unwrap(), (1, 960.5));
+        assert!(shape_spec("32").is_err());
+        assert!(shape_spec("0x5").is_err());
+        assert!(shape_spec("ax5").is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! `interstitial advise` — §5-guideline pre-flight for a proposed project.
+
+use crate::args::{machine_by_name, shape_spec, ArgError, Args};
+use interstitial::advisor::advise;
+use interstitial::InterstitialProject;
+use simkit::time::SimDuration;
+
+/// Run the advisor.
+pub fn run(args: &Args) -> Result<String, ArgError> {
+    args.check_flags(&["machine", "jobs", "shape", "tolerance"])?;
+    let machine = machine_by_name(
+        args.get("machine")
+            .ok_or_else(|| ArgError("missing required flag --machine".into()))?,
+    )?;
+    let jobs: u64 = args.require("jobs")?;
+    if jobs == 0 {
+        return Err(ArgError("--jobs must be positive".into()));
+    }
+    let (cpus, secs) = shape_spec(
+        args.get("shape")
+            .ok_or_else(|| ArgError("missing required flag --shape".into()))?,
+    )?;
+    let tolerance = SimDuration::from_mins(args.get_or("tolerance", 15u64)?);
+    let project = InterstitialProject::per_paper(jobs, cpus, secs);
+    let advice = advise(&machine, &project, tolerance);
+    Ok(format!(
+        "project: {jobs} × {cpus} CPUs × {secs} s@1GHz = {:.2} peta-cycles on {}\nverdict: {:?}\n{}",
+        project.peta_cycles(),
+        machine.name,
+        advice.verdict(),
+        advice.to_text()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn clean_project_says_ok() {
+        let out = run(&parse(&[
+            "advise",
+            "--machine",
+            "bm",
+            "--jobs",
+            "1000",
+            "--shape",
+            "32x120",
+            "--tolerance",
+            "30",
+        ]))
+        .unwrap();
+        assert!(out.contains("verdict: Ok"), "{out}");
+        assert!(out.contains("expected makespan"));
+    }
+
+    #[test]
+    fn oversized_project_says_problem() {
+        let out = run(&parse(&[
+            "advise",
+            "--machine",
+            "bp",
+            "--jobs",
+            "10",
+            "--shape",
+            "512x120",
+        ]))
+        .unwrap();
+        assert!(out.contains("verdict: Problem"), "{out}");
+        assert!(out.contains("job-size"));
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(run(&parse(&["advise", "--machine", "bm"])).is_err());
+        assert!(run(&parse(&[
+            "advise",
+            "--machine",
+            "bm",
+            "--jobs",
+            "0",
+            "--shape",
+            "32x120"
+        ]))
+        .is_err());
+    }
+}

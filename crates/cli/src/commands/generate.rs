@@ -1,0 +1,75 @@
+//! `interstitial generate` — synthesize a calibrated native log as SWF.
+
+use crate::args::{machine_by_name, ArgError, Args};
+use workload::swf;
+use workload::traces::native_trace;
+
+/// Generate a trace; write to `--out` or return it inline.
+pub fn run(args: &Args) -> Result<String, ArgError> {
+    args.check_flags(&["machine", "seed", "out"])?;
+    let machine = machine_by_name(
+        args.get("machine")
+            .ok_or_else(|| ArgError("missing required flag --machine".into()))?,
+    )?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let jobs = native_trace(&machine, seed);
+    let header = format!(
+        "synthetic log for {} ({} CPUs @ {} GHz), seed {seed}\ncalibrated to the CLUSTER 2003 Table 1 marginals",
+        machine.name, machine.cpus, machine.clock_ghz
+    );
+    let text = swf::emit(&jobs, &header);
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+            Ok(format!("wrote {} jobs to {path}\n", jobs.len()))
+        }
+        None => Ok(text),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn generates_parseable_swf_inline() {
+        let out = run(&parse(&["generate", "--machine", "ross", "--seed", "3"])).unwrap();
+        let jobs = swf::parse(&out, false).unwrap();
+        assert!(jobs.len() > 4_000, "got {}", jobs.len());
+    }
+
+    #[test]
+    fn same_seed_same_log() {
+        let a = run(&parse(&["generate", "--machine", "bp", "--seed", "9"])).unwrap();
+        let b = run(&parse(&["generate", "--machine", "bp", "--seed", "9"])).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn writes_to_file() {
+        let dir = std::env::temp_dir().join("interstitial-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gen.swf");
+        let msg = run(&parse(&[
+            "generate",
+            "--machine",
+            "ross",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(msg.contains("wrote"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(swf::parse(&text, false).unwrap().len() > 4_000);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn requires_machine() {
+        assert!(run(&parse(&["generate"])).is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! `interstitial machines` — list the built-in presets.
+
+use crate::args::{ArgError, Args};
+use analysis::Table;
+use machine::config::all_machines;
+
+/// Render the Table 1 machine roster.
+pub fn run(args: &Args) -> Result<String, ArgError> {
+    args.check_flags(&[])?;
+    let mut t = Table::new(
+        "Built-in machines (ASCI, Table 1 of the paper)",
+        &[
+            "name",
+            "site",
+            "CPUs",
+            "clock GHz",
+            "TCycles",
+            "native util",
+            "log days",
+            "log jobs",
+            "queue",
+        ],
+    );
+    for m in all_machines() {
+        t.row(&[
+            m.name.to_string(),
+            m.site.to_string(),
+            m.cpus.to_string(),
+            format!("{:.3}", m.clock_ghz),
+            format!("{:.3}", m.tera_cycles()),
+            format!("{:.3}", m.target_utilization),
+            format!("{:.1}", m.log_days),
+            m.log_jobs.to_string(),
+            m.queue.name().to_string(),
+        ]);
+    }
+    Ok(t.to_text())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lists_all_three_machines() {
+        let args = Args::parse(["machines".to_string()]).unwrap();
+        let out = run(&args).unwrap();
+        for name in [
+            "Ross",
+            "Blue Mountain",
+            "Blue Pacific",
+            "PBS",
+            "LSF",
+            "DPCS",
+        ] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn rejects_stray_flags() {
+        let args = Args::parse(["machines".to_string(), "--wat".to_string()]).unwrap();
+        assert!(run(&args).is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! Subcommand implementations. Each returns the text to print, so tests can
+//! drive commands without spawning processes.
+
+pub mod advise;
+pub mod generate;
+pub mod machines;
+pub mod pack;
+pub mod simulate;
+pub mod stats;
+pub mod sweep;
+
+use crate::args::{ArgError, Args};
+
+/// Dispatch a parsed command line to its implementation.
+pub fn run(args: &Args) -> Result<String, ArgError> {
+    match args.command.as_str() {
+        "machines" => machines::run(args),
+        "generate" => generate::run(args),
+        "stats" => stats::run(args),
+        "simulate" => simulate::run(args),
+        "advise" => advise::run(args),
+        "pack" => pack::run(args),
+        "sweep" => sweep::run(args),
+        "help" | "--help" | "-h" => Ok(help()),
+        other => Err(ArgError(format!(
+            "unknown command {other:?} (try `interstitial help`)"
+        ))),
+    }
+}
+
+/// The top-level usage text.
+pub fn help() -> String {
+    "\
+interstitial — spare-cycle scavenging simulator (CLUSTER 2003 reproduction)
+
+USAGE: interstitial <command> [args]
+
+COMMANDS
+  machines                         list the built-in ASCI machine presets
+  generate  --machine M [--seed N] [--out FILE]
+                                   synthesize a native job log (SWF)
+  stats     FILE.swf               marginal statistics of a log
+  simulate  --machine M [FILE.swf | --seed N]
+            [--shape CPUSxSECS] [--mode continual|project:SECS]
+            [--cap F] [--preempt kill|checkpoint] [--seed N] [--out FILE]
+                                   replay a log, optionally with an
+                                   interstitial stream; print the impact
+  advise    --machine M --jobs N --shape CPUSxSECS [--tolerance MIN]
+                                   pre-flight a project against the paper's
+                                   §5 guidelines
+  pack      --machine M --jobs N --shape CPUSxSECS [--reps R] [--seed N]
+                                   omniscient makespan (Table 2 method)
+  sweep     --machine M [--shape CPUSxSECS] [--tolerance MIN] [--cap F]
+                                   empirically compare job shapes and
+                                   recommend the best within tolerance
+
+Machines: ross | bluemountain | bluepacific | CPUSxGHZ (custom).
+Shapes are CPUs × seconds-at-1GHz, e.g. 32x120.
+"
+    .to_string()
+}

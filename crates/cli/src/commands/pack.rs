@@ -1,0 +1,86 @@
+//! `interstitial pack` — omniscient project makespan (the Table 2 method):
+//! pack the project into the machine's realized free-capacity profile at
+//! random start times.
+
+use crate::args::{machine_by_name, shape_spec, ArgError, Args};
+use interstitial::experiment::{native_baseline, omniscient_makespans, ReplicationSummary};
+use interstitial::{theory, InterstitialProject};
+
+/// Run omniscient packing replications.
+pub fn run(args: &Args) -> Result<String, ArgError> {
+    args.check_flags(&["machine", "jobs", "shape", "reps", "seed"])?;
+    let machine = machine_by_name(
+        args.get("machine")
+            .ok_or_else(|| ArgError("missing required flag --machine".into()))?,
+    )?;
+    let jobs: u64 = args.require("jobs")?;
+    let (cpus, secs) = shape_spec(
+        args.get("shape")
+            .ok_or_else(|| ArgError("missing required flag --shape".into()))?,
+    )?;
+    let reps: u32 = args.get_or("reps", 20)?;
+    if jobs == 0 || reps == 0 {
+        return Err(ArgError("--jobs and --reps must be positive".into()));
+    }
+    let seed: u64 = args.get_or("seed", 42)?;
+
+    let project = InterstitialProject::per_paper(jobs, cpus, secs);
+    let baseline = native_baseline(&machine, seed);
+    let makespans = omniscient_makespans(&baseline, &project, reps, seed ^ 0xABCD, 5);
+    let summary = ReplicationSummary::from(&makespans);
+    let ideal = theory::ideal_makespan_secs(&project, &machine) / 3_600.0;
+    let fitted = theory::paper_fitted_makespan_secs(&project, &machine) / 3_600.0;
+    Ok(format!(
+        "project: {jobs} × {cpus} CPUs × {secs} s@1GHz = {:.2} peta-cycles on {}\n\
+         omniscient makespan over {reps} random drops: {} h ({} off-log)\n\
+         theory: ideal {ideal:.1} h, paper-fitted {fitted:.1} h, breakage ×{:.3}\n",
+        project.peta_cycles(),
+        machine.name,
+        summary.formatted(),
+        summary.failed,
+        theory::breakage_factor(&machine, cpus),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn packs_a_small_project() {
+        let out = run(&parse(&[
+            "pack",
+            "--machine",
+            "ross",
+            "--jobs",
+            "500",
+            "--shape",
+            "32x120",
+            "--reps",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("omniscient makespan"), "{out}");
+        assert!(out.contains("breakage"), "{out}");
+    }
+
+    #[test]
+    fn rejects_zero_reps() {
+        assert!(run(&parse(&[
+            "pack",
+            "--machine",
+            "ross",
+            "--jobs",
+            "10",
+            "--shape",
+            "32x120",
+            "--reps",
+            "0",
+        ]))
+        .is_err());
+    }
+}

@@ -1,0 +1,293 @@
+//! `interstitial simulate` — replay a log through a machine's scheduler,
+//! optionally with an interstitial stream, and report the impact.
+
+use crate::args::{machine_by_name, shape_spec, ArgError, Args};
+use analysis::metrics::NativeImpact;
+use analysis::tables::fmt_k;
+use analysis::Table;
+use interstitial::policy::Preemption;
+use interstitial::prelude::*;
+use simkit::time::SimTime;
+use workload::traces::native_trace;
+use workload::{swf, Job};
+
+/// Run the simulation described by the flags.
+pub fn run(args: &Args) -> Result<String, ArgError> {
+    args.check_flags(&["machine", "seed", "shape", "mode", "cap", "preempt", "out"])?;
+
+    // Native log: an SWF positional, or a synthetic trace by seed. An SWF
+    // header with MaxProcs can stand in for --machine.
+    let swf_text = match args.positional.first() {
+        Some(path) => Some(
+            std::fs::read_to_string(path).map_err(|e| ArgError(format!("reading {path}: {e}")))?,
+        ),
+        None => None,
+    };
+    let machine = match args.get("machine") {
+        Some(name) => machine_by_name(name)?,
+        None => {
+            let header = swf_text
+                .as_deref()
+                .map(swf::parse_header)
+                .unwrap_or_default();
+            let procs = header.max_procs.ok_or_else(|| {
+                ArgError("missing --machine (and no MaxProcs in the SWF header to infer it)".into())
+            })?;
+            let mut m = machine_by_name(&format!("{procs}x1.0"))?;
+            m.name = "from SWF header";
+            m
+        }
+    };
+    let natives: Vec<Job> = match &swf_text {
+        Some(text) => swf::parse(text, true).map_err(|e| ArgError(e.to_string()))?,
+        None => native_trace(&machine, args.get_or("seed", 1)?),
+    };
+    if natives.is_empty() {
+        return Err(ArgError("native log is empty".into()));
+    }
+    let horizon = natives
+        .iter()
+        .map(|j| j.submit)
+        .max()
+        .unwrap()
+        .max(SimTime::from_days(1));
+
+    // Baseline (always) and, if a shape is given, the interstitial run.
+    let baseline = SimBuilder::new(machine.clone())
+        .natives(natives.clone())
+        .horizon(horizon)
+        .build()
+        .run();
+
+    let mut out = String::new();
+    let mut t = Table::new(
+        format!(
+            "simulation — {} ({} native jobs)",
+            machine.name,
+            natives.len()
+        ),
+        &["metric", "native only", "with interstitial"],
+    );
+    let base_impact = NativeImpact::of(&baseline.completed);
+
+    let inter = match args.get("shape") {
+        None => None,
+        Some(spec) => {
+            let (cpus, secs) = shape_spec(spec)?;
+            let mode =
+                match args.get("mode") {
+                    None | Some("continual") => InterstitialMode::Continual,
+                    Some(m) => match m.strip_prefix("project:") {
+                        Some(start) => InterstitialMode::Project {
+                            start: SimTime::from_secs(start.parse().map_err(|_| {
+                                ArgError(format!("bad project start in --mode {m:?}"))
+                            })?),
+                        },
+                        None => return Err(ArgError(format!("bad --mode {m:?}"))),
+                    },
+                };
+            let mut policy = match args.get("cap") {
+                Some(c) => {
+                    let cap: f64 = c
+                        .parse()
+                        .map_err(|_| ArgError(format!("bad --cap {c:?}")))?;
+                    if !(0.0..=1.0).contains(&cap) {
+                        return Err(ArgError("--cap must be in [0,1]".into()));
+                    }
+                    InterstitialPolicy::capped(cap)
+                }
+                None => InterstitialPolicy::default(),
+            };
+            policy.preemption = match args.get("preempt") {
+                None => Preemption::None,
+                Some("kill") => Preemption::Kill,
+                Some("checkpoint") => Preemption::Checkpoint,
+                Some(p) => return Err(ArgError(format!("bad --preempt {p:?}"))),
+            };
+            let project = InterstitialProject::per_paper(u64::MAX / 2, cpus, secs);
+            Some(
+                SimBuilder::new(machine.clone())
+                    .natives(natives.clone())
+                    .horizon(horizon)
+                    .interstitial(project, mode, policy)
+                    .build()
+                    .run(),
+            )
+        }
+    };
+
+    type Cell<'a> = &'a dyn Fn(&SimOutput, &NativeImpact) -> String;
+    let cell = |o: &SimOutput, f: Cell| {
+        let i = NativeImpact::of(&o.completed);
+        f(o, &i)
+    };
+    let rows: [(&str, Cell); 7] = [
+        ("overall utilization", &|o, _| {
+            format!("{:.3}", o.overall_utilization())
+        }),
+        ("native utilization", &|o, _| {
+            format!("{:.3}", o.native_utilization())
+        }),
+        ("interstitial jobs", &|o, _| {
+            o.interstitial_completed().to_string()
+        }),
+        ("interstitial killed", &|o, _| {
+            o.interstitial_killed.to_string()
+        }),
+        ("native throughput", &|o, _| {
+            o.native_throughput_in_window().to_string()
+        }),
+        ("native median wait (s)", &|_, i| fmt_k(i.all.median_wait)),
+        ("5% largest median wait (s)", &|_, i| {
+            fmt_k(i.largest.median_wait)
+        }),
+    ];
+    for (label, f) in rows {
+        let base_cell = cell(&baseline, f);
+        let inter_cell = match &inter {
+            Some(o) => cell(o, f),
+            None => "—".to_string(),
+        };
+        t.row(&[label.to_string(), base_cell, inter_cell]);
+    }
+    let _ = base_impact;
+    out.push_str(&t.to_text());
+
+    if let (Some(o), Some(path)) = (&inter, args.get("out")) {
+        let text = swf::emit_completed(&o.completed, "interstitial simulation output");
+        std::fs::write(path, text).map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+        out.push_str(&format!("\nwrote completed-job log to {path}\n"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn baseline_only_run() {
+        let out = run(&parse(&["simulate", "--machine", "128x1.0", "--seed", "2"])).unwrap();
+        assert!(out.contains("overall utilization"));
+        assert!(out.contains("—"), "no interstitial column values");
+    }
+
+    #[test]
+    fn interstitial_run_reports_jobs() {
+        let out = run(&parse(&[
+            "simulate",
+            "--machine",
+            "128x1.0",
+            "--seed",
+            "2",
+            "--shape",
+            "16x120",
+        ]))
+        .unwrap();
+        // Interstitial column must contain a positive job count.
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("interstitial jobs"))
+            .unwrap();
+        let count: u64 = line.split_whitespace().last().unwrap().parse().unwrap();
+        assert!(count > 0, "{out}");
+    }
+
+    #[test]
+    fn preempt_and_cap_flags_work() {
+        let out = run(&parse(&[
+            "simulate",
+            "--machine",
+            "128x1.0",
+            "--seed",
+            "2",
+            "--shape",
+            "16x960",
+            "--cap",
+            "0.9",
+            "--preempt",
+            "kill",
+        ]))
+        .unwrap();
+        assert!(out.contains("interstitial killed"));
+    }
+
+    #[test]
+    fn bad_flags_are_clean_errors() {
+        assert!(run(&parse(&["simulate"])).is_err(), "no machine");
+        assert!(run(&parse(&["simulate", "--machine", "ross", "--shape", "16"])).is_err());
+        assert!(run(&parse(&[
+            "simulate",
+            "--machine",
+            "ross",
+            "--shape",
+            "16x120",
+            "--mode",
+            "sometimes"
+        ]))
+        .is_err());
+        assert!(run(&parse(&[
+            "simulate",
+            "--machine",
+            "ross",
+            "--shape",
+            "16x120",
+            "--cap",
+            "1.5"
+        ]))
+        .is_err());
+        assert!(run(&parse(&[
+            "simulate",
+            "--machine",
+            "ross",
+            "--shape",
+            "16x120",
+            "--preempt",
+            "maybe"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn machine_inferred_from_swf_header() {
+        let dir = std::env::temp_dir().join("interstitial-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("header.swf");
+        let jobs = workload::traces::native_trace(&machine::config::ross(), 6);
+        let body = swf::emit(&jobs[..300], "");
+        std::fs::write(&path, format!("; MaxProcs: 1436\n{body}")).unwrap();
+        let out = run(&parse(&["simulate", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("from SWF header"), "{out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn swf_round_trip_through_cli() {
+        let dir = std::env::temp_dir().join("interstitial-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("in.swf");
+        let out_path = dir.join("out.swf");
+        let jobs = workload::traces::native_trace(&machine::config::ross(), 5);
+        std::fs::write(&log, swf::emit(&jobs[..500], "subset")).unwrap();
+        let out = run(&parse(&[
+            "simulate",
+            "--machine",
+            "ross",
+            log.to_str().unwrap(),
+            "--shape",
+            "32x120",
+            "--out",
+            out_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote completed-job log"));
+        let completed = swf::parse(&std::fs::read_to_string(&out_path).unwrap(), true).unwrap();
+        assert!(completed.len() >= 500);
+        let _ = std::fs::remove_file(log);
+        let _ = std::fs::remove_file(out_path);
+    }
+}

@@ -1,0 +1,56 @@
+//! `interstitial stats FILE.swf` — marginal statistics of a job log.
+
+use crate::args::{ArgError, Args};
+use workload::stats::TraceStats;
+use workload::swf;
+
+/// Summarize the log's marginals.
+pub fn run(args: &Args) -> Result<String, ArgError> {
+    args.check_flags(&[])?;
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| ArgError("usage: interstitial stats FILE.swf".into()))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("reading {path}: {e}")))?;
+    let jobs = swf::parse(&text, true).map_err(|e| ArgError(e.to_string()))?;
+    if jobs.is_empty() {
+        return Err(ArgError(format!("{path}: no usable jobs")));
+    }
+    let s = TraceStats::of(&jobs);
+    Ok(format!("{path}:\n{}", s.to_text()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::traces::native_trace;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn stats_of_generated_log() {
+        let dir = std::env::temp_dir().join("interstitial-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stats.swf");
+        let jobs = native_trace(&machine::config::blue_mountain(), 4);
+        std::fs::write(&path, swf::emit(&jobs, "t")).unwrap();
+        let out = run(&parse(&["stats", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("jobs: "), "{out}");
+        assert!(out.contains("arrival dispersion"), "{out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = run(&parse(&["stats", "/nonexistent/x.swf"])).unwrap_err();
+        assert!(err.0.contains("reading"));
+    }
+
+    #[test]
+    fn missing_path_is_usage_error() {
+        assert!(run(&parse(&["stats"])).is_err());
+    }
+}

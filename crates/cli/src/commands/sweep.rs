@@ -1,0 +1,121 @@
+//! `interstitial sweep` — empirically compare interstitial job shapes on a
+//! machine and recommend the best within a native-delay tolerance.
+
+use crate::args::{machine_by_name, shape_spec, ArgError, Args};
+use analysis::tables::fmt_k;
+use analysis::Table;
+use interstitial::sweep::{best_within_tolerance, shape_sweep, Shape};
+use interstitial::InterstitialPolicy;
+use simkit::time::SimDuration;
+use workload::traces::native_trace;
+
+/// Run the sweep. Shapes come from repeated `--shape` values or a default
+/// grid.
+pub fn run(args: &Args) -> Result<String, ArgError> {
+    args.check_flags(&["machine", "seed", "shape", "tolerance", "cap"])?;
+    let machine = machine_by_name(
+        args.get("machine")
+            .ok_or_else(|| ArgError("missing required flag --machine".into()))?,
+    )?;
+    let natives = native_trace(&machine, args.get_or("seed", 1)?);
+    let tolerance = SimDuration::from_mins(args.get_or("tolerance", 15u64)?);
+    let policy = match args.get("cap") {
+        Some(c) => {
+            let cap: f64 = c
+                .parse()
+                .map_err(|_| ArgError(format!("bad --cap {c:?}")))?;
+            InterstitialPolicy::capped(cap)
+        }
+        None => InterstitialPolicy::default(),
+    };
+    // A single --shape narrows the sweep; default is the paper's grid.
+    let shapes: Vec<Shape> = match args.get("shape") {
+        Some(spec) => {
+            let (cpus, secs) = shape_spec(spec)?;
+            vec![Shape {
+                cpus,
+                secs_at_1ghz: secs,
+            }]
+        }
+        None => [
+            (1u32, 120.0f64),
+            (8, 120.0),
+            (32, 120.0),
+            (8, 960.0),
+            (32, 960.0),
+        ]
+        .iter()
+        .map(|&(cpus, secs)| Shape {
+            cpus,
+            secs_at_1ghz: secs,
+        })
+        .collect(),
+    };
+
+    let outcomes = shape_sweep(&machine, &natives, &shapes, policy);
+    let mut t = Table::new(
+        format!(
+            "shape sweep — {} (tolerance {} min on the median native wait)",
+            machine.name,
+            tolerance.as_secs() / 60
+        ),
+        &[
+            "shape",
+            "jobs harvested",
+            "peta-cycles",
+            "overall util",
+            "native median wait (s)",
+        ],
+    );
+    for o in &outcomes {
+        t.row(&[
+            format!("{}x{}", o.shape.cpus, o.shape.secs_at_1ghz),
+            o.jobs.to_string(),
+            format!("{:.1}", o.harvested_peta_cycles),
+            format!("{:.3}", o.overall_utilization),
+            fmt_k(o.native_median_wait),
+        ]);
+    }
+    let mut out = t.to_text();
+    match best_within_tolerance(&outcomes, tolerance) {
+        Some(best) => out.push_str(&format!(
+            "\nrecommendation: {}x{} — {:.1} peta-cycles harvested, median native wait {} s\n",
+            best.shape.cpus,
+            best.shape.secs_at_1ghz,
+            best.harvested_peta_cycles,
+            fmt_k(best.native_median_wait)
+        )),
+        None => out.push_str("\nno shape keeps the median native wait within tolerance\n"),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn single_shape_sweep() {
+        let out = run(&parse(&[
+            "sweep",
+            "--machine",
+            "ross",
+            "--shape",
+            "32x120",
+            "--seed",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("shape sweep"), "{out}");
+        assert!(out.contains("32x120"), "{out}");
+    }
+
+    #[test]
+    fn requires_machine() {
+        assert!(run(&parse(&["sweep"])).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! `interstitial` — command-line front end for the interstitial-computing
+//! simulator (reproduction of Kleban & Clearwater, CLUSTER 2003).
+//!
+//! Run `interstitial help` for usage.
+
+mod args;
+mod commands;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::help());
+            std::process::exit(2);
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

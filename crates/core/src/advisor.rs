@@ -1,0 +1,266 @@
+//! Interstitial-project advisor — the paper's §5 guidelines, executable.
+//!
+//! The paper closes with "a number of characteristics … needed to specify a
+//! successful interstitial computing project": the job size must fit well
+//! inside the machine's typical spare capacity (breakage in space), the job
+//! runtime bounds the typical native delay and the loss to "breakage in
+//! time" (no checkpoint/restart), and the expected makespan follows the
+//! §4.2 formula. [`advise`] turns a (machine, project, tolerance) triple
+//! into those checks plus a recommendation.
+
+use crate::project::InterstitialProject;
+use crate::theory;
+use machine::MachineConfig;
+use simkit::time::SimDuration;
+
+/// Severity of an advisory finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Fine as specified.
+    Ok,
+    /// Works, but measurably sub-optimal.
+    Warning,
+    /// The project will fit poorly or impact native users beyond tolerance.
+    Problem,
+}
+
+/// One advisory finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// How serious it is.
+    pub severity: Severity,
+    /// Short machine-readable tag (`breakage`, `native-delay`, …).
+    pub tag: &'static str,
+    /// Human explanation.
+    pub message: String,
+}
+
+/// The advisor's full report.
+#[derive(Clone, Debug)]
+pub struct Advice {
+    /// Individual findings, worst first.
+    pub findings: Vec<Finding>,
+    /// Expected makespan from the paper's fitted formula, with breakage.
+    pub expected_makespan: SimDuration,
+    /// Space-breakage factor for this job size on this machine.
+    pub breakage: f64,
+    /// Number of interstitial jobs that fit the average spare capacity.
+    pub concurrent_jobs: u64,
+}
+
+impl Advice {
+    /// The worst severity across findings ([`Severity::Ok`] if none).
+    pub fn verdict(&self) -> Severity {
+        self.findings
+            .iter()
+            .map(|f| f.severity)
+            .max()
+            .unwrap_or(Severity::Ok)
+    }
+
+    /// Render as a short text report.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "expected makespan ≈ {:.1} h (breakage ×{:.3}, {} job(s) fit the average gap)\n",
+            self.expected_makespan.as_hours(),
+            self.breakage,
+            self.concurrent_jobs
+        );
+        for f in &self.findings {
+            out.push_str(&format!("[{:?}] {}: {}\n", f.severity, f.tag, f.message));
+        }
+        out
+    }
+}
+
+/// Produce §5-style guidance for running `project` on `machine`, where
+/// `native_delay_tolerance` is the largest typical (median) extra wait the
+/// facility will accept for its native jobs.
+pub fn advise(
+    machine: &MachineConfig,
+    project: &InterstitialProject,
+    native_delay_tolerance: SimDuration,
+) -> Advice {
+    let mut findings = Vec::new();
+    let spare = machine.mean_free_cpus();
+    let per_job = project.cpus_per_job as f64;
+    let runtime = project.runtime_on(machine);
+    let breakage = theory::breakage_factor(machine, project.cpus_per_job);
+    let concurrent = (spare / per_job).floor() as u64;
+
+    // §5 criterion 1: CPUs per job must sit well inside the average gap.
+    if concurrent == 0 {
+        findings.push(Finding {
+            severity: Severity::Problem,
+            tag: "job-size",
+            message: format!(
+                "a {}-CPU job does not fit the machine's average spare capacity \
+                 ({spare:.0} CPUs); it will only run in rare deep valleys",
+                project.cpus_per_job
+            ),
+        });
+    } else if breakage > 1.15 {
+        findings.push(Finding {
+            severity: Severity::Warning,
+            tag: "breakage",
+            message: format!(
+                "only {concurrent} job(s) fit the average {spare:.0} spare CPUs; \
+                 {:.0}% of scavengeable capacity is lost to breakage — consider \
+                 smaller jobs",
+                (breakage - 1.0) * 100.0
+            ),
+        });
+    }
+
+    // §5 criterion 2: the interstitial runtime bounds the typical native
+    // delay (§4.3.2.1) — keep it within the facility's tolerance.
+    if runtime > native_delay_tolerance {
+        findings.push(Finding {
+            severity: Severity::Problem,
+            tag: "native-delay",
+            message: format!(
+                "per-job runtime {runtime} exceeds the native-delay tolerance \
+                 {native_delay_tolerance}; shorten the jobs (the typical native \
+                 wait shift is bounded by one interstitial runtime)"
+            ),
+        });
+    } else if runtime * 2 > native_delay_tolerance {
+        findings.push(Finding {
+            severity: Severity::Warning,
+            tag: "native-delay",
+            message: format!(
+                "per-job runtime {runtime} is within a factor two of the \
+                 native-delay tolerance {native_delay_tolerance}; delay cascades \
+                 will push some natives past it"
+            ),
+        });
+    }
+
+    // Very short jobs: scheduling overhead amortization (a practical §5
+    // point — each submission costs the queueing system a cycle).
+    if runtime < SimDuration::from_secs(30) {
+        findings.push(Finding {
+            severity: Severity::Warning,
+            tag: "job-too-short",
+            message: format!(
+                "per-job runtime {runtime} is so short that per-job dispatch \
+                 overhead will dominate; batch more work per job"
+            ),
+        });
+    }
+
+    // Utilization headroom: at ≥90% native utilization there is little to
+    // harvest (Table 7's lesson).
+    if machine.target_utilization > 0.9 {
+        findings.push(Finding {
+            severity: Severity::Warning,
+            tag: "headroom",
+            message: format!(
+                "native utilization is already {:.0}%; expect modest gains and a \
+                 long makespan (Blue Pacific regime)",
+                machine.target_utilization * 100.0
+            ),
+        });
+    }
+
+    let expected = theory::paper_fitted_makespan_secs(project, machine)
+        * if breakage.is_finite() { breakage } else { 1.0 };
+    findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
+    Advice {
+        findings,
+        expected_makespan: SimDuration::from_secs_f64(expected),
+        breakage,
+        concurrent_jobs: concurrent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::config::{blue_mountain, blue_pacific, ross};
+
+    #[test]
+    fn clean_project_on_roomy_machine_is_ok() {
+        // 32-CPU × 458 s jobs on Blue Mountain: the paper's workhorse case.
+        let p = InterstitialProject::per_paper(10_000, 32, 120.0);
+        let a = advise(&blue_mountain(), &p, SimDuration::from_mins(30));
+        assert_eq!(a.verdict(), Severity::Ok, "{}", a.to_text());
+        assert_eq!(a.concurrent_jobs, 30);
+        assert!((a.breakage - 1.020).abs() < 0.005);
+    }
+
+    #[test]
+    fn oversized_jobs_flagged_as_problem() {
+        // 128-CPU jobs on Blue Pacific (≈86 spare CPUs): never fit.
+        let p = InterstitialProject::per_paper(100, 128, 120.0);
+        let a = advise(&blue_pacific(), &p, SimDuration::from_hours(1));
+        assert_eq!(a.verdict(), Severity::Problem);
+        assert!(a.findings.iter().any(|f| f.tag == "job-size"));
+        assert_eq!(a.concurrent_jobs, 0);
+    }
+
+    #[test]
+    fn high_breakage_warns() {
+        // 32-CPU jobs on Blue Pacific: 2.69 slots → ×1.346 breakage.
+        let p = InterstitialProject::per_paper(1_000, 32, 120.0);
+        let a = advise(&blue_pacific(), &p, SimDuration::from_hours(1));
+        assert!(a.findings.iter().any(|f| f.tag == "breakage"));
+        assert!(a.verdict() >= Severity::Warning);
+    }
+
+    #[test]
+    fn long_jobs_violate_delay_tolerance() {
+        // 960 s @1GHz → 1633 s on Ross; tolerance 10 min.
+        let p = InterstitialProject::per_paper(1_000, 32, 960.0);
+        let a = advise(&ross(), &p, SimDuration::from_mins(10));
+        let f = a
+            .findings
+            .iter()
+            .find(|f| f.tag == "native-delay")
+            .expect("delay finding");
+        assert_eq!(f.severity, Severity::Problem);
+    }
+
+    #[test]
+    fn near_tolerance_runtime_warns() {
+        // 204 s on Ross with 300 s tolerance: within 2×.
+        let p = InterstitialProject::per_paper(1_000, 32, 120.0);
+        let a = advise(&ross(), &p, SimDuration::from_secs(300));
+        let f = a.findings.iter().find(|f| f.tag == "native-delay").unwrap();
+        assert_eq!(f.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn tiny_jobs_warn_about_overhead() {
+        let p = InterstitialProject::per_paper(1_000_000, 1, 5.0);
+        let a = advise(&ross(), &p, SimDuration::from_hours(1));
+        assert!(a.findings.iter().any(|f| f.tag == "job-too-short"));
+    }
+
+    #[test]
+    fn saturated_machine_warns_about_headroom() {
+        let p = InterstitialProject::per_paper(1_000, 8, 120.0);
+        let a = advise(&blue_pacific(), &p, SimDuration::from_hours(1));
+        assert!(a.findings.iter().any(|f| f.tag == "headroom"));
+    }
+
+    #[test]
+    fn expected_makespan_includes_breakage() {
+        let p = InterstitialProject::per_paper(2_000, 32, 120.0);
+        let bp = advise(&blue_pacific(), &p, SimDuration::from_hours(1));
+        let plain = theory::paper_fitted_makespan_secs(&p, &blue_pacific());
+        assert!(bp.expected_makespan.as_secs_f64() > plain * 1.3);
+    }
+
+    #[test]
+    fn findings_sorted_worst_first() {
+        let p = InterstitialProject::per_paper(100, 128, 10.0);
+        let a = advise(&blue_pacific(), &p, SimDuration::from_secs(20));
+        for w in a.findings.windows(2) {
+            assert!(w[0].severity >= w[1].severity);
+        }
+        let text = a.to_text();
+        assert!(text.contains("expected makespan"));
+        assert!(text.contains("[Problem]"));
+    }
+}

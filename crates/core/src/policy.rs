@@ -1,0 +1,146 @@
+//! Interstitial submission knobs.
+
+use simkit::time::SimTime;
+
+/// When interstitial jobs flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InterstitialMode {
+    /// Submit continuously from time zero until the end of the native log —
+    /// §4.3.2's "continual interstitial computing". The project's `jobs`
+    /// field is an upper bound (set it high for unlimited).
+    Continual,
+    /// A single project dropped into the job stream at `start`; exactly
+    /// `project.jobs` jobs are submitted, then the stream stops (§4.1/§4.3.1
+    /// "short-term projects").
+    Project {
+        /// Instant the project enters the system.
+        start: SimTime,
+    },
+}
+
+/// What happens to running interstitial jobs when a native job needs their
+/// CPUs — the paper's "breakage in time" extension point ("there is also a
+/// 'breakage in time' because there is no checkpoint/restart for the
+/// jobs", §4.2). The paper simulates only [`Preemption::None`]; the other
+/// two variants quantify what checkpoint/restart would have bought.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Preemption {
+    /// Non-preemptive (the paper's model): once started, an interstitial
+    /// job runs to completion even if a native job is waiting.
+    #[default]
+    None,
+    /// Kill interstitial jobs when the native queue head needs their CPUs;
+    /// the partial work is lost (counted as waste).
+    Kill,
+    /// Checkpoint interstitial jobs when preempted and resume them later
+    /// from where they stopped (idealized: zero checkpoint overhead).
+    Checkpoint,
+}
+
+/// How aggressively interstitial jobs are submitted.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterstitialPolicy {
+    /// §4.3.2.2: submit only while the *resulting* machine utilization
+    /// (native + interstitial) stays below this fraction. `None` = no cap
+    /// (maximal interstitial computing).
+    pub utilization_cap: Option<f64>,
+    /// Require `backFillWallTime > now + runtime` strictly (Figure 1). When
+    /// false, equality is allowed; kept as a knob for the sensitivity
+    /// ablation.
+    pub strict_backfill_guard: bool,
+    /// Breakage-in-time handling (extension; the paper uses `None`).
+    pub preemption: Preemption,
+}
+
+impl Default for InterstitialPolicy {
+    fn default() -> Self {
+        InterstitialPolicy {
+            utilization_cap: None,
+            strict_backfill_guard: true,
+            preemption: Preemption::None,
+        }
+    }
+}
+
+impl InterstitialPolicy {
+    /// The §4.3.2.2 capped policy.
+    pub fn capped(cap: f64) -> Self {
+        assert!((0.0..=1.0).contains(&cap));
+        InterstitialPolicy {
+            utilization_cap: Some(cap),
+            ..Self::default()
+        }
+    }
+
+    /// A preempting policy (extension — see [`Preemption`]).
+    pub fn preempting(preemption: Preemption) -> Self {
+        InterstitialPolicy {
+            preemption,
+            ..Self::default()
+        }
+    }
+
+    /// Maximum interstitial jobs of `cpus_per_job` CPUs that may start right
+    /// now without lifting utilization to or past the cap, given `in_use`
+    /// busy CPUs out of `total`.
+    pub fn cap_allowance(&self, in_use: u32, total: u32, cpus_per_job: u32) -> u64 {
+        match self.utilization_cap {
+            None => u64::MAX,
+            Some(cap) => {
+                let budget = cap * total as f64 - in_use as f64;
+                if budget <= 0.0 {
+                    0
+                } else {
+                    (budget / cpus_per_job as f64).floor() as u64
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_uncapped() {
+        let p = InterstitialPolicy::default();
+        assert_eq!(p.utilization_cap, None);
+        assert_eq!(p.cap_allowance(0, 100, 32), u64::MAX);
+    }
+
+    #[test]
+    fn cap_allowance_counts_jobs() {
+        let p = InterstitialPolicy::capped(0.9);
+        // Budget: 0.9·1000 − 800 = 100 CPUs → 3 × 32-CPU jobs.
+        assert_eq!(p.cap_allowance(800, 1000, 32), 3);
+        // Exactly at cap → zero.
+        assert_eq!(p.cap_allowance(900, 1000, 32), 0);
+        // Above cap → zero (not underflow).
+        assert_eq!(p.cap_allowance(950, 1000, 32), 0);
+        // 1-CPU jobs use the budget fully.
+        assert_eq!(p.cap_allowance(800, 1000, 1), 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cap_must_be_a_fraction() {
+        InterstitialPolicy::capped(1.5);
+    }
+
+    #[test]
+    fn preemption_defaults_to_paper_model() {
+        assert_eq!(InterstitialPolicy::default().preemption, Preemption::None);
+        let p = InterstitialPolicy::preempting(Preemption::Checkpoint);
+        assert_eq!(p.preemption, Preemption::Checkpoint);
+        assert_eq!(p.utilization_cap, None, "other knobs keep defaults");
+    }
+
+    #[test]
+    fn mode_variants() {
+        let m = InterstitialMode::Project {
+            start: SimTime::from_hours(5),
+        };
+        assert_ne!(m, InterstitialMode::Continual);
+    }
+}

@@ -1,0 +1,165 @@
+//! Interstitial projects.
+//!
+//! "We define an interstitial project as consisting of a fixed number of
+//! identical jobs that in turn consist of a fixed number of CPUs and a fixed
+//! run time" (§3). Runtimes are specified in **seconds at 1 GHz** and
+//! normalized to each machine's clock, so a project represents the same
+//! amount of *work* everywhere; project size is quoted in peta-cycles
+//! (10¹⁵ clock ticks).
+
+use machine::MachineConfig;
+use simkit::time::SimDuration;
+
+/// One peta-cycle = 10¹⁵ clock ticks (the paper's project-size unit).
+pub const PETA: f64 = 1e15;
+
+/// An interstitial project: `jobs × cpus_per_job × runtime@1GHz`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterstitialProject {
+    /// Number of identical jobs in the project.
+    pub jobs: u64,
+    /// CPUs per job (the paper sweeps 1–32).
+    pub cpus_per_job: u32,
+    /// Per-job runtime in seconds at 1 GHz (the paper uses 120 and 960).
+    pub runtime_at_1ghz: f64,
+}
+
+impl InterstitialProject {
+    /// Construct a project. `jobs` is given in plain units (the paper's
+    /// tables quote kJobs; multiply by 1000 yourself or use
+    /// [`InterstitialProject::from_kjobs`]).
+    pub fn per_paper(jobs: u64, cpus_per_job: u32, runtime_at_1ghz: f64) -> Self {
+        assert!(jobs > 0 && cpus_per_job > 0 && runtime_at_1ghz > 0.0);
+        InterstitialProject {
+            jobs,
+            cpus_per_job,
+            runtime_at_1ghz,
+        }
+    }
+
+    /// Construct from the tables' kJobs unit.
+    pub fn from_kjobs(kjobs: f64, cpus_per_job: u32, runtime_at_1ghz: f64) -> Self {
+        Self::per_paper(
+            (kjobs * 1000.0).round() as u64,
+            cpus_per_job,
+            runtime_at_1ghz,
+        )
+    }
+
+    /// Total project size in cycles: `jobs × cpus × runtime@1GHz × 10⁹`.
+    pub fn cycles(&self) -> f64 {
+        self.jobs as f64 * self.cpus_per_job as f64 * self.runtime_at_1ghz * 1e9
+    }
+
+    /// Project size in peta-cycles, the tables' unit.
+    pub fn peta_cycles(&self) -> f64 {
+        self.cycles() / PETA
+    }
+
+    /// Per-job wallclock on `machine` (runtime normalized by clock speed).
+    pub fn runtime_on(&self, machine: &MachineConfig) -> SimDuration {
+        machine.normalize_runtime(self.runtime_at_1ghz)
+    }
+
+    /// The Table 2 project grid: {7.7, 30.1, 123} peta-cycles × {1, 32}
+    /// CPUs/job, all with 120 s @1 GHz jobs, as `(label, project)` pairs.
+    pub fn table2_grid() -> Vec<(&'static str, InterstitialProject)> {
+        vec![
+            ("7.7 Pc, 64k × 1cpu", Self::from_kjobs(64.0, 1, 120.0)),
+            ("7.7 Pc, 2k × 32cpu", Self::from_kjobs(2.0, 32, 120.0)),
+            ("30.1 Pc, 256k × 1cpu", Self::from_kjobs(256.0, 1, 120.0)),
+            ("30.1 Pc, 8k × 32cpu", Self::from_kjobs(8.0, 32, 120.0)),
+            ("123 Pc, 1024k × 1cpu", Self::from_kjobs(1024.0, 1, 120.0)),
+            ("123 Pc, 32k × 32cpu", Self::from_kjobs(32.0, 32, 120.0)),
+        ]
+    }
+
+    /// The Table 4 project grid (project size, kJobs, CPUs, runtime@1GHz).
+    pub fn table4_grid() -> Vec<(&'static str, InterstitialProject)> {
+        vec![
+            (
+                "7.7 Pc, 2k × 32cpu × 120s",
+                Self::from_kjobs(2.0, 32, 120.0),
+            ),
+            (
+                "7.7 Pc, 0.25k × 32cpu × 960s",
+                Self::from_kjobs(0.25, 32, 960.0),
+            ),
+            ("7.7 Pc, 8k × 8cpu × 120s", Self::from_kjobs(8.0, 8, 120.0)),
+            ("7.7 Pc, 1k × 8cpu × 960s", Self::from_kjobs(1.0, 8, 960.0)),
+            (
+                "123 Pc, 32k × 32cpu × 120s",
+                Self::from_kjobs(32.0, 32, 120.0),
+            ),
+            (
+                "123 Pc, 4k × 32cpu × 960s",
+                Self::from_kjobs(4.0, 32, 960.0),
+            ),
+            (
+                "123 Pc, 128k × 8cpu × 120s",
+                Self::from_kjobs(128.0, 8, 120.0),
+            ),
+            (
+                "123 Pc, 16k × 8cpu × 960s",
+                Self::from_kjobs(16.0, 8, 960.0),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::config::{blue_mountain, blue_pacific, ross};
+
+    #[test]
+    fn peta_cycle_accounting_matches_table2() {
+        // 64k jobs × 1 CPU × 120 s@1GHz = 7.68e15 ≈ the table's 7.7.
+        let p = InterstitialProject::from_kjobs(64.0, 1, 120.0);
+        assert!((p.peta_cycles() - 7.68).abs() < 0.01);
+        // 2k × 32 × 120 is the same project size.
+        let q = InterstitialProject::from_kjobs(2.0, 32, 120.0);
+        assert!((q.peta_cycles() - p.peta_cycles()).abs() < 1e-9);
+        // 1024k × 1 × 120 ≈ 123.
+        let r = InterstitialProject::from_kjobs(1024.0, 1, 120.0);
+        assert!((r.peta_cycles() - 122.88).abs() < 0.01);
+    }
+
+    #[test]
+    fn table_grids_have_consistent_sizes() {
+        let grid = InterstitialProject::table2_grid();
+        assert_eq!(grid.len(), 6);
+        // Pairs share project size.
+        for pair in grid.chunks(2) {
+            assert!((pair[0].1.peta_cycles() - pair[1].1.peta_cycles()).abs() < 0.01);
+        }
+        let t4 = InterstitialProject::table4_grid();
+        assert_eq!(t4.len(), 8);
+        for (label, p) in &t4[..4] {
+            assert!((p.peta_cycles() - 7.68).abs() < 0.01, "{label}");
+        }
+        for (label, p) in &t4[4..] {
+            assert!((p.peta_cycles() - 122.88).abs() < 0.01, "{label}");
+        }
+    }
+
+    #[test]
+    fn runtime_normalization_per_machine() {
+        let p = InterstitialProject::per_paper(1000, 32, 120.0);
+        assert_eq!(p.runtime_on(&blue_mountain()).as_secs(), 458);
+        assert_eq!(p.runtime_on(&blue_pacific()).as_secs(), 325);
+        assert_eq!(p.runtime_on(&ross()).as_secs(), 204);
+    }
+
+    #[test]
+    fn from_kjobs_rounds() {
+        assert_eq!(InterstitialProject::from_kjobs(0.25, 8, 960.0).jobs, 250);
+        assert_eq!(InterstitialProject::from_kjobs(64.0, 1, 120.0).jobs, 64_000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_jobs_rejected() {
+        InterstitialProject::per_paper(0, 1, 120.0);
+    }
+}

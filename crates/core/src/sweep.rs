@@ -1,0 +1,177 @@
+//! Empirical job-shape sweeps.
+//!
+//! The advisor ([`crate::advisor`]) answers from closed-form theory; this
+//! module answers the same question empirically: run the continual
+//! interstitial simulation for each candidate job shape and measure what it
+//! actually harvests and what it actually costs the natives. Shapes run in
+//! parallel across cores.
+
+use crate::driver::SimBuilder;
+use crate::experiment::parallel_map;
+use crate::policy::{InterstitialMode, InterstitialPolicy};
+use crate::project::InterstitialProject;
+use machine::MachineConfig;
+use simkit::stats::{median, sorted};
+use simkit::time::SimDuration;
+use workload::Job;
+
+/// One candidate interstitial job shape.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Shape {
+    /// CPUs per job.
+    pub cpus: u32,
+    /// Runtime in seconds at 1 GHz.
+    pub secs_at_1ghz: f64,
+}
+
+/// Measured outcome of running one shape continually over the native log.
+#[derive(Clone, Copy, Debug)]
+pub struct ShapeOutcome {
+    /// The shape measured.
+    pub shape: Shape,
+    /// Interstitial jobs completed within the log.
+    pub jobs: u64,
+    /// Peta-cycles harvested.
+    pub harvested_peta_cycles: f64,
+    /// Overall machine utilization achieved.
+    pub overall_utilization: f64,
+    /// Median native wait, seconds.
+    pub native_median_wait: f64,
+}
+
+/// Run every shape against the same native log and machine (in parallel)
+/// and report what each harvests and costs.
+pub fn shape_sweep(
+    machine: &MachineConfig,
+    natives: &[Job],
+    shapes: &[Shape],
+    policy: InterstitialPolicy,
+) -> Vec<ShapeOutcome> {
+    parallel_map(shapes.to_vec(), |shape| {
+        let project = InterstitialProject::per_paper(u64::MAX / 2, shape.cpus, shape.secs_at_1ghz);
+        let out = SimBuilder::new(machine.clone())
+            .natives(natives.to_vec())
+            .interstitial(project, InterstitialMode::Continual, policy)
+            .build()
+            .run();
+        let dur: SimDuration = project.runtime_on(machine);
+        let harvested =
+            machine.cycles(shape.cpus, dur) * out.interstitial_completed() as f64 / 1e15;
+        let waits = sorted(
+            out.natives()
+                .map(|c| c.wait().as_secs_f64())
+                .collect::<Vec<_>>(),
+        );
+        ShapeOutcome {
+            shape,
+            jobs: out.interstitial_completed(),
+            harvested_peta_cycles: harvested,
+            overall_utilization: out.overall_utilization(),
+            native_median_wait: median(&waits).unwrap_or(0.0),
+        }
+    })
+}
+
+/// The outcome harvesting the most cycles while keeping the median native
+/// wait within `tolerance` — `None` if no shape qualifies.
+pub fn best_within_tolerance(
+    outcomes: &[ShapeOutcome],
+    tolerance: SimDuration,
+) -> Option<ShapeOutcome> {
+    outcomes
+        .iter()
+        .filter(|o| o.native_median_wait <= tolerance.as_secs_f64())
+        .max_by(|a, b| {
+            a.harvested_peta_cycles
+                .partial_cmp(&b.harvested_peta_cycles)
+                .unwrap()
+        })
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::traces::native_trace;
+
+    fn ross_small() -> (MachineConfig, Vec<Job>) {
+        let cfg = machine::config::ross();
+        let natives = native_trace(&cfg, 3);
+        (cfg, natives)
+    }
+
+    #[test]
+    fn sweep_measures_every_shape() {
+        let (cfg, natives) = ross_small();
+        let shapes = [
+            Shape {
+                cpus: 8,
+                secs_at_1ghz: 120.0,
+            },
+            Shape {
+                cpus: 32,
+                secs_at_1ghz: 120.0,
+            },
+            Shape {
+                cpus: 32,
+                secs_at_1ghz: 960.0,
+            },
+        ];
+        let outcomes = shape_sweep(&cfg, &natives, &shapes, InterstitialPolicy::default());
+        assert_eq!(outcomes.len(), 3);
+        for (o, s) in outcomes.iter().zip(&shapes) {
+            assert_eq!(o.shape, *s, "order preserved");
+            assert!(o.jobs > 0);
+            assert!(o.harvested_peta_cycles > 0.0);
+            assert!(o.overall_utilization > 0.6);
+        }
+        // Equal-cycle shapes harvest comparable totals; the 8× longer job
+        // yields ~8× fewer jobs.
+        let ratio = outcomes[1].jobs as f64 / outcomes[2].jobs as f64;
+        assert!((5.0..12.0).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn best_within_tolerance_picks_max_harvest() {
+        let outcomes = [
+            ShapeOutcome {
+                shape: Shape {
+                    cpus: 8,
+                    secs_at_1ghz: 120.0,
+                },
+                jobs: 10,
+                harvested_peta_cycles: 5.0,
+                overall_utilization: 0.9,
+                native_median_wait: 10.0,
+            },
+            ShapeOutcome {
+                shape: Shape {
+                    cpus: 32,
+                    secs_at_1ghz: 120.0,
+                },
+                jobs: 10,
+                harvested_peta_cycles: 9.0,
+                overall_utilization: 0.95,
+                native_median_wait: 50.0,
+            },
+            ShapeOutcome {
+                shape: Shape {
+                    cpus: 32,
+                    secs_at_1ghz: 960.0,
+                },
+                jobs: 10,
+                harvested_peta_cycles: 12.0,
+                overall_utilization: 0.97,
+                native_median_wait: 900.0,
+            },
+        ];
+        let best = best_within_tolerance(&outcomes, SimDuration::from_secs(100)).unwrap();
+        assert_eq!(best.shape.cpus, 32);
+        assert_eq!(best.harvested_peta_cycles, 9.0);
+        // Tight tolerance: only the first qualifies.
+        let strict = best_within_tolerance(&outcomes, SimDuration::from_secs(20)).unwrap();
+        assert_eq!(strict.shape.cpus, 8);
+        // Impossible tolerance: none.
+        assert!(best_within_tolerance(&outcomes, SimDuration::from_secs(1)).is_none());
+    }
+}

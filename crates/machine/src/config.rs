@@ -1,0 +1,193 @@
+//! Machine descriptions, including the three ASCI machines of Table 1.
+
+use simkit::time::{SimDuration, SimTime, DAY};
+
+/// Which production queueing system the machine ran (Table 1, bottom row).
+/// The `sched` crate maps each variant to a scheduling personality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueueSystem {
+    /// Portable Batch System (Ross, Sandia): flat fair share — all users
+    /// equal — with the most restrictive backfill criteria of the three.
+    Pbs,
+    /// Load Sharing Facility (Blue Mountain, Los Alamos): hierarchical
+    /// group-level fair share.
+    Lsf,
+    /// Distributed Production Control System (Blue Pacific, Livermore):
+    /// user- and group-level fair share plus time-of-day constraints.
+    Dpcs,
+}
+
+impl QueueSystem {
+    /// Human-readable name as the paper prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueSystem::Pbs => "PBS",
+            QueueSystem::Lsf => "LSF",
+            QueueSystem::Dpcs => "DPCS",
+        }
+    }
+}
+
+/// Static description of a simulated machine.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Display name ("Ross", "Blue Mountain", "Blue Pacific", …).
+    pub name: &'static str,
+    /// Operating site, for report headers.
+    pub site: &'static str,
+    /// Total identical CPUs in the scheduled partition.
+    pub cpus: u32,
+    /// Per-CPU clock in GHz. Ross mixes 533 MHz and 600 MHz parts; following
+    /// the paper we treat the machine as homogeneous at the capacity-weighted
+    /// average (0.588 GHz).
+    pub clock_ghz: f64,
+    /// Queueing system personality.
+    pub queue: QueueSystem,
+    /// Native utilization delivered over the analyzed log (Table 1).
+    pub target_utilization: f64,
+    /// Length of the analyzed log in days (Table 1).
+    pub log_days: f64,
+    /// Native job count in the analyzed log (Table 1).
+    pub log_jobs: u32,
+}
+
+impl MachineConfig {
+    /// Machine capacity in tera-cycles per second: `CPUs × clock`.
+    /// (Table 1's "TCycles" row.)
+    pub fn tera_cycles(&self) -> f64 {
+        self.cpus as f64 * self.clock_ghz / 1_000.0
+    }
+
+    /// Length of the analyzed log as simulation time.
+    pub fn log_horizon(&self) -> SimTime {
+        SimTime::from_secs((self.log_days * DAY as f64).round() as u64)
+    }
+
+    /// Normalize a runtime specified in *seconds at 1 GHz* to this machine's
+    /// clock — the paper's convention for interstitial jobs ("120 sec @1 GHz
+    /// lasts 120/.262 = 458 sec on Blue Mountain").
+    pub fn normalize_runtime(&self, secs_at_1ghz: f64) -> SimDuration {
+        SimDuration::from_secs_f64(secs_at_1ghz / self.clock_ghz)
+    }
+
+    /// Cycles delivered by `cpus` CPUs running for `dur` on this machine.
+    pub fn cycles(&self, cpus: u32, dur: SimDuration) -> f64 {
+        cpus as f64 * self.clock_ghz * 1e9 * dur.as_secs_f64()
+    }
+
+    /// Average number of idle CPUs at the target utilization: `N(1−U)`.
+    pub fn mean_free_cpus(&self) -> f64 {
+        self.cpus as f64 * (1.0 - self.target_utilization)
+    }
+}
+
+/// Ross (Sandia National Laboratories): 1436-CPU partition, PBS.
+pub fn ross() -> MachineConfig {
+    MachineConfig {
+        name: "Ross",
+        site: "Sandia",
+        cpus: 1436,
+        // 256 @ 533 MHz + 1180 @ 600 MHz → 0.588 GHz average.
+        clock_ghz: 0.588,
+        queue: QueueSystem::Pbs,
+        target_utilization: 0.631,
+        log_days: 40.7,
+        log_jobs: 4_423,
+    }
+}
+
+/// Blue Mountain (Los Alamos): 4662 CPUs, LSF.
+pub fn blue_mountain() -> MachineConfig {
+    MachineConfig {
+        name: "Blue Mountain",
+        site: "Los Alamos",
+        cpus: 4662,
+        clock_ghz: 0.262,
+        queue: QueueSystem::Lsf,
+        target_utilization: 0.790,
+        log_days: 84.2,
+        log_jobs: 7_763,
+    }
+}
+
+/// Blue Pacific (Livermore): 926-CPU large partition, DPCS.
+pub fn blue_pacific() -> MachineConfig {
+    MachineConfig {
+        name: "Blue Pacific",
+        site: "Livermore",
+        cpus: 926,
+        clock_ghz: 0.369,
+        queue: QueueSystem::Dpcs,
+        target_utilization: 0.907,
+        log_days: 63.0,
+        log_jobs: 12_761,
+    }
+}
+
+/// All three Table 1 machines, in the paper's column order.
+pub fn all_machines() -> Vec<MachineConfig> {
+    vec![ross(), blue_mountain(), blue_pacific()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_tcycles_match_paper() {
+        // Table 1: Ross 0.844, Blue Mountain 1.221, Blue Pacific 0.342.
+        assert!((ross().tera_cycles() - 0.844).abs() < 0.001);
+        assert!((blue_mountain().tera_cycles() - 1.221).abs() < 0.001);
+        assert!((blue_pacific().tera_cycles() - 0.342).abs() < 0.001);
+    }
+
+    #[test]
+    fn normalization_matches_figure3_caption() {
+        // Figure 3: 120 s @1 GHz → 458 s and 960 s @1 GHz → 3664 s on
+        // Blue Mountain (clock 0.262 GHz).
+        let bm = blue_mountain();
+        assert_eq!(bm.normalize_runtime(120.0).as_secs(), 458);
+        assert_eq!(bm.normalize_runtime(960.0).as_secs(), 3664);
+        // Tables 7/8: Blue Pacific 325 s / 2601 s; Ross 204 s / 1633 s.
+        let bp = blue_pacific();
+        assert_eq!(bp.normalize_runtime(120.0).as_secs(), 325);
+        assert_eq!(bp.normalize_runtime(960.0).as_secs(), 2602); // paper prints 2601 (truncation)
+        let r = ross();
+        assert_eq!(r.normalize_runtime(120.0).as_secs(), 204);
+        assert_eq!(r.normalize_runtime(960.0).as_secs(), 1633);
+    }
+
+    #[test]
+    fn mean_free_cpus_matches_breakage_examples() {
+        // §4.2 worked numbers: 1436(1−.631)=529.9, 4662(1−.790)=979.0,
+        // 926(1−.907)=86.1 ("about 90 spare CPUs").
+        assert!((ross().mean_free_cpus() - 529.9).abs() < 0.2);
+        assert!((blue_mountain().mean_free_cpus() - 979.0).abs() < 0.2);
+        assert!((blue_pacific().mean_free_cpus() - 86.1).abs() < 0.2);
+    }
+
+    #[test]
+    fn cycles_accounting() {
+        let bm = blue_mountain();
+        // One CPU for 1000 s at 0.262 GHz = 2.62e11 cycles.
+        let c = bm.cycles(1, SimDuration::from_secs(1000));
+        assert!((c - 2.62e11).abs() / 2.62e11 < 1e-12);
+        // 32 CPUs double-checks linearity.
+        assert!((bm.cycles(32, SimDuration::from_secs(1000)) - 32.0 * c).abs() < 1.0);
+    }
+
+    #[test]
+    fn log_horizon_days() {
+        let r = ross();
+        assert_eq!(r.log_horizon().as_secs(), (40.7 * 86_400.0) as u64);
+        assert_eq!(blue_pacific().log_horizon(), SimTime::from_days(63));
+    }
+
+    #[test]
+    fn queue_system_names() {
+        assert_eq!(QueueSystem::Pbs.name(), "PBS");
+        assert_eq!(QueueSystem::Lsf.name(), "LSF");
+        assert_eq!(QueueSystem::Dpcs.name(), "DPCS");
+        assert_eq!(all_machines().len(), 3);
+    }
+}

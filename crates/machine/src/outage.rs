@@ -1,0 +1,191 @@
+//! Machine outage windows.
+//!
+//! The paper's Figure 4 caption notes utilization sits "essentially at 100%
+//! except for outages" under continual interstitial computing — real logs
+//! contain full-machine downtime. We model outages as whole-machine windows:
+//! no job may *start* during an outage and (consistent with the paper's
+//! non-preemptive model) running jobs are allowed to drain.
+
+use simkit::rng::Rng;
+use simkit::time::{SimDuration, SimTime};
+
+/// A set of non-overlapping, time-sorted outage windows `[start, end)`.
+#[derive(Clone, Debug, Default)]
+pub struct OutageSchedule {
+    windows: Vec<(SimTime, SimTime)>,
+}
+
+impl OutageSchedule {
+    /// No outages.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Build from explicit windows; overlapping or touching windows are
+    /// merged, empty ones dropped.
+    pub fn from_windows(mut windows: Vec<(SimTime, SimTime)>) -> Self {
+        windows.retain(|&(a, b)| b > a);
+        windows.sort_unstable_by_key(|&(a, _)| a);
+        let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(windows.len());
+        for (a, b) in windows {
+            match merged.last_mut() {
+                Some(last) if a <= last.1 => last.1 = last.1.max(b),
+                _ => merged.push((a, b)),
+            }
+        }
+        OutageSchedule { windows: merged }
+    }
+
+    /// Draw a random schedule: outages arrive Poisson with mean spacing
+    /// `mean_gap`, each lasting `mean_len` on average (exponential), clipped
+    /// to `[0, horizon)`. This mirrors the sporadic day-scale outages visible
+    /// in the paper's Figure 4 utilization traces.
+    pub fn random(
+        rng: &mut Rng,
+        horizon: SimTime,
+        mean_gap: SimDuration,
+        mean_len: SimDuration,
+    ) -> Self {
+        use simkit::dist::{Exp, Sample};
+        let gap = Exp::with_mean(mean_gap.as_secs_f64().max(1.0));
+        let len = Exp::with_mean(mean_len.as_secs_f64().max(1.0));
+        let mut windows = Vec::new();
+        let mut t = SimTime::ZERO + SimDuration::from_secs_f64(gap.sample(rng));
+        while t < horizon {
+            let end = (t + SimDuration::from_secs_f64(len.sample(rng))).min(horizon);
+            windows.push((t, end));
+            t = end + SimDuration::from_secs_f64(gap.sample(rng));
+        }
+        Self::from_windows(windows)
+    }
+
+    /// The outage windows, sorted and disjoint.
+    pub fn windows(&self) -> &[(SimTime, SimTime)] {
+        &self.windows
+    }
+
+    /// True if the machine is down at `t`.
+    pub fn is_down(&self, t: SimTime) -> bool {
+        self.windows.iter().any(|&(a, b)| a <= t && t < b)
+    }
+
+    /// If `t` falls inside an outage, the instant it ends; otherwise `t`.
+    pub fn next_up(&self, t: SimTime) -> SimTime {
+        for &(a, b) in &self.windows {
+            if a <= t && t < b {
+                return b;
+            }
+        }
+        t
+    }
+
+    /// Start of the first outage at or after `t`, if any — schedulers use
+    /// this to avoid starting a job that an imminent outage would forbid.
+    pub fn next_down(&self, t: SimTime) -> Option<SimTime> {
+        self.windows.iter().map(|&(a, _)| a).find(|&a| a >= t)
+    }
+
+    /// Total downtime seconds overlapping `[t0, t1)`.
+    pub fn downtime_in(&self, t0: SimTime, t1: SimTime) -> SimDuration {
+        let mut total = 0u64;
+        for &(a, b) in &self.windows {
+            let lo = a.max(t0);
+            let hi = b.min(t1);
+            if hi > lo {
+                total += (hi - lo).as_secs();
+            }
+        }
+        SimDuration::from_secs(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn empty_schedule_is_always_up() {
+        let o = OutageSchedule::none();
+        assert!(!o.is_down(t(0)));
+        assert_eq!(o.next_up(t(5)), t(5));
+        assert_eq!(o.next_down(t(5)), None);
+        assert_eq!(o.downtime_in(t(0), t(100)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn membership_and_boundaries() {
+        let o = OutageSchedule::from_windows(vec![(t(10), t(20))]);
+        assert!(!o.is_down(t(9)));
+        assert!(o.is_down(t(10)), "start inclusive");
+        assert!(o.is_down(t(19)));
+        assert!(!o.is_down(t(20)), "end exclusive");
+        assert_eq!(o.next_up(t(15)), t(20));
+        assert_eq!(o.next_down(t(0)), Some(t(10)));
+        assert_eq!(o.next_down(t(10)), Some(t(10)));
+        assert_eq!(
+            o.next_down(t(11)),
+            None,
+            "inside the window, next start is past"
+        );
+    }
+
+    #[test]
+    fn merging_overlaps_and_dropping_empties() {
+        let o = OutageSchedule::from_windows(vec![
+            (t(30), t(40)),
+            (t(10), t(20)),
+            (t(15), t(35)), // bridges the other two
+            (t(50), t(50)), // empty, dropped
+        ]);
+        assert_eq!(o.windows(), &[(t(10), t(40))]);
+    }
+
+    #[test]
+    fn touching_windows_merge() {
+        let o = OutageSchedule::from_windows(vec![(t(10), t(20)), (t(20), t(30))]);
+        assert_eq!(o.windows(), &[(t(10), t(30))]);
+    }
+
+    #[test]
+    fn downtime_overlap_accounting() {
+        let o = OutageSchedule::from_windows(vec![(t(10), t(20)), (t(40), t(60))]);
+        assert_eq!(o.downtime_in(t(0), t(100)), SimDuration::from_secs(30));
+        assert_eq!(o.downtime_in(t(15), t(45)), SimDuration::from_secs(10));
+        assert_eq!(o.downtime_in(t(20), t(40)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn random_schedule_is_sane() {
+        let mut rng = Rng::new(42);
+        let horizon = SimTime::from_days(30);
+        let o = OutageSchedule::random(
+            &mut rng,
+            horizon,
+            SimDuration::from_days(5),
+            SimDuration::from_hours(8),
+        );
+        // Windows sorted, disjoint, inside the horizon.
+        for w in o.windows().windows(2) {
+            assert!(w[0].1 <= w[1].0);
+        }
+        for &(a, b) in o.windows() {
+            assert!(a < b && b <= horizon);
+        }
+        // ~6 outages expected; allow broad slack but demand at least one.
+        assert!(!o.windows().is_empty());
+        assert!(o.windows().len() < 30);
+        // Determinism.
+        let mut rng2 = Rng::new(42);
+        let o2 = OutageSchedule::random(
+            &mut rng2,
+            horizon,
+            SimDuration::from_days(5),
+            SimDuration::from_hours(8),
+        );
+        assert_eq!(o.windows(), o2.windows());
+    }
+}

@@ -1,0 +1,215 @@
+//! CPU pool accounting.
+//!
+//! Jobs on the simulated machines are space-shared: a job owns a fixed number
+//! of whole CPUs from start to finish (no time-slicing, no preemption — §3).
+//! The pool is therefore just careful counting, but *checked* counting: a
+//! double-release or over-allocation is a simulator bug we want to fail loud
+//! on, not a statistic we want to silently corrupt.
+
+/// A fixed pool of identical CPUs with checked allocate/release.
+#[derive(Clone, Debug)]
+pub struct CpuPool {
+    total: u32,
+    in_use: u32,
+    /// CPUs removed from service by an outage (counted separately from job
+    /// allocations so releases during an outage stay consistent).
+    offline: u32,
+}
+
+/// Error returned when an allocation cannot be satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Insufficient {
+    /// CPUs requested.
+    pub requested: u32,
+    /// CPUs actually free at the time of the request.
+    pub free: u32,
+}
+
+impl std::fmt::Display for Insufficient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "requested {} CPUs but only {} free",
+            self.requested, self.free
+        )
+    }
+}
+
+impl std::error::Error for Insufficient {}
+
+impl CpuPool {
+    /// A pool of `total` CPUs, all free.
+    pub fn new(total: u32) -> Self {
+        assert!(total > 0, "a machine needs at least one CPU");
+        CpuPool {
+            total,
+            in_use: 0,
+            offline: 0,
+        }
+    }
+
+    /// Total CPUs in the partition (including any currently offline).
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// CPUs currently allocated to running jobs.
+    pub fn in_use(&self) -> u32 {
+        self.in_use
+    }
+
+    /// CPUs currently offline due to an outage.
+    pub fn offline(&self) -> u32 {
+        self.offline
+    }
+
+    /// CPUs available for new allocations right now.
+    pub fn free(&self) -> u32 {
+        self.total - self.in_use - self.offline
+    }
+
+    /// Fraction of the (whole) machine in use by jobs.
+    pub fn utilization(&self) -> f64 {
+        self.in_use as f64 / self.total as f64
+    }
+
+    /// True if a job of `cpus` could start right now.
+    pub fn can_fit(&self, cpus: u32) -> bool {
+        cpus <= self.free()
+    }
+
+    /// Allocate `cpus` CPUs, or report how short we are.
+    pub fn allocate(&mut self, cpus: u32) -> Result<(), Insufficient> {
+        if cpus > self.free() {
+            return Err(Insufficient {
+                requested: cpus,
+                free: self.free(),
+            });
+        }
+        self.in_use += cpus;
+        Ok(())
+    }
+
+    /// Release `cpus` CPUs previously allocated. Panics on a double release —
+    /// that is always a simulator bug.
+    pub fn release(&mut self, cpus: u32) {
+        assert!(
+            cpus <= self.in_use,
+            "releasing {} CPUs but only {} in use",
+            cpus,
+            self.in_use
+        );
+        self.in_use -= cpus;
+    }
+
+    /// Take `cpus` CPUs out of service (outage start). Only idle CPUs can go
+    /// offline — running jobs are never killed in the paper's model, so an
+    /// outage that wants more CPUs than are idle takes what it can get; the
+    /// returned value is the number actually taken.
+    pub fn take_offline(&mut self, cpus: u32) -> u32 {
+        let taken = cpus.min(self.free());
+        self.offline += taken;
+        taken
+    }
+
+    /// Return `cpus` CPUs to service (outage end). Panics if more are brought
+    /// back than are offline.
+    pub fn bring_online(&mut self, cpus: u32) {
+        assert!(
+            cpus <= self.offline,
+            "bringing {} CPUs online but only {} offline",
+            cpus,
+            self.offline
+        );
+        self.offline -= cpus;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_pool_is_all_free() {
+        let p = CpuPool::new(100);
+        assert_eq!(p.total(), 100);
+        assert_eq!(p.free(), 100);
+        assert_eq!(p.in_use(), 0);
+        assert_eq!(p.utilization(), 0.0);
+        assert!(p.can_fit(100));
+        assert!(!p.can_fit(101));
+    }
+
+    #[test]
+    fn allocate_release_round_trip() {
+        let mut p = CpuPool::new(10);
+        p.allocate(4).unwrap();
+        assert_eq!(p.free(), 6);
+        assert_eq!(p.in_use(), 4);
+        assert!((p.utilization() - 0.4).abs() < 1e-12);
+        p.allocate(6).unwrap();
+        assert_eq!(p.free(), 0);
+        assert!((p.utilization() - 1.0).abs() < 1e-12);
+        p.release(4);
+        p.release(6);
+        assert_eq!(p.free(), 10);
+    }
+
+    #[test]
+    fn over_allocation_reports_shortfall() {
+        let mut p = CpuPool::new(8);
+        p.allocate(5).unwrap();
+        let err = p.allocate(4).unwrap_err();
+        assert_eq!(
+            err,
+            Insufficient {
+                requested: 4,
+                free: 3
+            }
+        );
+        assert!(err.to_string().contains("requested 4"));
+        // Failed allocation must not change state.
+        assert_eq!(p.in_use(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing")]
+    fn double_release_panics() {
+        let mut p = CpuPool::new(8);
+        p.allocate(3).unwrap();
+        p.release(3);
+        p.release(1);
+    }
+
+    #[test]
+    fn outage_takes_only_idle_cpus() {
+        let mut p = CpuPool::new(10);
+        p.allocate(7).unwrap();
+        // Outage wants the whole machine; only 3 are idle.
+        let taken = p.take_offline(10);
+        assert_eq!(taken, 3);
+        assert_eq!(p.free(), 0);
+        assert_eq!(p.offline(), 3);
+        // A job finishing during the outage frees CPUs for allocation again.
+        p.release(7);
+        assert_eq!(p.free(), 7);
+        p.bring_online(3);
+        assert_eq!(p.free(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "bringing")]
+    fn bringing_back_too_many_panics() {
+        let mut p = CpuPool::new(4);
+        p.take_offline(2);
+        p.bring_online(3);
+    }
+
+    #[test]
+    fn zero_cpu_allocate_is_noop_success() {
+        let mut p = CpuPool::new(4);
+        p.allocate(0).unwrap();
+        assert_eq!(p.free(), 4);
+        p.release(0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Time-of-day dispatch constraints.
+//!
+//! Blue Pacific's DPCS adds "time of day constraints" on top of fair share
+//! (§3). We model the common production form: *long* jobs may only start
+//! during an overnight window, keeping daytime capacity turning over for
+//! short work. Short jobs start any time.
+
+use simkit::time::{SimDuration, SimTime, DAY, HOUR};
+use workload::Job;
+
+/// When a job is allowed to *start* (running jobs are never interrupted).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DispatchWindow {
+    /// No time-of-day constraint.
+    Always,
+    /// Jobs whose *estimate* exceeds `threshold` may start only between
+    /// `night_start` and `night_end` (hours of day; window wraps midnight).
+    NightOnlyLong {
+        /// Estimate above which a job is "long".
+        threshold: SimDuration,
+        /// Hour of day the night window opens (e.g. 17).
+        night_start: u64,
+        /// Hour of day the night window closes (e.g. 7).
+        night_end: u64,
+    },
+}
+
+impl DispatchWindow {
+    /// Blue Pacific-like default: estimates over 8 h start only 17:00–07:00.
+    pub fn blue_pacific() -> Self {
+        DispatchWindow::NightOnlyLong {
+            threshold: SimDuration::from_hours(8),
+            night_start: 17,
+            night_end: 7,
+        }
+    }
+
+    /// Is the instant inside the night window?
+    fn in_night(night_start: u64, night_end: u64, t: SimTime) -> bool {
+        let h = t.hour_of_day();
+        if night_start <= night_end {
+            (night_start..night_end).contains(&h)
+        } else {
+            h >= night_start || h < night_end
+        }
+    }
+
+    /// May `job` start at `now`?
+    pub fn may_start(&self, job: &Job, now: SimTime) -> bool {
+        match *self {
+            DispatchWindow::Always => true,
+            DispatchWindow::NightOnlyLong {
+                threshold,
+                night_start,
+                night_end,
+            } => job.estimate <= threshold || Self::in_night(night_start, night_end, now),
+        }
+    }
+
+    /// Earliest instant ≥ `t` at which `job` may start.
+    pub fn next_allowed(&self, job: &Job, t: SimTime) -> SimTime {
+        match *self {
+            DispatchWindow::Always => t,
+            DispatchWindow::NightOnlyLong {
+                threshold,
+                night_start,
+                ..
+            } => {
+                if job.estimate <= threshold || self.may_start(job, t) {
+                    return t;
+                }
+                // Next opening of the night window.
+                let day_start = SimTime::from_secs(t.day_index() * DAY);
+                let todays_open = day_start + SimDuration::from_secs(night_start * HOUR);
+                if todays_open >= t {
+                    todays_open
+                } else {
+                    todays_open + SimDuration::from_days(1)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::JobClass;
+
+    fn job(est_hours: u64) -> Job {
+        Job {
+            id: 1,
+            class: JobClass::Native,
+            user: 0,
+            group: 0,
+            submit: SimTime::ZERO,
+            cpus: 1,
+            runtime: SimDuration::from_hours(est_hours),
+            estimate: SimDuration::from_hours(est_hours),
+        }
+    }
+
+    fn at(day: u64, hour: u64) -> SimTime {
+        SimTime::from_secs(day * DAY + hour * HOUR)
+    }
+
+    #[test]
+    fn always_is_always() {
+        let w = DispatchWindow::Always;
+        assert!(w.may_start(&job(100), at(0, 12)));
+        assert_eq!(w.next_allowed(&job(100), at(0, 12)), at(0, 12));
+    }
+
+    #[test]
+    fn short_jobs_unconstrained() {
+        let w = DispatchWindow::blue_pacific();
+        for h in 0..24 {
+            assert!(w.may_start(&job(2), at(1, h)), "hour {h}");
+        }
+    }
+
+    #[test]
+    fn long_jobs_only_at_night() {
+        let w = DispatchWindow::blue_pacific();
+        let long = job(10);
+        assert!(!w.may_start(&long, at(0, 12)), "noon blocked");
+        assert!(!w.may_start(&long, at(0, 16)), "16:59 blocked");
+        assert!(w.may_start(&long, at(0, 17)), "17:00 open");
+        assert!(w.may_start(&long, at(0, 23)), "23:00 open");
+        assert!(w.may_start(&long, at(1, 3)), "03:00 open (wraps)");
+        assert!(w.may_start(&long, at(1, 6)), "06:59 open");
+        assert!(!w.may_start(&long, at(1, 7)), "07:00 closed");
+    }
+
+    #[test]
+    fn next_allowed_rolls_to_window_open() {
+        let w = DispatchWindow::blue_pacific();
+        let long = job(10);
+        // From noon: tonight at 17:00.
+        assert_eq!(w.next_allowed(&long, at(2, 12)), at(2, 17));
+        // Already night: immediately.
+        assert_eq!(w.next_allowed(&long, at(2, 20)), at(2, 20));
+        assert_eq!(w.next_allowed(&long, at(3, 2)), at(3, 2));
+        // 07:30, window just closed: tonight at 17:00.
+        let t = SimTime::from_secs(3 * DAY + 7 * HOUR + 1800);
+        assert_eq!(w.next_allowed(&long, t), at(3, 17));
+        // Short job: immediately, any time.
+        assert_eq!(w.next_allowed(&job(1), at(2, 12)), at(2, 12));
+    }
+
+    #[test]
+    fn non_wrapping_window() {
+        let w = DispatchWindow::NightOnlyLong {
+            threshold: SimDuration::from_hours(1),
+            night_start: 9,
+            night_end: 17,
+        };
+        let long = job(4);
+        assert!(!w.may_start(&long, at(0, 8)));
+        assert!(w.may_start(&long, at(0, 9)));
+        assert!(w.may_start(&long, at(0, 16)));
+        assert!(!w.may_start(&long, at(0, 17)));
+    }
+
+    #[test]
+    fn threshold_boundary_is_inclusive() {
+        let w = DispatchWindow::blue_pacific();
+        // Exactly 8h counts as short.
+        assert!(w.may_start(&job(8), at(0, 12)));
+    }
+}

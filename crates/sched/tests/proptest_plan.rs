@@ -1,0 +1,213 @@
+//! Property-based tests of the dispatch planner's safety invariants, for
+//! random queues and running sets under every backfill policy.
+
+use machine::{RunningJob, RunningSet};
+use proptest::prelude::*;
+use sched::backfill::{plan, BackfillPolicy};
+use sched::DispatchWindow;
+use simkit::time::{SimDuration, SimTime};
+use workload::{Job, JobClass};
+
+const TOTAL_CPUS: u32 = 64;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    running: Vec<(u32, u64)>, // (cpus, estimated_end)
+    queue: Vec<(u32, u64)>,   // (cpus, estimate)
+    now: u64,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        proptest::collection::vec((1u32..40, 1u64..5_000), 0..6),
+        proptest::collection::vec((1u32..70, 1u64..5_000), 0..10),
+        0u64..1_000,
+    )
+        .prop_map(|(running, queue, now)| Scenario {
+            running,
+            queue,
+            now,
+        })
+        .prop_filter("running must fit in the machine", |s| {
+            s.running.iter().map(|&(c, _)| c).sum::<u32>() <= TOTAL_CPUS
+        })
+}
+
+fn build(s: &Scenario) -> (SimTime, u32, RunningSet, Vec<Job>) {
+    let now = SimTime::from_secs(s.now);
+    let mut rs = RunningSet::new();
+    for (i, &(cpus, end_off)) in s.running.iter().enumerate() {
+        rs.insert(RunningJob {
+            id: 10_000 + i as u64,
+            cpus,
+            start: SimTime::ZERO,
+            actual_end: now + SimDuration::from_secs(end_off),
+            estimated_end: now + SimDuration::from_secs(end_off),
+            interstitial: false,
+        });
+    }
+    let free = TOTAL_CPUS - rs.cpus_in_use();
+    let queue: Vec<Job> = s
+        .queue
+        .iter()
+        .enumerate()
+        .map(|(i, &(cpus, est))| Job {
+            id: i as u64 + 1,
+            class: JobClass::Native,
+            user: i as u32,
+            group: 0,
+            submit: SimTime::from_secs(s.now.saturating_sub(10)),
+            cpus,
+            runtime: SimDuration::from_secs(est),
+            estimate: SimDuration::from_secs(est),
+        })
+        .collect();
+    (now, free, rs, queue)
+}
+
+fn policies() -> [BackfillPolicy; 4] {
+    [
+        BackfillPolicy::None,
+        BackfillPolicy::Easy,
+        BackfillPolicy::Conservative,
+        BackfillPolicy::Restrictive { depth: 5 },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Started jobs never oversubscribe the idle CPUs.
+    #[test]
+    fn starts_fit_in_free_cpus(s in arb_scenario()) {
+        let (now, free, rs, queue) = build(&s);
+        for policy in policies() {
+            let p = plan(policy, &queue, now, free, &rs, DispatchWindow::Always);
+            let used: u32 = p.starts.iter().map(|j| j.cpus).sum();
+            prop_assert!(used <= free, "{policy:?}: started {used} > free {free}");
+        }
+    }
+
+    /// Nothing larger than the machine ever starts, and each queued job
+    /// starts at most once.
+    #[test]
+    fn starts_are_unique_queue_members(s in arb_scenario()) {
+        let (now, free, rs, queue) = build(&s);
+        for policy in policies() {
+            let p = plan(policy, &queue, now, free, &rs, DispatchWindow::Always);
+            let mut seen = std::collections::HashSet::new();
+            for j in &p.starts {
+                prop_assert!(seen.insert(j.id), "{policy:?}: duplicate start");
+                prop_assert!(queue.iter().any(|q| q.id == j.id));
+            }
+        }
+    }
+
+    /// The head reservation never lies in the past, and belongs to a job
+    /// that did not start.
+    #[test]
+    fn head_reservation_is_sane(s in arb_scenario()) {
+        let (now, free, rs, queue) = build(&s);
+        for policy in policies() {
+            let p = plan(policy, &queue, now, free, &rs, DispatchWindow::Always);
+            if let Some(res) = p.head_reservation {
+                prop_assert!(res.start >= now, "{policy:?}");
+                prop_assert!(queue.iter().any(|q| q.id == res.job_id));
+                prop_assert!(!p.starts.iter().any(|j| j.id == res.job_id), "{policy:?}");
+            }
+        }
+    }
+
+    /// EASY safety: no backfilled job may push the head's reservation back.
+    /// We verify by re-planning with ONLY the head after applying the
+    /// starts: its slot must be no later than the original reservation.
+    #[test]
+    fn easy_backfill_never_delays_the_head(s in arb_scenario()) {
+        let (now, free, mut rs, queue) = build(&s);
+        let p = plan(BackfillPolicy::Easy, &queue, now, free, &rs, DispatchWindow::Always);
+        let Some(res) = p.head_reservation else { return Ok(()); };
+        // Apply the planned starts as running jobs.
+        let mut free_after = free;
+        for (k, j) in p.starts.iter().enumerate() {
+            rs.insert(RunningJob {
+                id: 90_000 + k as u64,
+                cpus: j.cpus,
+                start: now,
+                actual_end: now + j.estimate,
+                estimated_end: now + j.estimate,
+                interstitial: false,
+            });
+            free_after -= j.cpus;
+        }
+        let head: Vec<Job> = queue.iter().filter(|q| q.id == res.job_id).copied().collect();
+        let p2 = plan(BackfillPolicy::Easy, &head, now, free_after, &rs, DispatchWindow::Always);
+        match p2.head_reservation {
+            Some(res2) => prop_assert!(
+                res2.start <= res.start,
+                "head pushed from {:?} to {:?}",
+                res.start,
+                res2.start
+            ),
+            // Head can now start immediately — also fine (not delayed).
+            None => prop_assert!(!p2.starts.is_empty() || head.is_empty()),
+        }
+    }
+
+    /// With a single queued job every policy makes the identical decision:
+    /// backfill flavors only differ in who may *jump* a blocked head.
+    /// (A subset relation between conservative's and EASY's start sets does
+    /// NOT hold in general — earlier divergent choices change later free
+    /// capacity — a fact this suite's first version learned the hard way.)
+    #[test]
+    fn single_job_queue_is_policy_independent(s in arb_scenario()) {
+        let (now, free, rs, queue) = build(&s);
+        let Some(head) = queue.first().copied() else { return Ok(()); };
+        let solo = [head];
+        let mut outcomes = Vec::new();
+        for policy in policies() {
+            let p = plan(policy, &solo, now, free, &rs, DispatchWindow::Always);
+            outcomes.push((
+                p.starts.iter().map(|j| j.id).collect::<Vec<_>>(),
+                p.head_reservation,
+            ));
+        }
+        for w in outcomes.windows(2) {
+            prop_assert_eq!(&w[0], &w[1]);
+        }
+    }
+
+    /// No-backfill is the most conservative possible: any job it starts,
+    /// every other policy starts too (it only ever starts prefix jobs that
+    /// fit immediately, before any divergence can occur).
+    #[test]
+    fn none_policy_starts_are_common_to_all(s in arb_scenario()) {
+        let (now, free, rs, queue) = build(&s);
+        let none = plan(BackfillPolicy::None, &queue, now, free, &rs, DispatchWindow::Always);
+        for policy in [
+            BackfillPolicy::Easy,
+            BackfillPolicy::Conservative,
+            BackfillPolicy::Restrictive { depth: 5 },
+        ] {
+            let p = plan(policy, &queue, now, free, &rs, DispatchWindow::Always);
+            let ids: std::collections::HashSet<u64> = p.starts.iter().map(|j| j.id).collect();
+            for j in &none.starts {
+                prop_assert!(ids.contains(&j.id), "{policy:?} refused prefix job {}", j.id);
+            }
+        }
+    }
+
+    /// Determinism: planning twice gives identical output.
+    #[test]
+    fn planning_is_deterministic(s in arb_scenario()) {
+        let (now, free, rs, queue) = build(&s);
+        for policy in policies() {
+            let a = plan(policy, &queue, now, free, &rs, DispatchWindow::Always);
+            let b = plan(policy, &queue, now, free, &rs, DispatchWindow::Always);
+            prop_assert_eq!(
+                a.starts.iter().map(|j| j.id).collect::<Vec<_>>(),
+                b.starts.iter().map(|j| j.id).collect::<Vec<_>>()
+            );
+            prop_assert_eq!(a.head_reservation, b.head_reservation);
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! Non-uniform distributions for workload synthesis.
+//!
+//! The workload model needs a specific menu: exponential inter-arrivals,
+//! log-normal runtimes, Pareto/Weibull fat tails, Zipf user activity, and
+//! arbitrary discrete mixtures (CPU-size histograms). Each distribution is a
+//! small value type with a `sample(&mut Rng)` method via the [`Sample`]
+//! trait, implemented locally so results are reproducible bit-for-bit across
+//! platforms and dependency upgrades.
+
+use crate::rng::Rng;
+
+/// A distribution that can draw `f64` samples from an [`Rng`].
+pub trait Sample {
+    /// Draw one sample.
+    fn sample(&self, rng: &mut Rng) -> f64;
+
+    /// The distribution's mean, if finite and known in closed form.
+    fn mean(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Clone, Copy, Debug)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Create from rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "Exp rate must be positive"
+        );
+        Exp { lambda }
+    }
+
+    /// Create from the mean (`1/lambda`).
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean > 0.0 && mean.is_finite(), "Exp mean must be positive");
+        Exp { lambda: 1.0 / mean }
+    }
+
+    /// The rate parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Sample for Exp {
+    #[inline]
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        -rng.f64_open().ln() / self.lambda
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(1.0 / self.lambda)
+    }
+}
+
+/// Standard normal variate via Marsaglia's polar method.
+#[inline]
+pub fn standard_normal(rng: &mut Rng) -> f64 {
+    loop {
+        let u = 2.0 * rng.f64() - 1.0;
+        let v = 2.0 * rng.f64() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Normal distribution `N(mu, sigma^2)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Create with mean `mu` and standard deviation `sigma >= 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "Normal sigma must be >= 0"
+        );
+        Normal { mu, sigma }
+    }
+}
+
+impl Sample for Normal {
+    #[inline]
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.mu + self.sigma * standard_normal(rng)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.mu)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma^2))`.
+///
+/// The classic model for batch-job runtimes (Feitelson/Downey): median
+/// `exp(mu)`, mean `exp(mu + sigma^2/2)`, heavy right tail.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Create from the underlying normal's parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite());
+        LogNormal { mu, sigma }
+    }
+
+    /// Create the unique log-normal with the given `median` and `mean`
+    /// (requires `mean >= median > 0`). Exactly the calibration handle the
+    /// paper gives us: e.g. native runtimes with median 0.8 h and mean 2.5 h.
+    pub fn from_median_mean(median: f64, mean: f64) -> Self {
+        assert!(median > 0.0 && mean >= median, "need mean >= median > 0");
+        let mu = median.ln();
+        let sigma = (2.0 * (mean.ln() - mu)).max(0.0).sqrt();
+        LogNormal { mu, sigma }
+    }
+
+    /// The distribution median, `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+}
+
+impl Sample for LogNormal {
+    #[inline]
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some((self.mu + 0.5 * self.sigma * self.sigma).exp())
+    }
+}
+
+/// Pareto (power-law) distribution with scale `x_min` and shape `alpha`.
+/// Fat-tailed; the paper cites fat tails in job-size marginals as a driver of
+/// packing loss.
+#[derive(Clone, Copy, Debug)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Create with scale `x_min > 0` and shape `alpha > 0`.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min > 0.0 && alpha > 0.0);
+        Pareto { x_min, alpha }
+    }
+}
+
+impl Sample for Pareto {
+    #[inline]
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.x_min / rng.f64_open().powf(1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        (self.alpha > 1.0).then(|| self.alpha * self.x_min / (self.alpha - 1.0))
+    }
+}
+
+/// Weibull distribution with scale `lambda` and shape `k`.
+#[derive(Clone, Copy, Debug)]
+pub struct Weibull {
+    lambda: f64,
+    k: f64,
+}
+
+impl Weibull {
+    /// Create with scale `lambda > 0` and shape `k > 0`.
+    pub fn new(lambda: f64, k: f64) -> Self {
+        assert!(lambda > 0.0 && k > 0.0);
+        Weibull { lambda, k }
+    }
+}
+
+impl Sample for Weibull {
+    #[inline]
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.lambda * (-rng.f64_open().ln()).powf(1.0 / self.k)
+    }
+}
+
+/// Zipf distribution on ranks `1..=n` with exponent `s`: P(k) ∝ k^-s.
+///
+/// Models the "a few users submit most jobs" activity skew in every published
+/// supercomputer log. Sampling is by inverse transform over a precomputed
+/// cumulative table — n is the number of users (hundreds), so O(log n) per
+/// draw via binary search is plenty.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create with `n >= 1` ranks and exponent `s >= 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1 && s >= 0.0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `[1, n]` (1 is the most likely rank).
+    pub fn sample_rank(&self, rng: &mut Rng) -> usize {
+        let u = rng.f64();
+        // First index whose cumulative probability covers u.
+        let i = self.cdf.partition_point(|&p| p < u);
+        (i + 1).min(self.cdf.len())
+    }
+}
+
+/// Discrete distribution over arbitrary items with given weights, using
+/// Walker's alias method for O(1) sampling. Used for the CPU-size histogram
+/// (powers of two with a fat tail) where millions of draws happen per trace.
+#[derive(Clone, Debug)]
+pub struct Alias {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl Alias {
+    /// Build an alias table from non-negative weights (at least one must be
+    /// positive).
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "Alias needs at least one weight");
+        assert!(weights.iter().all(|&w| w >= 0.0 && w.is_finite()));
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "Alias needs positive total weight");
+
+        // Scaled probabilities: mean 1.0.
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers are numerically 1.0.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        Alias { prob, alias }
+    }
+
+    /// Draw an index in `[0, weights.len())` distributed per the weights.
+    #[inline]
+    pub fn sample_index(&self, rng: &mut Rng) -> usize {
+        let i = rng.index(self.prob.len());
+        if rng.f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Poisson-distributed count with mean `lambda`, via Knuth's product method
+/// for small lambda and a normal approximation above 30 (our use never needs
+/// exact tails there).
+pub fn poisson(rng: &mut Rng, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0 && lambda.is_finite());
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let x = lambda + lambda.sqrt() * standard_normal(rng);
+        x.max(0.0).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::OnlineStats;
+
+    fn sample_stats<D: Sample>(d: &D, seed: u64, n: usize) -> OnlineStats {
+        let mut rng = Rng::new(seed);
+        let mut st = OnlineStats::new();
+        for _ in 0..n {
+            st.push(d.sample(&mut rng));
+        }
+        st
+    }
+
+    #[test]
+    fn exp_mean_matches() {
+        let d = Exp::with_mean(250.0);
+        let st = sample_stats(&d, 1, 200_000);
+        assert!(
+            (st.mean() - 250.0).abs() / 250.0 < 0.02,
+            "mean={}",
+            st.mean()
+        );
+        assert_eq!(d.mean(), Some(250.0));
+        assert!((d.lambda() - 1.0 / 250.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exp_is_positive() {
+        let d = Exp::new(3.0);
+        let mut rng = Rng::new(2);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(5.0, 2.0);
+        let st = sample_stats(&d, 3, 200_000);
+        assert!((st.mean() - 5.0).abs() < 0.03, "mean={}", st.mean());
+        assert!((st.std_dev() - 2.0).abs() < 0.03, "sd={}", st.std_dev());
+    }
+
+    #[test]
+    fn lognormal_median_mean_calibration() {
+        // The paper's native-job runtimes: median 0.8 h, mean 2.5 h.
+        let d = LogNormal::from_median_mean(0.8, 2.5);
+        assert!((d.median() - 0.8).abs() < 1e-12);
+        assert!((d.mean().unwrap() - 2.5).abs() < 1e-9);
+        let mut rng = Rng::new(4);
+        let mut v: Vec<f64> = (0..100_001).map(|_| d.sample(&mut rng)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[v.len() / 2];
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        assert!((median - 0.8).abs() < 0.03, "median={median}");
+        assert!((mean - 2.5).abs() < 0.15, "mean={mean}");
+    }
+
+    #[test]
+    fn lognormal_degenerate_sigma() {
+        let d = LogNormal::from_median_mean(2.0, 2.0);
+        let mut rng = Rng::new(5);
+        for _ in 0..100 {
+            assert!((d.sample(&mut rng) - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pareto_bounds_and_mean() {
+        let d = Pareto::new(1.0, 2.5);
+        let mut rng = Rng::new(6);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 1.0);
+        }
+        let st = sample_stats(&d, 7, 400_000);
+        let expect = d.mean().unwrap();
+        assert!(
+            (st.mean() - expect).abs() / expect < 0.05,
+            "mean={}",
+            st.mean()
+        );
+        assert_eq!(Pareto::new(1.0, 0.9).mean(), None, "alpha<=1 has no mean");
+    }
+
+    #[test]
+    fn weibull_shape1_is_exponential() {
+        let d = Weibull::new(100.0, 1.0);
+        let st = sample_stats(&d, 8, 200_000);
+        assert!(
+            (st.mean() - 100.0).abs() / 100.0 < 0.02,
+            "mean={}",
+            st.mean()
+        );
+    }
+
+    #[test]
+    fn zipf_rank1_dominates() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = Rng::new(9);
+        let mut counts = vec![0u32; 101];
+        for _ in 0..50_000 {
+            let r = z.sample_rank(&mut rng);
+            assert!((1..=100).contains(&r));
+            counts[r] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        assert!(counts[1] as f64 / 50_000.0 > 0.1);
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = Rng::new(10);
+        for _ in 0..100 {
+            assert_eq!(z.sample_rank(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn alias_matches_weights() {
+        let weights = [1.0, 0.0, 3.0, 6.0];
+        let a = Alias::new(&weights);
+        let mut rng = Rng::new(11);
+        let mut counts = [0u32; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[a.sample_index(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight item must never be drawn");
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / total;
+            let got = counts[i] as f64 / n as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "i={i} got={got} expect={expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_uniform_case() {
+        let a = Alias::new(&[1.0; 7]);
+        let mut rng = Rng::new(12);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[a.sample_index(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 900, "{counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn alias_rejects_all_zero() {
+        let _ = Alias::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn poisson_small_and_large_lambda() {
+        let mut rng = Rng::new(13);
+        let n = 50_000;
+        for &lambda in &[0.5, 4.0, 80.0] {
+            let mean: f64 = (0..n)
+                .map(|_| poisson(&mut rng, lambda) as f64)
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (mean - lambda).abs() / lambda.max(1.0) < 0.05,
+                "lambda={lambda} mean={mean}"
+            );
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn standard_normal_symmetry() {
+        let mut rng = Rng::new(14);
+        let n = 100_000;
+        let pos = (0..n).filter(|_| standard_normal(&mut rng) > 0.0).count();
+        assert!((pos as f64 / n as f64 - 0.5).abs() < 0.01);
+    }
+}

@@ -1,0 +1,150 @@
+//! Minimal discrete-event driver loop.
+//!
+//! A simulation is a state machine that reacts to timestamped events and may
+//! schedule more. [`run`] drains an [`EventQueue`] through a [`Simulation`]
+//! until the queue is empty, a horizon is reached, or a step budget is
+//! exhausted (a guard against accidental event storms).
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// A reactive simulation model.
+pub trait Simulation {
+    /// The event alphabet.
+    type Event;
+
+    /// Handle one event at instant `now`, optionally scheduling more.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Why [`run`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained completely.
+    Drained,
+    /// The next event lies at or beyond the horizon.
+    Horizon,
+    /// The step budget was exhausted (likely an event storm bug).
+    StepBudget,
+}
+
+/// Outcome of a [`run`].
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats {
+    /// Events processed.
+    pub steps: u64,
+    /// Clock value when the loop stopped.
+    pub end_time: SimTime,
+    /// Why the loop stopped.
+    pub reason: StopReason,
+}
+
+/// Drive `sim` until the queue drains, the next event would be at or after
+/// `horizon`, or `max_steps` events have been processed.
+pub fn run<S: Simulation>(
+    sim: &mut S,
+    queue: &mut EventQueue<S::Event>,
+    horizon: SimTime,
+    max_steps: u64,
+) -> RunStats {
+    let mut steps = 0u64;
+    loop {
+        match queue.peek_time() {
+            None => {
+                return RunStats {
+                    steps,
+                    end_time: queue.now(),
+                    reason: StopReason::Drained,
+                }
+            }
+            Some(t) if t >= horizon => {
+                return RunStats {
+                    steps,
+                    end_time: queue.now(),
+                    reason: StopReason::Horizon,
+                }
+            }
+            Some(_) => {}
+        }
+        if steps >= max_steps {
+            return RunStats {
+                steps,
+                end_time: queue.now(),
+                reason: StopReason::StepBudget,
+            };
+        }
+        let (now, ev) = queue.pop().expect("peeked event disappeared");
+        sim.handle(now, ev, queue);
+        steps += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// Toy model: a counter that reschedules itself `remaining` times.
+    struct Ticker {
+        fired: Vec<u64>,
+        remaining: u32,
+        period: SimDuration,
+    }
+
+    impl Simulation for Ticker {
+        type Event = ();
+
+        fn handle(&mut self, now: SimTime, _: (), queue: &mut EventQueue<()>) {
+            self.fired.push(now.as_secs());
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                queue.schedule(now + self.period, ());
+            }
+        }
+    }
+
+    #[test]
+    fn runs_to_drain() {
+        let mut sim = Ticker {
+            fired: vec![],
+            remaining: 3,
+            period: SimDuration::from_secs(10),
+        };
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        let stats = run(&mut sim, &mut q, SimTime::MAX, 1_000);
+        assert_eq!(stats.reason, StopReason::Drained);
+        assert_eq!(stats.steps, 4);
+        assert_eq!(sim.fired, vec![0, 10, 20, 30]);
+        assert_eq!(stats.end_time, SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn horizon_stops_before_event() {
+        let mut sim = Ticker {
+            fired: vec![],
+            remaining: 100,
+            period: SimDuration::from_secs(10),
+        };
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        let stats = run(&mut sim, &mut q, SimTime::from_secs(25), 1_000);
+        assert_eq!(stats.reason, StopReason::Horizon);
+        assert_eq!(sim.fired, vec![0, 10, 20], "event at t=30 not processed");
+        assert!(!q.is_empty(), "unprocessed event remains queued");
+    }
+
+    #[test]
+    fn step_budget_guards_event_storms() {
+        let mut sim = Ticker {
+            fired: vec![],
+            remaining: u32::MAX,
+            period: SimDuration::ZERO, // storm: reschedules at the same instant
+        };
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        let stats = run(&mut sim, &mut q, SimTime::MAX, 50);
+        assert_eq!(stats.reason, StopReason::StepBudget);
+        assert_eq!(stats.steps, 50);
+    }
+}

@@ -1,0 +1,286 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic component of the simulator draws from [`Rng`], a
+//! xoshiro256\*\* generator seeded through SplitMix64. The implementation is
+//! local (no `rand` dependency at runtime) so that a simulation's output is a
+//! pure, portable function of its `u64` seed — the property the experiment
+//! harness relies on to fan replications out across threads and still get
+//! byte-identical tables.
+//!
+//! The algorithms are the public-domain reference constructions of Blackman &
+//! Vigna (xoshiro256\*\*) and Steele et al. (SplitMix64).
+
+/// SplitMix64 step: used to expand a single `u64` seed into the four words of
+/// xoshiro state, and handy as a tiny stateless mixer in its own right.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256\*\* generator.
+///
+/// Cheap to construct, `Clone` for replayable branches, and `split`-able to
+/// derive independent streams (one per simulated user, per replication, …)
+/// without coordination.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Create a generator from a seed. Any seed (including 0) is valid; the
+    /// SplitMix64 expansion guarantees a non-zero internal state.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Derive an independent child stream keyed by `key`. Children with
+    /// different keys (or from different parents) are statistically
+    /// independent; the parent is left untouched.
+    pub fn split(&self, key: u64) -> Rng {
+        // Mix the parent state with the key through SplitMix64 so sibling
+        // streams do not overlap even for adjacent keys.
+        let mut sm = self.s[0]
+            .wrapping_mul(0xA24B_AED4_963E_E407)
+            .wrapping_add(key ^ 0x9E6C_63D0_876A_3F6B);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in the open interval `(0, 1)`; safe to pass to `ln()`.
+    #[inline]
+    pub fn f64_open(&mut self) -> f64 {
+        loop {
+            let u = self.f64();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift with
+    /// rejection (unbiased). `bound` must be non-zero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "Rng::below(0)");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        if lo == hi {
+            return lo;
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `usize` index in `[0, len)`.
+    #[inline]
+    pub fn index(&mut self, len: usize) -> usize {
+        self.below(len as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "Rng::choose on empty slice");
+        &items[self.index(items.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_constructions() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_fine() {
+        let mut r = Rng::new(0);
+        // State must not be all-zero (xoshiro's one invalid state).
+        let outputs: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(outputs.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let u = r.f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut r = Rng::new(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = Rng::new(13);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let v = r.below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn below_unbiased_roughly() {
+        // 3 does not divide 2^64; Lemire rejection should keep buckets even.
+        let mut r = Rng::new(17);
+        let mut counts = [0u32; 3];
+        for _ in 0..90_000 {
+            counts[r.below(3) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 30_000).abs() < 1_500, "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut r = Rng::new(19);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            match r.range_u64(5, 8) {
+                5 => lo_seen = true,
+                8 => hi_seen = true,
+                v => assert!((5..=8).contains(&v)),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+        assert_eq!(r.range_u64(3, 3), 3);
+    }
+
+    #[test]
+    fn split_streams_independent_and_stable() {
+        let parent = Rng::new(99);
+        let mut c1 = parent.split(1);
+        let mut c1b = parent.split(1);
+        let mut c2 = parent.split(2);
+        assert_eq!(c1.next_u64(), c1b.next_u64(), "same key => same stream");
+        let equal = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(equal, 0, "different keys must diverge");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::new(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "50! leaves ~0 chance of identity"
+        );
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(23);
+        assert!(!(0..1000).any(|_| r.chance(0.0)));
+        assert!((0..1000).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn choose_uniformity() {
+        let mut r = Rng::new(29);
+        let items = [10, 20, 30, 40];
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            let x = *r.choose(&items);
+            counts[(x / 10 - 1) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 800, "{counts:?}");
+        }
+    }
+}

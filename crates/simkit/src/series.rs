@@ -1,0 +1,447 @@
+//! Piecewise-constant profiles and binned time series.
+//!
+//! Two workhorse structures:
+//!
+//! * [`StepFunction`] — an integer-valued function of time that is constant
+//!   between breakpoints. Used for free-capacity profiles ("how many CPUs are
+//!   idle at time t?"), which is what omniscient interstitial packing and the
+//!   backfill shadow computation both interrogate. Supports range updates,
+//!   windowed minima, integrals and slot search.
+//! * [`BinnedSeries`] — fixed-width accumulation bins (e.g. busy CPU-seconds
+//!   per hour) for utilization traces like the paper's Figure 4.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// An integer-valued piecewise-constant function on `[0, horizon)`.
+///
+/// Stored as a breakpoint map `start-of-segment → value`; the map always
+/// contains a segment starting at 0, and segments implicitly end at the next
+/// breakpoint or the horizon. Values are `i64` so transient over-subtraction
+/// in intermediate computations is representable (callers can assert
+/// non-negativity where it matters).
+#[derive(Clone, Debug)]
+pub struct StepFunction {
+    /// segment start (seconds) → value on that segment
+    segments: BTreeMap<u64, i64>,
+    horizon: u64,
+}
+
+impl StepFunction {
+    /// Constant function `value` on `[0, horizon)`. `horizon` must be > 0.
+    pub fn constant(horizon: SimTime, value: i64) -> Self {
+        assert!(horizon.as_secs() > 0, "horizon must be positive");
+        let mut segments = BTreeMap::new();
+        segments.insert(0, value);
+        StepFunction {
+            segments,
+            horizon: horizon.as_secs(),
+        }
+    }
+
+    /// The end of the function's domain.
+    pub fn horizon(&self) -> SimTime {
+        SimTime(self.horizon)
+    }
+
+    /// Number of stored segments (adjacent equal-valued segments may both be
+    /// stored; `coalesce` merges them).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Value at instant `t` (clamped into the domain).
+    pub fn value_at(&self, t: SimTime) -> i64 {
+        let t = t.as_secs().min(self.horizon.saturating_sub(1));
+        *self
+            .segments
+            .range(..=t)
+            .next_back()
+            .expect("segment at 0 always exists")
+            .1
+    }
+
+    /// Ensure a breakpoint exists exactly at `t` (splitting the segment that
+    /// covers it). No-op at 0 or beyond the horizon.
+    fn split_at(&mut self, t: u64) {
+        if t == 0 || t >= self.horizon {
+            return;
+        }
+        if !self.segments.contains_key(&t) {
+            let v = *self.segments.range(..t).next_back().unwrap().1;
+            self.segments.insert(t, v);
+        }
+    }
+
+    /// Add `delta` to the function on `[t0, t1)`. Ranges are clamped to the
+    /// domain; empty ranges are a no-op.
+    pub fn range_add(&mut self, t0: SimTime, t1: SimTime, delta: i64) {
+        let a = t0.as_secs().min(self.horizon);
+        let b = t1.as_secs().min(self.horizon);
+        if a >= b || delta == 0 {
+            return;
+        }
+        self.split_at(a);
+        self.split_at(b);
+        for (_, v) in self.segments.range_mut(a..b) {
+            *v += delta;
+        }
+    }
+
+    /// Minimum value on `[t0, t1)` (clamped). Returns `None` for an empty
+    /// window.
+    pub fn min_over(&self, t0: SimTime, t1: SimTime) -> Option<i64> {
+        let a = t0.as_secs().min(self.horizon);
+        let b = t1.as_secs().min(self.horizon);
+        if a >= b {
+            return None;
+        }
+        // The segment covering `a` plus every breakpoint inside (a, b).
+        let head = *self.segments.range(..=a).next_back().unwrap().1;
+        let tail_min = self.segments.range(a + 1..b).map(|(_, &v)| v).min();
+        Some(match tail_min {
+            Some(m) => head.min(m),
+            None => head,
+        })
+    }
+
+    /// Integral of the function over `[t0, t1)` (value × seconds), clamped.
+    pub fn integral(&self, t0: SimTime, t1: SimTime) -> i64 {
+        let a = t0.as_secs().min(self.horizon);
+        let b = t1.as_secs().min(self.horizon);
+        if a >= b {
+            return 0;
+        }
+        let mut total = 0i64;
+        let mut cur_start = a;
+        let mut cur_val = *self.segments.range(..=a).next_back().unwrap().1;
+        for (&s, &v) in self.segments.range(a + 1..b) {
+            total += cur_val * (s - cur_start) as i64;
+            cur_start = s;
+            cur_val = v;
+        }
+        total + cur_val * (b - cur_start) as i64
+    }
+
+    /// Earliest `t >= from` such that the function is at least `need` on the
+    /// whole window `[t, t + dur)` and the window fits before the horizon.
+    pub fn find_slot(&self, from: SimTime, need: i64, dur: SimDuration) -> Option<SimTime> {
+        let d = dur.as_secs();
+        if d == 0 {
+            return (from.as_secs() < self.horizon).then_some(from);
+        }
+        if d > self.horizon {
+            return None;
+        }
+        let start0 = from.as_secs();
+        if start0 + d > self.horizon {
+            return None;
+        }
+        // Walk segments, tracking the start of the current qualifying run.
+        let mut run_start: Option<u64> = None;
+        let head_val = *self.segments.range(..=start0).next_back().unwrap().1;
+        if head_val >= need {
+            run_start = Some(start0);
+        }
+        let mut prev_start = start0;
+        for (&s, &v) in self.segments.range(start0 + 1..) {
+            if let Some(rs) = run_start {
+                // Qualifying run extends over [rs, s); long enough?
+                if s - rs >= d {
+                    return Some(SimTime(rs));
+                }
+            }
+            if v >= need {
+                if run_start.is_none() {
+                    run_start = Some(s);
+                }
+            } else {
+                run_start = None;
+            }
+            prev_start = s;
+        }
+        let _ = prev_start;
+        // Run extending to the horizon.
+        if let Some(rs) = run_start {
+            if self.horizon - rs >= d {
+                return Some(SimTime(rs));
+            }
+        }
+        None
+    }
+
+    /// Merge adjacent segments with equal values (keeps queries fast after
+    /// many range updates).
+    pub fn coalesce(&mut self) {
+        let mut prev: Option<(u64, i64)> = None;
+        let mut dead: Vec<u64> = Vec::new();
+        for (&s, &v) in &self.segments {
+            if let Some((_, pv)) = prev {
+                if pv == v {
+                    dead.push(s);
+                    continue;
+                }
+            }
+            prev = Some((s, v));
+        }
+        for s in dead {
+            self.segments.remove(&s);
+        }
+    }
+
+    /// Iterate `(start, end, value)` triples in time order.
+    pub fn iter_segments(&self) -> impl Iterator<Item = (SimTime, SimTime, i64)> + '_ {
+        let ends = self
+            .segments
+            .keys()
+            .skip(1)
+            .copied()
+            .chain(std::iter::once(self.horizon));
+        self.segments
+            .iter()
+            .zip(ends)
+            .map(|((&s, &v), e)| (SimTime(s), SimTime(e), v))
+    }
+
+    /// Mean value over the whole domain.
+    pub fn mean(&self) -> f64 {
+        self.integral(SimTime::ZERO, SimTime(self.horizon)) as f64 / self.horizon as f64
+    }
+}
+
+/// Fixed-width accumulation bins over time — e.g. busy CPU-seconds per hour.
+///
+/// `add_span` spreads a quantity uniformly over a time interval, splitting it
+/// across bins, which is exactly what turning a job list into an hourly
+/// utilization trace requires.
+#[derive(Clone, Debug)]
+pub struct BinnedSeries {
+    bin_width: u64,
+    bins: Vec<f64>,
+}
+
+impl BinnedSeries {
+    /// Create a series covering `[0, horizon)` with bins of `bin_width`.
+    pub fn new(horizon: SimTime, bin_width: SimDuration) -> Self {
+        assert!(bin_width.as_secs() > 0);
+        let n = horizon.as_secs().div_ceil(bin_width.as_secs()) as usize;
+        BinnedSeries {
+            bin_width: bin_width.as_secs(),
+            bins: vec![0.0; n.max(1)],
+        }
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True if there are no bins (cannot happen via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Bin width in seconds.
+    pub fn bin_width(&self) -> SimDuration {
+        SimDuration(self.bin_width)
+    }
+
+    /// Add `rate × seconds` into the bins covered by `[t0, t1)`; `rate` is a
+    /// per-second quantity (e.g. CPUs busy).
+    pub fn add_span(&mut self, t0: SimTime, t1: SimTime, rate: f64) {
+        let horizon = self.bin_width * self.bins.len() as u64;
+        let a = t0.as_secs().min(horizon);
+        let b = t1.as_secs().min(horizon);
+        if a >= b {
+            return;
+        }
+        let mut cur = a;
+        while cur < b {
+            let bin = (cur / self.bin_width) as usize;
+            let bin_end = (bin as u64 + 1) * self.bin_width;
+            let seg_end = bin_end.min(b);
+            self.bins[bin] += rate * (seg_end - cur) as f64;
+            cur = seg_end;
+        }
+    }
+
+    /// Raw accumulated values per bin.
+    pub fn values(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// Values divided by `(bin_width × denom)` — e.g. pass total CPUs to turn
+    /// busy CPU-seconds into utilization fractions.
+    pub fn normalized(&self, denom: f64) -> Vec<f64> {
+        let scale = 1.0 / (self.bin_width as f64 * denom);
+        self.bins.iter().map(|&v| v * scale).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn constant_function_queries() {
+        let f = StepFunction::constant(t(100), 7);
+        assert_eq!(f.value_at(t(0)), 7);
+        assert_eq!(f.value_at(t(99)), 7);
+        assert_eq!(f.value_at(t(500)), 7, "clamped beyond horizon");
+        assert_eq!(f.min_over(t(0), t(100)), Some(7));
+        assert_eq!(f.integral(t(0), t(100)), 700);
+        assert!((f.mean() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_add_splits_segments() {
+        let mut f = StepFunction::constant(t(100), 10);
+        f.range_add(t(20), t(50), -4);
+        assert_eq!(f.value_at(t(19)), 10);
+        assert_eq!(f.value_at(t(20)), 6);
+        assert_eq!(f.value_at(t(49)), 6);
+        assert_eq!(f.value_at(t(50)), 10);
+        assert_eq!(f.integral(t(0), t(100)), 10 * 100 - 4 * 30);
+        assert_eq!(f.min_over(t(0), t(100)), Some(6));
+        assert_eq!(f.min_over(t(0), t(20)), Some(10));
+        assert_eq!(f.min_over(t(50), t(100)), Some(10));
+    }
+
+    #[test]
+    fn range_add_clamps_and_ignores_empty() {
+        let mut f = StepFunction::constant(t(100), 5);
+        f.range_add(t(90), t(200), 1); // clamped at horizon
+        assert_eq!(f.value_at(t(95)), 6);
+        f.range_add(t(30), t(30), 100); // empty
+        f.range_add(t(40), t(20), 100); // inverted => empty
+        assert_eq!(f.integral(t(0), t(100)), 5 * 90 + 6 * 10);
+    }
+
+    #[test]
+    fn overlapping_range_adds_stack() {
+        let mut f = StepFunction::constant(t(60), 0);
+        f.range_add(t(0), t(40), 1);
+        f.range_add(t(20), t(60), 1);
+        assert_eq!(f.value_at(t(10)), 1);
+        assert_eq!(f.value_at(t(30)), 2);
+        assert_eq!(f.value_at(t(50)), 1);
+        assert_eq!(f.integral(t(0), t(60)), 40 + 40);
+    }
+
+    #[test]
+    fn min_over_window_boundaries() {
+        let mut f = StepFunction::constant(t(100), 10);
+        f.range_add(t(50), t(60), -10);
+        // Window ending exactly at the dip start never sees it.
+        assert_eq!(f.min_over(t(0), t(50)), Some(10));
+        // Window starting exactly at the dip end never sees it.
+        assert_eq!(f.min_over(t(60), t(100)), Some(10));
+        // Windows overlapping the dip do.
+        assert_eq!(f.min_over(t(49), t(51)), Some(0));
+        assert_eq!(f.min_over(t(59), t(61)), Some(0));
+        assert_eq!(f.min_over(t(10), t(10)), None, "empty window");
+    }
+
+    #[test]
+    fn find_slot_simple() {
+        let mut f = StepFunction::constant(t(1000), 8);
+        // Capacity dips below 3 on [100, 200).
+        f.range_add(t(100), t(200), -6);
+        assert_eq!(f.find_slot(t(0), 3, d(50)), Some(t(0)));
+        assert_eq!(f.find_slot(t(0), 3, d(100)), Some(t(0)));
+        // Needs 101 contiguous seconds of >=3: can't start before the dip.
+        assert_eq!(f.find_slot(t(0), 3, d(101)), Some(t(200)));
+        // From inside the dip.
+        assert_eq!(f.find_slot(t(150), 3, d(10)), Some(t(200)));
+        // Fits in the dip if the need is small.
+        assert_eq!(f.find_slot(t(150), 2, d(10)), Some(t(150)));
+    }
+
+    #[test]
+    fn find_slot_horizon_limits() {
+        let f = StepFunction::constant(t(100), 5);
+        assert_eq!(f.find_slot(t(0), 5, d(100)), Some(t(0)));
+        assert_eq!(f.find_slot(t(1), 5, d(100)), None, "would overrun horizon");
+        assert_eq!(f.find_slot(t(0), 6, d(10)), None, "never enough capacity");
+        assert_eq!(f.find_slot(t(0), 5, d(101)), None, "longer than domain");
+        // Zero-duration request: any in-domain instant qualifies.
+        assert_eq!(f.find_slot(t(42), 99, d(0)), Some(t(42)));
+        assert_eq!(f.find_slot(t(100), 1, d(0)), None, "outside domain");
+    }
+
+    #[test]
+    fn find_slot_run_spanning_segments() {
+        let mut f = StepFunction::constant(t(1000), 10);
+        // Create breakpoints that do NOT interrupt eligibility.
+        f.range_add(t(100), t(200), -1); // still >= 5
+        f.range_add(t(200), t(300), -2); // still >= 5
+        assert_eq!(f.find_slot(t(50), 5, d(400)), Some(t(50)));
+    }
+
+    #[test]
+    fn coalesce_merges_equal_neighbors() {
+        let mut f = StepFunction::constant(t(100), 4);
+        f.range_add(t(10), t(20), 1);
+        f.range_add(t(10), t(20), -1); // back to constant
+        assert!(f.segment_count() > 1);
+        f.coalesce();
+        assert_eq!(f.segment_count(), 1);
+        assert_eq!(f.integral(t(0), t(100)), 400);
+    }
+
+    #[test]
+    fn iter_segments_covers_domain() {
+        let mut f = StepFunction::constant(t(100), 1);
+        f.range_add(t(30), t(70), 2);
+        let segs: Vec<_> = f.iter_segments().collect();
+        assert_eq!(segs.first().unwrap().0, t(0));
+        assert_eq!(segs.last().unwrap().1, t(100));
+        // Contiguous, no gaps.
+        for w in segs.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        let total: i64 = segs
+            .iter()
+            .map(|&(a, b, v)| v * (b.as_secs() - a.as_secs()) as i64)
+            .sum();
+        assert_eq!(total, f.integral(t(0), t(100)));
+    }
+
+    #[test]
+    fn binned_series_splits_across_bins() {
+        let mut s = BinnedSeries::new(t(10_800), d(3_600)); // 3 hourly bins
+        assert_eq!(s.len(), 3);
+        // 2 CPUs busy from t=1800 to t=5400: one half-hour in each of bins 0,1.
+        s.add_span(t(1_800), t(5_400), 2.0);
+        assert_eq!(s.values()[0], 2.0 * 1_800.0);
+        assert_eq!(s.values()[1], 2.0 * 1_800.0);
+        assert_eq!(s.values()[2], 0.0);
+        // Normalized by 2 CPUs => 50% utilization in bins 0 and 1.
+        let u = s.normalized(2.0);
+        assert!((u[0] - 0.5).abs() < 1e-12);
+        assert!((u[1] - 0.5).abs() < 1e-12);
+        assert_eq!(u[2], 0.0);
+    }
+
+    #[test]
+    fn binned_series_clamps_to_horizon() {
+        let mut s = BinnedSeries::new(t(100), d(50));
+        s.add_span(t(80), t(500), 1.0);
+        assert_eq!(s.values()[1], 20.0);
+        s.add_span(t(500), t(600), 1.0); // entirely out of range
+        assert_eq!(s.values().iter().sum::<f64>(), 20.0);
+    }
+
+    #[test]
+    fn binned_series_partial_last_bin() {
+        let s = BinnedSeries::new(t(90), d(60));
+        assert_eq!(s.len(), 2, "horizon not divisible by width rounds up");
+    }
+}

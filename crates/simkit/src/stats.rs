@@ -1,0 +1,537 @@
+//! Descriptive statistics for simulation outputs.
+//!
+//! The paper reports means ± standard deviations (Table 2/4), medians and
+//! tail medians (Tables 5–8), empirical CDFs (Figure 3), log₁₀-binned wait
+//! histograms (Figures 5–6) and a least-squares fit of makespan against a
+//! closed-form predictor (Figure 2 / §4.2). This module supplies exactly
+//! those estimators.
+
+use std::fmt;
+
+/// Single-pass mean/variance/extrema accumulator (Welford's algorithm).
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (n−1 denominator); 0 when fewer than two samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation (+∞ if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} ± {:.3} (n={})",
+            self.mean(),
+            self.std_dev(),
+            self.n
+        )
+    }
+}
+
+/// Quantile of a sample using linear interpolation between order statistics
+/// (the R-7 / NumPy `linear` definition). `q` in `[0, 1]`. Returns `None`
+/// for an empty sample.
+pub fn quantile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Median convenience wrapper over [`quantile`].
+pub fn median(sorted: &[f64]) -> Option<f64> {
+    quantile(sorted, 0.5)
+}
+
+/// Sort a sample in place (NaNs last) and return it — convenience for
+/// feeding [`quantile`].
+pub fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
+    v
+}
+
+/// Empirical cumulative distribution function over a finite sample.
+#[derive(Clone, Debug)]
+pub struct Ecdf {
+    xs: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from a sample (order irrelevant; NaNs rejected).
+    pub fn new(mut sample: Vec<f64>) -> Self {
+        assert!(
+            sample.iter().all(|x| !x.is_nan()),
+            "ECDF sample contains NaN"
+        );
+        sample.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ecdf { xs: sample }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True if the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// `P(X <= x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.xs.is_empty() {
+            return 0.0;
+        }
+        self.xs.partition_point(|&v| v <= x) as f64 / self.xs.len() as f64
+    }
+
+    /// `P(X > x)` — the survival form the paper plots in Figure 3.
+    pub fn survival(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Inverse CDF (quantile) with linear interpolation.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile(&self.xs, q)
+    }
+
+    /// Evaluate the CDF on an evenly spaced grid of `points` spanning the
+    /// sample range; returns `(x, F(x))` pairs ready for plotting.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.xs.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let lo = self.xs[0];
+        let hi = *self.xs.last().unwrap();
+        let span = (hi - lo).max(f64::MIN_POSITIVE);
+        (0..points)
+            .map(|i| {
+                let x = lo + span * i as f64 / (points - 1).max(1) as f64;
+                (x, self.cdf(x))
+            })
+            .collect()
+    }
+
+    /// The sorted sample.
+    pub fn values(&self) -> &[f64] {
+        &self.xs
+    }
+}
+
+/// Histogram over log₁₀-decade bins `[10^k, 10^(k+1))`, matching the x-axis
+/// of the paper's Figures 5–6 (wait-time probability per decade). Values
+/// below `10^min_exp` are clamped into the first bin.
+#[derive(Clone, Debug)]
+pub struct Log10Histogram {
+    min_exp: i32,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Log10Histogram {
+    /// Create with decades `min_exp .. min_exp + bins`.
+    pub fn new(min_exp: i32, bins: usize) -> Self {
+        assert!(bins > 0);
+        Log10Histogram {
+            min_exp,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Add one observation (values ≤ 0 land in the first bin, mirroring the
+    /// paper's treatment of zero waits).
+    pub fn push(&mut self, x: f64) {
+        let bin = if x <= 0.0 {
+            0
+        } else {
+            let e = x.log10().floor() as i64 - self.min_exp as i64;
+            e.clamp(0, self.counts.len() as i64 - 1) as usize
+        };
+        self.counts[bin] += 1;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Probability mass per bin.
+    pub fn probabilities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Bin labels like `[2,3)` (decade exponents), matching the figure axes.
+    pub fn labels(&self) -> Vec<String> {
+        (0..self.counts.len())
+            .map(|i| {
+                format!(
+                    "[{},{})",
+                    self.min_exp + i as i32,
+                    self.min_exp + i as i32 + 1
+                )
+            })
+            .collect()
+    }
+}
+
+/// Result of a simple linear least-squares fit `y = a + b·x`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Slope `b`.
+    pub slope: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Predicted `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Ordinary least squares of `y` on `x` (with intercept). Returns `None` if
+/// fewer than two distinct x values.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let mx = sx / nf;
+    let my = sy / nf;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| {
+            let e = p.1 - (intercept + slope * p.0);
+            e * e
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(LinearFit {
+        intercept,
+        slope,
+        r_squared,
+    })
+}
+
+/// Mean relative absolute error of a fit over a point set — the "±17%"
+/// figure-of-merit the paper quotes for its predictive formula.
+pub fn mean_relative_error(points: &[(f64, f64)], fit: &LinearFit) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    points
+        .iter()
+        .map(|&(x, y)| {
+            let p = fit.predict(x);
+            if y != 0.0 {
+                ((p - y) / y).abs()
+            } else {
+                p.abs()
+            }
+        })
+        .sum::<f64>()
+        / points.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basics() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty_and_single() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        let mut s1 = OnlineStats::new();
+        s1.push(3.5);
+        assert_eq!(s1.mean(), 3.5);
+        assert_eq!(s1.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        data.iter().for_each(|&x| whole.push(x));
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        data[..37].iter().for_each(|&x| a.push(x));
+        data[37..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a.clone();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty.count(), 2);
+        assert!((empty.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(4.0));
+        assert_eq!(median(&v), Some(2.5));
+        assert_eq!(quantile(&v, 1.0 / 3.0), Some(2.0));
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(median(&[42.0]), Some(42.0));
+    }
+
+    #[test]
+    fn sorted_helper() {
+        assert_eq!(sorted(vec![3.0, 1.0, 2.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ecdf_step_values() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.0), 0.75);
+        assert_eq!(e.cdf(10.0), 1.0);
+        assert!((e.survival(2.0) - 0.25).abs() < 1e-12);
+        assert_eq!(e.quantile(0.5), Some(2.0));
+    }
+
+    #[test]
+    fn ecdf_curve_monotone() {
+        let e = Ecdf::new((0..100).map(|i| (i * i % 37) as f64).collect());
+        let c = e.curve(50);
+        assert_eq!(c.len(), 50);
+        assert!(c.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!((c.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_empty() {
+        let e = Ecdf::new(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.cdf(1.0), 0.0);
+        assert_eq!(e.quantile(0.5), None);
+        assert!(e.curve(10).is_empty());
+    }
+
+    #[test]
+    fn log10_histogram_binning() {
+        // Decades [1,10), [10,100), ..., [1e5,1e6) — the paper's 6 bins.
+        let mut h = Log10Histogram::new(0, 6);
+        h.push(0.0); // zero wait -> first bin
+        h.push(5.0); // [0,1): 10^0..10^1
+        h.push(50.0); // [1,2)
+        h.push(5_000.0); // [3,4)
+        h.push(500_000.0); // [5,6)
+        h.push(5e9); // overflow clamps to last bin
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.counts(), &[2, 1, 0, 1, 0, 2]);
+        let p = h.probabilities();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(h.labels()[0], "[0,1)");
+        assert_eq!(h.labels()[5], "[5,6)");
+    }
+
+    #[test]
+    fn log10_histogram_empty() {
+        let h = Log10Histogram::new(0, 3);
+        assert_eq!(h.probabilities(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let f = linear_fit(&pts).unwrap();
+        assert!((f.intercept - 3.0).abs() < 1e-9);
+        assert!((f.slope - 2.0).abs() < 1e-9);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!((f.predict(100.0) - 203.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_degenerate() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(
+            linear_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none(),
+            "vertical line"
+        );
+    }
+
+    #[test]
+    fn mean_relative_error_of_perfect_fit_is_zero() {
+        let pts: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 5.0 * i as f64)).collect();
+        let f = linear_fit(&pts).unwrap();
+        assert!(mean_relative_error(&pts, &f) < 1e-12);
+    }
+
+    #[test]
+    fn display_stats() {
+        let mut s = OnlineStats::new();
+        s.push(1.0);
+        s.push(3.0);
+        let text = format!("{s}");
+        assert!(text.contains("2.000"), "{text}");
+        assert!(text.contains("n=2"), "{text}");
+    }
+}

@@ -1,0 +1,341 @@
+//! Simulation time.
+//!
+//! All simulation clocks in this workspace are integer **seconds**. Job logs
+//! (and the Standard Workload Format) record seconds; sub-second resolution
+//! buys nothing for batch scheduling and floating-point time breeds
+//! nondeterminism. [`SimTime`] is an absolute instant measured from the start
+//! of the simulated log; [`SimDuration`] is a span between instants.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// Seconds in one minute.
+pub const MINUTE: u64 = 60;
+/// Seconds in one hour.
+pub const HOUR: u64 = 3_600;
+/// Seconds in one day.
+pub const DAY: u64 = 86_400;
+/// Seconds in one (7-day) week.
+pub const WEEK: u64 = 7 * DAY;
+
+/// An absolute instant in simulation time, in whole seconds since the start
+/// of the simulated trace.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulation time, in whole seconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The instant at the start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s)
+    }
+
+    /// Construct from whole hours.
+    #[inline]
+    pub const fn from_hours(h: u64) -> Self {
+        SimTime(h * HOUR)
+    }
+
+    /// Construct from whole days.
+    #[inline]
+    pub const fn from_days(d: u64) -> Self {
+        SimTime(d * DAY)
+    }
+
+    /// This instant as a second count.
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// This instant in (fractional) hours.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / HOUR as f64
+    }
+
+    /// Span from `earlier` to `self`, saturating to zero if `earlier` is
+    /// actually later (useful when comparing an actual start against a
+    /// lower-bound estimate).
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Seconds past the most recent (simulated) midnight, treating time zero
+    /// as midnight. Used by time-of-day dispatch windows.
+    #[inline]
+    pub fn second_of_day(self) -> u64 {
+        self.0 % DAY
+    }
+
+    /// Hour-of-day in `[0, 24)`, treating time zero as midnight.
+    #[inline]
+    pub fn hour_of_day(self) -> u64 {
+        self.second_of_day() / HOUR
+    }
+
+    /// Day index since the start of the trace.
+    #[inline]
+    pub fn day_index(self) -> u64 {
+        self.0 / DAY
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable span; used as "forever".
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s)
+    }
+
+    /// Construct from whole minutes.
+    #[inline]
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * MINUTE)
+    }
+
+    /// Construct from whole hours.
+    #[inline]
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * HOUR)
+    }
+
+    /// Construct from whole days.
+    #[inline]
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d * DAY)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest whole
+    /// second (minimum 1 s for any positive input so that jobs never have
+    /// zero length after clock normalization).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            SimDuration(0)
+        } else {
+            SimDuration((s.round() as u64).max(1))
+        }
+    }
+
+    /// The span as a second count.
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// The span in fractional hours.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / HOUR as f64
+    }
+
+    /// The span in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// True if this span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction of spans.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Span between two instants; saturates to zero when `rhs` is later.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}s", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}h", self.as_hours())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= HOUR {
+            write!(f, "{:.2}h", self.as_hours())
+        } else {
+            write!(f, "{}s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_hours(2), SimTime::from_secs(7200));
+        assert_eq!(SimTime::from_days(1), SimTime::from_secs(86_400));
+        assert_eq!(SimDuration::from_mins(3), SimDuration::from_secs(180));
+        assert_eq!(SimDuration::from_days(2), SimDuration::from_hours(48));
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t = SimTime::from_secs(100);
+        assert_eq!(t + SimDuration::from_secs(50), SimTime::from_secs(150));
+        assert_eq!(t - SimDuration::from_secs(30), SimTime::from_secs(70));
+        // Saturating behaviour near zero and MAX.
+        assert_eq!(t - SimDuration::from_secs(1000), SimTime::ZERO);
+        assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
+    }
+
+    #[test]
+    fn span_between_instants_saturates() {
+        let a = SimTime::from_secs(100);
+        let b = SimTime::from_secs(250);
+        assert_eq!(b - a, SimDuration::from_secs(150));
+        assert_eq!(a - b, SimDuration::ZERO);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_since(a), SimDuration::from_secs(150));
+    }
+
+    #[test]
+    fn fractional_duration_rounds_and_clamps() {
+        assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(0.0), SimDuration::ZERO);
+        // Positive values never round down to a zero-length job.
+        assert_eq!(SimDuration::from_secs_f64(0.2), SimDuration::from_secs(1));
+        assert_eq!(
+            SimDuration::from_secs_f64(457.9),
+            SimDuration::from_secs(458)
+        );
+        // The paper's normalization example: 120 s @1 GHz on a 262 MHz machine.
+        assert_eq!(
+            SimDuration::from_secs_f64(120.0 / 0.262),
+            SimDuration::from_secs(458)
+        );
+    }
+
+    #[test]
+    fn day_clock() {
+        let t = SimTime::from_secs(2 * DAY + 5 * HOUR + 17);
+        assert_eq!(t.day_index(), 2);
+        assert_eq!(t.hour_of_day(), 5);
+        assert_eq!(t.second_of_day(), 5 * HOUR + 17);
+        assert_eq!(SimTime::ZERO.hour_of_day(), 0);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_secs(100);
+        assert_eq!(d * 3, SimDuration::from_secs(300));
+        assert_eq!(d / 4, SimDuration::from_secs(25));
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_secs(150)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_secs(30)), "30s");
+        assert_eq!(format!("{}", SimDuration::from_hours(2)), "2.00h");
+        assert_eq!(format!("{:?}", SimTime::from_secs(7)), "t+7s");
+    }
+
+    #[test]
+    fn hours_round_trip() {
+        let d = SimDuration::from_hours(13);
+        assert!((d.as_hours() - 13.0).abs() < 1e-12);
+        let t = SimTime::from_hours(7);
+        assert!((t.as_hours() - 7.0).abs() < 1e-12);
+    }
+}

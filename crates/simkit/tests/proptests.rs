@@ -1,0 +1,197 @@
+//! Property-based tests for the kernel data structures, checked against
+//! naive reference models.
+
+use proptest::prelude::*;
+use simkit::event::EventQueue;
+use simkit::series::StepFunction;
+use simkit::stats::{quantile, sorted, Ecdf, OnlineStats};
+use simkit::time::{SimDuration, SimTime};
+
+const HORIZON: u64 = 1_000;
+
+/// Naive reference for `StepFunction`: one value per second.
+#[derive(Clone)]
+struct NaiveStep(Vec<i64>);
+
+impl NaiveStep {
+    fn new(v: i64) -> Self {
+        NaiveStep(vec![v; HORIZON as usize])
+    }
+    fn range_add(&mut self, a: u64, b: u64, d: i64) {
+        for t in a.min(HORIZON)..b.min(HORIZON) {
+            self.0[t as usize] += d;
+        }
+    }
+    fn value_at(&self, t: u64) -> i64 {
+        self.0[t.min(HORIZON - 1) as usize]
+    }
+    fn min_over(&self, a: u64, b: u64) -> Option<i64> {
+        let (a, b) = (a.min(HORIZON), b.min(HORIZON));
+        (a < b).then(|| {
+            self.0[a as usize..b as usize]
+                .iter()
+                .copied()
+                .min()
+                .unwrap()
+        })
+    }
+    fn integral(&self, a: u64, b: u64) -> i64 {
+        let (a, b) = (a.min(HORIZON), b.min(HORIZON));
+        if a >= b {
+            return 0;
+        }
+        self.0[a as usize..b as usize].iter().sum()
+    }
+    fn find_slot(&self, from: u64, need: i64, dur: u64) -> Option<u64> {
+        if dur == 0 {
+            return (from < HORIZON).then_some(from);
+        }
+        'outer: for s in from..HORIZON.saturating_sub(dur - 1) {
+            for t in s..s + dur {
+                if self.0[t as usize] < need {
+                    continue 'outer;
+                }
+            }
+            return Some(s);
+        }
+        None
+    }
+}
+
+fn ops() -> impl Strategy<Value = Vec<(u64, u64, i64)>> {
+    proptest::collection::vec((0..HORIZON + 100, 0..HORIZON + 100, -5i64..5), 0..24)
+}
+
+proptest! {
+    #[test]
+    fn step_function_matches_naive_model(
+        init in -10i64..10,
+        edits in ops(),
+        probes in proptest::collection::vec(0..HORIZON + 50, 1..20),
+        windows in proptest::collection::vec((0..HORIZON + 50, 0..HORIZON + 50), 1..10),
+        slots in proptest::collection::vec((0..HORIZON, -3i64..6, 0..200u64), 1..8),
+    ) {
+        let mut real = StepFunction::constant(SimTime::from_secs(HORIZON), init);
+        let mut naive = NaiveStep::new(init);
+        for (a, b, d) in edits {
+            real.range_add(SimTime::from_secs(a), SimTime::from_secs(b), d);
+            naive.range_add(a, b, d);
+        }
+        for &t in &probes {
+            prop_assert_eq!(real.value_at(SimTime::from_secs(t)), naive.value_at(t));
+        }
+        for &(a, b) in &windows {
+            prop_assert_eq!(
+                real.min_over(SimTime::from_secs(a), SimTime::from_secs(b)),
+                naive.min_over(a, b),
+                "min_over({},{})", a, b
+            );
+            prop_assert_eq!(
+                real.integral(SimTime::from_secs(a), SimTime::from_secs(b)),
+                naive.integral(a, b),
+                "integral({},{})", a, b
+            );
+        }
+        for &(from, need, dur) in &slots {
+            let got = real.find_slot(
+                SimTime::from_secs(from),
+                need,
+                SimDuration::from_secs(dur),
+            );
+            let want = naive.find_slot(from, need, dur).map(SimTime::from_secs);
+            prop_assert_eq!(got, want, "find_slot({},{},{})", from, need, dur);
+        }
+    }
+
+    #[test]
+    fn step_function_coalesce_preserves_semantics(
+        init in -5i64..5,
+        edits in ops(),
+    ) {
+        let mut f = StepFunction::constant(SimTime::from_secs(HORIZON), init);
+        for (a, b, d) in edits {
+            f.range_add(SimTime::from_secs(a), SimTime::from_secs(b), d);
+        }
+        let before: Vec<i64> = (0..HORIZON)
+            .step_by(7)
+            .map(|t| f.value_at(SimTime::from_secs(t)))
+            .collect();
+        let segs_before = f.segment_count();
+        f.coalesce();
+        prop_assert!(f.segment_count() <= segs_before);
+        let after: Vec<i64> = (0..HORIZON)
+            .step_by(7)
+            .map(|t| f.value_at(SimTime::from_secs(t)))
+            .collect();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn event_queue_is_a_stable_sort(
+        events in proptest::collection::vec(0u64..500, 0..100)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in events.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i);
+        }
+        // Reference: stable sort by time.
+        let mut want: Vec<(u64, usize)> =
+            events.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        want.sort_by_key(|&(t, _)| t);
+        let mut got = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            got.push((t.as_secs(), i));
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn online_stats_merge_is_associative_enough(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(xs.len());
+        let mut whole = OnlineStats::new();
+        xs.iter().for_each(|&x| whole.push(x));
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        xs[..split].iter().for_each(|&x| a.push(x));
+        xs[split..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!(
+            (a.variance() - whole.variance()).abs()
+                <= 1e-6 * (1.0 + whole.variance().abs())
+        );
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        xs in proptest::collection::vec(-1e9f64..1e9, 1..100),
+        qs in proptest::collection::vec(0f64..1.0, 2..10),
+    ) {
+        let s = sorted(xs);
+        let mut qs = qs;
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let values: Vec<f64> = qs.iter().map(|&q| quantile(&s, q).unwrap()).collect();
+        for w in values.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert!(values[0] >= s[0]);
+        prop_assert!(*values.last().unwrap() <= *s.last().unwrap());
+    }
+
+    #[test]
+    fn ecdf_matches_counting(
+        xs in proptest::collection::vec(-100i32..100, 1..80),
+        probe in -120i32..120,
+    ) {
+        let sample: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
+        let e = Ecdf::new(sample.clone());
+        let want = xs.iter().filter(|&&x| x as f64 <= probe as f64).count() as f64
+            / xs.len() as f64;
+        prop_assert!((e.cdf(probe as f64) - want).abs() < 1e-12);
+        prop_assert!((e.survival(probe as f64) - (1.0 - want)).abs() < 1e-12);
+    }
+}

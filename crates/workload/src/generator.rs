@@ -1,0 +1,255 @@
+//! Whole-trace synthesis.
+//!
+//! [`TraceGenerator`] wires the arrival, size, runtime, estimate and user
+//! models into a generator of complete native-job traces. The generator is a
+//! pure function of its seed; two calls with the same seed produce identical
+//! traces.
+
+use crate::arrivals::ArrivalModel;
+use crate::job::{Job, JobClass};
+use crate::shape::{EstimateModel, RuntimeModel, SizeModel};
+use crate::users::UserPopulation;
+use simkit::rng::Rng;
+use simkit::time::{SimDuration, SimTime};
+
+/// A configured native-workload generator.
+#[derive(Clone, Debug)]
+pub struct TraceGenerator {
+    /// Length of the generated log.
+    pub horizon: SimTime,
+    /// Target number of jobs (realized count is within a few percent).
+    pub target_jobs: u32,
+    /// Arrival process.
+    pub arrivals: ArrivalModel,
+    /// CPU-size marginal.
+    pub sizes: SizeModel,
+    /// Actual-runtime marginal.
+    pub runtimes: RuntimeModel,
+    /// User-estimate model.
+    pub estimates: EstimateModel,
+    /// Number of users to simulate.
+    pub n_users: u32,
+    /// Number of accounting groups.
+    pub n_groups: u32,
+    /// Zipf skew of user activity.
+    pub user_skew: f64,
+    /// Probability that a user's next job repeats their previous job's
+    /// shape (same CPU count, runtime jittered ±25%) instead of a fresh
+    /// draw — the "users resubmit similar jobs" phenomenon every published
+    /// log shows, which concentrates each user's fair-share pressure.
+    /// 0 disables (fully independent shapes).
+    pub resubmit_similarity: f64,
+}
+
+impl TraceGenerator {
+    /// Generate the trace. Jobs are returned sorted by submit time with ids
+    /// `1..=n` in submission order.
+    pub fn generate(&self, seed: u64) -> Vec<Job> {
+        let root = Rng::new(seed);
+        let mut arr_rng = root.split(1);
+        let mut shape_rng = root.split(2);
+        let mut user_rng = root.split(3);
+
+        let population =
+            UserPopulation::new(self.n_users, self.n_groups, self.user_skew, &mut user_rng);
+        // Slight over-draw then truncate: keeps the realized count close to
+        // the Table 1 value without a feedback loop.
+        let mut arrivals = self.arrivals.generate_approx_count(
+            &mut arr_rng,
+            self.horizon,
+            (self.target_jobs as f64 * 1.02) as u32,
+        );
+        arrivals.truncate(self.target_jobs as usize);
+
+        let mut jobs = Vec::with_capacity(arrivals.len());
+        // Last job shape per user, for the resubmission model.
+        let mut last_shape: std::collections::HashMap<u32, (u32, SimDuration)> =
+            std::collections::HashMap::new();
+        for (i, submit) in arrivals.into_iter().enumerate() {
+            let user = population.sample_user(&mut user_rng);
+            let repeat = self.resubmit_similarity > 0.0
+                && shape_rng.chance(self.resubmit_similarity)
+                && last_shape.contains_key(&user);
+            let (cpus, runtime) = if repeat {
+                let (c, r) = last_shape[&user];
+                // Jitter the runtime ±25% (parameter sweeps vary a little).
+                let factor = 0.75 + 0.5 * shape_rng.f64();
+                (
+                    c,
+                    self.runtimes
+                        .clamp(SimDuration::from_secs_f64(r.as_secs_f64() * factor)),
+                )
+            } else {
+                (
+                    self.sizes.sample(&mut shape_rng),
+                    self.runtimes.sample(&mut shape_rng),
+                )
+            };
+            let estimate = self.estimates.sample(&mut shape_rng, runtime);
+            last_shape.insert(user, (cpus, runtime));
+            jobs.push(Job {
+                id: i as u64 + 1,
+                class: JobClass::Native,
+                user,
+                group: population.group_of(user),
+                submit,
+                cpus,
+                runtime,
+                estimate,
+            });
+        }
+        jobs
+    }
+
+    /// Offered load of a trace against a machine of `total_cpus` over the
+    /// generator horizon: `Σ cpus·runtime / (N·T)`. Delivered utilization is
+    /// bounded above by this (scheduling losses only subtract).
+    pub fn offered_load(jobs: &[Job], total_cpus: u32, horizon: SimTime) -> f64 {
+        let work: f64 = jobs.iter().map(|j| j.cpu_seconds()).sum();
+        work / (total_cpus as f64 * horizon.as_secs() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::time::SimDuration;
+
+    fn small_gen() -> TraceGenerator {
+        TraceGenerator {
+            horizon: SimTime::from_days(10),
+            target_jobs: 1_000,
+            arrivals: ArrivalModel::bursty(1.0),
+            sizes: SizeModel::power_of_two(128, 0.6, 0.05),
+            runtimes: RuntimeModel::paper_native(SimDuration::from_days(1)),
+            estimates: EstimateModel::paper_default(SimDuration::from_days(2)),
+            n_users: 50,
+            n_groups: 5,
+            user_skew: 1.1,
+            resubmit_similarity: 0.0,
+        }
+    }
+
+    fn shape_correlation(jobs: &[Job]) -> f64 {
+        // Fraction of consecutive same-user job pairs with identical CPUs.
+        let mut per_user: std::collections::HashMap<u32, u32> = Default::default();
+        let mut same = 0u32;
+        let mut pairs = 0u32;
+        for j in jobs {
+            if let Some(&prev) = per_user.get(&j.user) {
+                pairs += 1;
+                if prev == j.cpus {
+                    same += 1;
+                }
+            }
+            per_user.insert(j.user, j.cpus);
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            same as f64 / pairs as f64
+        }
+    }
+
+    #[test]
+    fn resubmission_model_correlates_user_job_shapes() {
+        let mut g = small_gen();
+        let independent = shape_correlation(&g.generate(11));
+        g.resubmit_similarity = 0.8;
+        let correlated = shape_correlation(&g.generate(11));
+        assert!(
+            correlated > independent + 0.3,
+            "correlated {correlated:.2} vs independent {independent:.2}"
+        );
+        // Marginals stay sane: sizes still powers of two.
+        for j in g.generate(12) {
+            assert!(j.cpus.is_power_of_two());
+            assert!(j.runtime.as_secs() > 0);
+        }
+    }
+
+    #[test]
+    fn generates_near_target_count() {
+        let jobs = small_gen().generate(42);
+        let n = jobs.len() as f64;
+        assert!((n - 1_000.0).abs() < 150.0, "expected ≈1000 jobs, got {n}");
+    }
+
+    #[test]
+    fn jobs_sorted_with_sequential_ids() {
+        let jobs = small_gen().generate(42);
+        assert!(jobs.windows(2).all(|w| w[0].submit <= w[1].submit));
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, i as u64 + 1);
+            assert_eq!(j.class, JobClass::Native);
+        }
+    }
+
+    #[test]
+    fn fields_within_model_ranges() {
+        let g = small_gen();
+        let jobs = g.generate(7);
+        for j in &jobs {
+            assert!(j.cpus >= 1 && j.cpus <= 128);
+            assert!(j.cpus.is_power_of_two());
+            assert!(j.runtime >= SimDuration::from_mins(1));
+            assert!(j.runtime <= SimDuration::from_days(1));
+            assert!(j.estimate <= SimDuration::from_days(2));
+            assert!(j.estimate.as_secs() >= 1);
+            assert!(j.submit < g.horizon);
+            assert!(j.user < 50);
+            assert!(j.group < 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let g = small_gen();
+        let a = g.generate(1);
+        let b = g.generate(1);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.submit, y.submit);
+            assert_eq!(x.cpus, y.cpus);
+            assert_eq!(x.runtime, y.runtime);
+            assert_eq!(x.estimate, y.estimate);
+            assert_eq!(x.user, y.user);
+        }
+        let c = g.generate(2);
+        assert!(
+            a.iter()
+                .zip(c.iter())
+                .any(|(x, y)| x.submit != y.submit || x.cpus != y.cpus || x.runtime != y.runtime),
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn offered_load_formula() {
+        let jobs = vec![
+            Job {
+                id: 1,
+                class: JobClass::Native,
+                user: 0,
+                group: 0,
+                submit: SimTime::ZERO,
+                cpus: 10,
+                runtime: SimDuration::from_secs(100),
+                estimate: SimDuration::from_secs(100),
+            },
+            Job {
+                id: 2,
+                class: JobClass::Native,
+                user: 0,
+                group: 0,
+                submit: SimTime::ZERO,
+                cpus: 5,
+                runtime: SimDuration::from_secs(200),
+                estimate: SimDuration::from_secs(200),
+            },
+        ];
+        // (10·100 + 5·200) / (20 × 1000) = 2000/20000 = 0.1
+        let u = TraceGenerator::offered_load(&jobs, 20, SimTime::from_secs(1000));
+        assert!((u - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,46 @@
+//! # workload — job model and trace substrate
+//!
+//! The paper replays proprietary ASCI job logs. This crate supplies the
+//! substitute substrate: a [`Job`] model shared by every other crate, a
+//! Standard Workload Format (SWF) reader/writer so real logs can be used
+//! when available, and a synthetic generator calibrated to the published
+//! marginals of each machine's log (Table 1 plus the §4.3 estimate
+//! statistics).
+//!
+//! Modules:
+//! * [`job`] — [`Job`], [`JobClass`], [`CompletedJob`] and derived metrics.
+//! * [`swf`] — Standard Workload Format parsing and emission.
+//! * [`users`] — Zipf-skewed user/group population.
+//! * [`arrivals`] — bursty (two-state MMPP) arrival process with diurnal and
+//!   weekly modulation.
+//! * [`shape`] — CPU-size, runtime and user-estimate models.
+//! * [`stats`] — trace marginal statistics and burstiness measures.
+//! * [`generator`] — ties the pieces into a whole-trace generator.
+//! * [`traces`] — tuned per-machine trace builders (Ross, Blue Mountain,
+//!   Blue Pacific).
+
+//!
+//! ```
+//! use workload::traces::native_trace;
+//! use workload::stats::TraceStats;
+//!
+//! let machine = machine::config::ross();
+//! let jobs = native_trace(&machine, 42);
+//! let stats = TraceStats::of(&jobs);
+//! assert!((stats.jobs as f64 - 4423.0).abs() < 450.0);
+//! assert!(stats.arrival_dispersion > 1.0, "bursty arrivals");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod generator;
+pub mod job;
+pub mod shape;
+pub mod stats;
+pub mod swf;
+pub mod traces;
+pub mod users;
+
+pub use generator::TraceGenerator;
+pub use job::{CompletedJob, Job, JobClass, JobId};

@@ -1,0 +1,384 @@
+//! Job shape models: CPU count, actual runtime, user estimate.
+//!
+//! Calibration targets come straight from the paper:
+//!
+//! * **Sizes** — jobs request power-of-two CPU counts with a fat tail of very
+//!   large jobs ("such fat tails in the marginal distributions are a critical
+//!   component in the performance of a machine", §1). [`SizeModel`] solves
+//!   for the geometric decay that hits a machine's mean job size.
+//! * **Runtimes** — log-normal with median 0.8 h and mean 2.5 h (§4.3:
+//!   "the actual median run time is only 0.8 hours … the actual average run
+//!   time is 2.5 hours").
+//! * **Estimates** — "usually a default rather than a true estimate": with
+//!   probability `p_default` the queue default (median estimate 6 h), else
+//!   the actual runtime inflated by a log-normal factor and rounded up to a
+//!   15-minute boundary (mean estimate ≈ 7.2 h).
+
+use simkit::dist::{LogNormal, Sample};
+use simkit::rng::Rng;
+use simkit::time::{SimDuration, HOUR};
+
+/// Power-of-two CPU-size distribution with geometric decay and a heavy tail.
+#[derive(Clone, Debug)]
+pub struct SizeModel {
+    sizes: Vec<u32>,
+    weights: Vec<f64>,
+    table: simkit::dist::Alias,
+}
+
+impl SizeModel {
+    /// Sizes `1, 2, 4, …` up to the largest power of two ≤ `max_cpus`, with
+    /// weight `2^(−alpha·k)` for size `2^k` and the top two sizes boosted by
+    /// `tail_boost` (the "hero job" bump seen in capability-machine logs).
+    pub fn power_of_two(max_cpus: u32, alpha: f64, tail_boost: f64) -> Self {
+        assert!(max_cpus >= 1);
+        assert!(tail_boost >= 0.0);
+        let mut sizes = Vec::new();
+        let mut s = 1u32;
+        while s <= max_cpus {
+            sizes.push(s);
+            if s > max_cpus / 2 {
+                break;
+            }
+            s *= 2;
+        }
+        let n = sizes.len();
+        let mut weights: Vec<f64> = (0..n).map(|k| (2f64).powf(-alpha * k as f64)).collect();
+        // Heavy tail: boost the largest two classes relative to pure decay.
+        if n >= 1 {
+            weights[n - 1] += tail_boost;
+        }
+        if n >= 2 {
+            weights[n - 2] += tail_boost / 2.0;
+        }
+        let table = simkit::dist::Alias::new(&weights);
+        SizeModel {
+            sizes,
+            weights,
+            table,
+        }
+    }
+
+    /// Solve (by bisection on `alpha`) for the decay that yields mean job
+    /// size ≈ `target_mean` CPUs, with the given tail boost.
+    pub fn with_mean(max_cpus: u32, target_mean: f64, tail_boost: f64) -> Self {
+        assert!(target_mean >= 1.0 && target_mean <= max_cpus as f64);
+        let mut lo = -2.0f64; // negative alpha => growing weights => large mean
+        let mut hi = 4.0f64; // strong decay => mean ~1
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            let m = Self::power_of_two(max_cpus, mid, tail_boost).mean();
+            if m > target_mean {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Self::power_of_two(max_cpus, 0.5 * (lo + hi), tail_boost)
+    }
+
+    /// The size classes (ascending powers of two).
+    pub fn sizes(&self) -> &[u32] {
+        &self.sizes
+    }
+
+    /// Exact mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        let total: f64 = self.weights.iter().sum();
+        self.sizes
+            .iter()
+            .zip(&self.weights)
+            .map(|(&s, &w)| s as f64 * w)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Draw a job size.
+    pub fn sample(&self, rng: &mut Rng) -> u32 {
+        self.sizes[self.table.sample_index(rng)]
+    }
+}
+
+/// Log-normal runtime model, truncated to `[min, max]`.
+#[derive(Clone, Debug)]
+pub struct RuntimeModel {
+    dist: LogNormal,
+    min: SimDuration,
+    max: SimDuration,
+}
+
+impl RuntimeModel {
+    /// From a target median and mean (seconds), truncated to `[min, max]`.
+    pub fn from_median_mean(
+        median_s: f64,
+        mean_s: f64,
+        min: SimDuration,
+        max: SimDuration,
+    ) -> Self {
+        assert!(min <= max);
+        RuntimeModel {
+            dist: LogNormal::from_median_mean(median_s, mean_s),
+            min,
+            max,
+        }
+    }
+
+    /// The paper's native runtime marginal: median 0.8 h, mean 2.5 h,
+    /// 1 minute to `max`.
+    pub fn paper_native(max: SimDuration) -> Self {
+        Self::from_median_mean(
+            0.8 * HOUR as f64,
+            2.5 * HOUR as f64,
+            SimDuration::from_mins(1),
+            max,
+        )
+    }
+
+    /// Draw an actual runtime.
+    pub fn sample(&self, rng: &mut Rng) -> SimDuration {
+        self.clamp(SimDuration::from_secs_f64(self.dist.sample(rng)))
+    }
+
+    /// Clamp a duration into this model's `[min, max]` range (used by the
+    /// resubmission jitter so derived runtimes stay in-model).
+    pub fn clamp(&self, d: SimDuration) -> SimDuration {
+        d.max(self.min).min(self.max)
+    }
+}
+
+/// User runtime-estimate model.
+#[derive(Clone, Debug)]
+pub struct EstimateModel {
+    /// Probability a user just takes the queue default.
+    pub p_default: f64,
+    /// The queue default estimate.
+    pub default: SimDuration,
+    /// Inflation factor distribution for non-default estimates
+    /// (estimate = runtime × factor, factor ≥ 1).
+    inflation: LogNormal,
+    /// Hard cap (queue maximum wallclock).
+    pub max: SimDuration,
+}
+
+impl EstimateModel {
+    /// The paper-calibrated model: 60% defaults of 6 h; otherwise the actual
+    /// runtime inflated by a log-normal factor with median 2× — yielding a
+    /// median estimate of 6 h and a mean of ≈ 7 h against the paper's
+    /// (median 6 h, mean 7.2 h).
+    pub fn paper_default(max: SimDuration) -> Self {
+        EstimateModel {
+            p_default: 0.6,
+            default: SimDuration::from_hours(6),
+            inflation: LogNormal::from_median_mean(2.0, 3.5),
+            max,
+        }
+    }
+
+    /// Fully accurate estimates (estimate = runtime): the paper's
+    /// "omniscient" knowledge level, and the baseline of the estimate-quality
+    /// ablation.
+    pub fn perfect() -> Self {
+        EstimateModel {
+            p_default: 0.0,
+            default: SimDuration::ZERO,
+            inflation: LogNormal::from_median_mean(1.0, 1.0),
+            max: SimDuration::MAX,
+        }
+    }
+
+    /// Everyone uses the default — the worst case the paper describes.
+    pub fn all_default(default: SimDuration, max: SimDuration) -> Self {
+        EstimateModel {
+            p_default: 1.0,
+            default,
+            inflation: LogNormal::from_median_mean(1.0, 1.0),
+            max,
+        }
+    }
+
+    /// Draw the estimate for a job with the given actual runtime.
+    pub fn sample(&self, rng: &mut Rng, runtime: SimDuration) -> SimDuration {
+        let est = if rng.chance(self.p_default) {
+            self.default
+        } else {
+            let factor = self.inflation.sample(rng).max(1.0);
+            let raw = SimDuration::from_secs_f64(runtime.as_secs_f64() * factor);
+            round_up_to_quarter_hour(raw)
+        };
+        est.min(self.max).max(SimDuration::from_secs(1))
+    }
+}
+
+/// Round a duration up to the next 15-minute boundary (how humans fill in
+/// wallclock fields).
+pub fn round_up_to_quarter_hour(d: SimDuration) -> SimDuration {
+    const Q: u64 = 15 * 60;
+    let s = d.as_secs();
+    SimDuration::from_secs(s.div_ceil(Q).max(1) * Q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::stats::{median, sorted, OnlineStats};
+
+    #[test]
+    fn size_model_sizes_are_powers_of_two() {
+        let m = SizeModel::power_of_two(1436, 0.5, 0.05);
+        for &s in m.sizes() {
+            assert!(s.is_power_of_two());
+            assert!(s <= 1436);
+        }
+        assert_eq!(m.sizes()[0], 1);
+        // Largest class is > machine/2 … ≤ machine.
+        let top = *m.sizes().last().unwrap();
+        assert!(top > 1436 / 2 || top == 1024);
+    }
+
+    #[test]
+    fn size_model_samples_from_classes() {
+        let m = SizeModel::power_of_two(512, 0.7, 0.1);
+        let mut rng = Rng::new(1);
+        for _ in 0..1_000 {
+            let s = m.sample(&mut rng);
+            assert!(m.sizes().contains(&s));
+        }
+    }
+
+    #[test]
+    fn with_mean_hits_target() {
+        // (max size offered, target mean): the three machines' calibrations.
+        for &(max, target) in &[(718u32, 80.0), (2331, 383.0), (463, 83.0)] {
+            let m = SizeModel::with_mean(max, target, 0.05);
+            let mean = m.mean();
+            assert!(
+                (mean - target).abs() / target < 0.1,
+                "max={max} target={target} got={mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_mean_clamps_to_achievable_floor() {
+        // With a fixed tail boost the mean cannot go below the hero-job
+        // contribution; with_mean returns the closest achievable model
+        // rather than diverging.
+        let m = SizeModel::with_mean(4096, 8.0, 0.05);
+        let floor = m.mean();
+        assert!(floor > 8.0, "floor={floor}");
+        let finer = SizeModel::with_mean(4096, floor, 0.05);
+        assert!((finer.mean() - floor).abs() / floor < 0.05);
+    }
+
+    #[test]
+    fn small_alpha_means_bigger_jobs() {
+        let light = SizeModel::power_of_two(1024, 1.5, 0.0);
+        let heavy = SizeModel::power_of_two(1024, 0.1, 0.0);
+        assert!(heavy.mean() > light.mean() * 3.0);
+    }
+
+    #[test]
+    fn runtime_model_respects_truncation() {
+        let m = RuntimeModel::paper_native(SimDuration::from_hours(24));
+        let mut rng = Rng::new(2);
+        for _ in 0..5_000 {
+            let r = m.sample(&mut rng);
+            assert!(r >= SimDuration::from_mins(1));
+            assert!(r <= SimDuration::from_hours(24));
+        }
+    }
+
+    #[test]
+    fn runtime_model_matches_paper_marginals() {
+        let m = RuntimeModel::paper_native(SimDuration::from_days(7));
+        let mut rng = Rng::new(3);
+        let xs: Vec<f64> = (0..40_000).map(|_| m.sample(&mut rng).as_hours()).collect();
+        let mut st = OnlineStats::new();
+        xs.iter().for_each(|&x| st.push(x));
+        let med = median(&sorted(xs)).unwrap();
+        assert!((med - 0.8).abs() < 0.06, "median={med}h want 0.8h");
+        assert!(
+            (st.mean() - 2.5).abs() < 0.3,
+            "mean={}h want 2.5h",
+            st.mean()
+        );
+    }
+
+    #[test]
+    fn estimate_model_matches_paper_marginals() {
+        let m = EstimateModel::paper_default(SimDuration::from_days(2));
+        let rt = RuntimeModel::paper_native(SimDuration::from_days(2));
+        let mut rng = Rng::new(4);
+        let mut ests = Vec::new();
+        let mut st = OnlineStats::new();
+        for _ in 0..40_000 {
+            let r = rt.sample(&mut rng);
+            let e = m.sample(&mut rng, r);
+            ests.push(e.as_hours());
+            st.push(e.as_hours());
+        }
+        let med = median(&sorted(ests)).unwrap();
+        // Paper: median estimate 6 h (the default), mean 7.2 h.
+        assert!((med - 6.0).abs() < 0.5, "median={med}h want ≈6h");
+        assert!(
+            (st.mean() - 7.2).abs() < 1.5,
+            "mean={}h want ≈7.2h",
+            st.mean()
+        );
+    }
+
+    #[test]
+    fn perfect_estimates_equal_runtime_rounded() {
+        let m = EstimateModel::perfect();
+        let mut rng = Rng::new(5);
+        for secs in [60u64, 2_880, 86_400] {
+            let r = SimDuration::from_secs(secs);
+            let e = m.sample(&mut rng, r);
+            // factor clamps to 1.0 then rounds up to 15 min.
+            assert_eq!(e, round_up_to_quarter_hour(r));
+        }
+    }
+
+    #[test]
+    fn all_default_ignores_runtime() {
+        let m = EstimateModel::all_default(SimDuration::from_hours(6), SimDuration::from_days(1));
+        let mut rng = Rng::new(6);
+        for secs in [1u64, 1_000, 100_000] {
+            assert_eq!(
+                m.sample(&mut rng, SimDuration::from_secs(secs)),
+                SimDuration::from_hours(6)
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_capped_at_queue_max() {
+        let m = EstimateModel::paper_default(SimDuration::from_hours(4));
+        let mut rng = Rng::new(7);
+        for _ in 0..1_000 {
+            let e = m.sample(&mut rng, SimDuration::from_hours(12));
+            assert!(e <= SimDuration::from_hours(4));
+        }
+    }
+
+    #[test]
+    fn quarter_hour_rounding() {
+        assert_eq!(
+            round_up_to_quarter_hour(SimDuration::from_secs(1)),
+            SimDuration::from_mins(15)
+        );
+        assert_eq!(
+            round_up_to_quarter_hour(SimDuration::from_mins(15)),
+            SimDuration::from_mins(15)
+        );
+        assert_eq!(
+            round_up_to_quarter_hour(SimDuration::from_mins(16)),
+            SimDuration::from_mins(30)
+        );
+        assert_eq!(
+            round_up_to_quarter_hour(SimDuration::ZERO),
+            SimDuration::from_mins(15),
+            "zero rounds up to one quantum"
+        );
+    }
+}

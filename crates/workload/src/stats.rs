@@ -1,0 +1,294 @@
+//! Trace marginal statistics.
+//!
+//! Summarizes a job trace by the same marginals the paper publishes for its
+//! logs (§3, §4.3): job count, CPU-size distribution, runtime and estimate
+//! medians/means, offered load, and arrival burstiness. Used by the
+//! calibration harness to verify a synthetic trace matches its targets, and
+//! by `replay_swf` to characterize foreign logs before simulating them.
+
+use crate::job::Job;
+use simkit::stats::{median, sorted, OnlineStats};
+use simkit::time::{SimTime, HOUR};
+
+/// Marginal statistics of a job trace.
+#[derive(Clone, Debug)]
+pub struct TraceStats {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// CPU counts: mean and largest.
+    pub mean_cpus: f64,
+    /// Largest single job (CPUs).
+    pub max_cpus: u32,
+    /// Actual runtime (hours): median.
+    pub median_runtime_h: f64,
+    /// Actual runtime (hours): mean.
+    pub mean_runtime_h: f64,
+    /// User estimate (hours): median.
+    pub median_estimate_h: f64,
+    /// User estimate (hours): mean.
+    pub mean_estimate_h: f64,
+    /// Mean estimate-to-runtime inflation ratio.
+    pub mean_inflation: f64,
+    /// Total work in CPU·hours.
+    pub cpu_hours: f64,
+    /// Span from first to last submission.
+    pub span: SimTime,
+    /// Index of dispersion of hourly arrival counts (1 = Poisson;
+    /// larger = bursty, the paper's §1 "bursty job arrivals").
+    pub arrival_dispersion: f64,
+}
+
+impl TraceStats {
+    /// Compute the marginals of `jobs` (empty traces yield zeros).
+    pub fn of(jobs: &[Job]) -> TraceStats {
+        if jobs.is_empty() {
+            return TraceStats {
+                jobs: 0,
+                mean_cpus: 0.0,
+                max_cpus: 0,
+                median_runtime_h: 0.0,
+                mean_runtime_h: 0.0,
+                median_estimate_h: 0.0,
+                mean_estimate_h: 0.0,
+                mean_inflation: 0.0,
+                cpu_hours: 0.0,
+                span: SimTime::ZERO,
+                arrival_dispersion: 0.0,
+            };
+        }
+        let mut cpus = OnlineStats::new();
+        let mut runtime = OnlineStats::new();
+        let mut estimate = OnlineStats::new();
+        let mut inflation = OnlineStats::new();
+        let mut runtimes = Vec::with_capacity(jobs.len());
+        let mut estimates = Vec::with_capacity(jobs.len());
+        let mut work = 0.0;
+        let mut last_submit = SimTime::ZERO;
+        for j in jobs {
+            cpus.push(j.cpus as f64);
+            runtime.push(j.runtime.as_hours());
+            estimate.push(j.estimate.as_hours());
+            if !j.runtime.is_zero() {
+                inflation.push(j.estimate_inflation());
+            }
+            runtimes.push(j.runtime.as_hours());
+            estimates.push(j.estimate.as_hours());
+            work += j.cpu_seconds() / HOUR as f64;
+            last_submit = last_submit.max(j.submit);
+        }
+        TraceStats {
+            jobs: jobs.len(),
+            mean_cpus: cpus.mean(),
+            max_cpus: jobs.iter().map(|j| j.cpus).max().unwrap_or(0),
+            median_runtime_h: median(&sorted(runtimes)).unwrap_or(0.0),
+            mean_runtime_h: runtime.mean(),
+            median_estimate_h: median(&sorted(estimates)).unwrap_or(0.0),
+            mean_estimate_h: estimate.mean(),
+            mean_inflation: inflation.mean(),
+            cpu_hours: work,
+            span: last_submit,
+            arrival_dispersion: arrival_dispersion(jobs),
+        }
+    }
+
+    /// Offered load against a machine: `cpu_hours / (N × horizon_hours)`.
+    pub fn offered_load(&self, total_cpus: u32, horizon: SimTime) -> f64 {
+        self.cpu_hours / (total_cpus as f64 * horizon.as_hours())
+    }
+
+    /// Render as a short human-readable block.
+    pub fn to_text(&self) -> String {
+        format!(
+            "jobs: {}\nmean CPUs: {:.1} (max {})\nruntime: median {:.2} h, mean {:.2} h\n\
+             estimate: median {:.2} h, mean {:.2} h (×{:.1} inflation)\n\
+             work: {:.0} CPU·h over {:.1} days\narrival dispersion: {:.1}\n",
+            self.jobs,
+            self.mean_cpus,
+            self.max_cpus,
+            self.median_runtime_h,
+            self.mean_runtime_h,
+            self.median_estimate_h,
+            self.mean_estimate_h,
+            self.mean_inflation,
+            self.cpu_hours,
+            self.span.as_hours() / 24.0,
+            self.arrival_dispersion,
+        )
+    }
+}
+
+/// Index of dispersion (variance/mean) of hourly submission counts — the
+/// burstiness yardstick: 1 for a Poisson stream, ≫1 for the long-range
+/// correlated streams supercomputer logs show.
+pub fn arrival_dispersion(jobs: &[Job]) -> f64 {
+    if jobs.is_empty() {
+        return 0.0;
+    }
+    let last = jobs.iter().map(|j| j.submit.as_secs()).max().unwrap();
+    let bins = (last / HOUR + 1) as usize;
+    let mut counts = vec![0.0f64; bins];
+    for j in jobs {
+        counts[(j.submit.as_secs() / HOUR) as usize] += 1.0;
+    }
+    let mut st = OnlineStats::new();
+    counts.iter().for_each(|&c| st.push(c));
+    if st.mean() == 0.0 {
+        0.0
+    } else {
+        st.variance() / st.mean()
+    }
+}
+
+/// Lag-k autocorrelation of a numeric series (e.g. hourly utilization or
+/// arrival counts). Long-range correlation — slowly decaying positive
+/// autocorrelation — is the §1 driver of persistent high-load episodes
+/// (Figure 3's long tail "is a result of projects that run during
+/// persistently high utilizations").
+pub fn autocorrelation(series: &[f64], lag: usize) -> Option<f64> {
+    let n = series.len();
+    if lag >= n || n < 2 {
+        return None;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let denom: f64 = series.iter().map(|&x| (x - mean) * (x - mean)).sum();
+    if denom == 0.0 {
+        return None;
+    }
+    let num: f64 = (0..n - lag)
+        .map(|i| (series[i] - mean) * (series[i + lag] - mean))
+        .sum();
+    Some(num / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobClass;
+    use crate::traces::native_trace;
+    use machine::config::blue_mountain;
+    use simkit::time::SimDuration;
+
+    fn job(submit: u64, cpus: u32, runtime_h: f64, estimate_h: f64) -> Job {
+        Job {
+            id: submit,
+            class: JobClass::Native,
+            user: 0,
+            group: 0,
+            submit: SimTime::from_secs(submit),
+            cpus,
+            runtime: SimDuration::from_secs_f64(runtime_h * 3600.0),
+            estimate: SimDuration::from_secs_f64(estimate_h * 3600.0),
+        }
+    }
+
+    #[test]
+    fn empty_trace_yields_zeros() {
+        let s = TraceStats::of(&[]);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.cpu_hours, 0.0);
+        assert_eq!(s.offered_load(100, SimTime::from_days(1)), 0.0);
+    }
+
+    #[test]
+    fn simple_marginals() {
+        let jobs = vec![
+            job(0, 10, 1.0, 2.0),
+            job(3600, 20, 3.0, 6.0),
+            job(7200, 30, 2.0, 4.0),
+        ];
+        let s = TraceStats::of(&jobs);
+        assert_eq!(s.jobs, 3);
+        assert!((s.mean_cpus - 20.0).abs() < 1e-9);
+        assert_eq!(s.max_cpus, 30);
+        assert!((s.median_runtime_h - 2.0).abs() < 1e-3);
+        assert!((s.mean_runtime_h - 2.0).abs() < 1e-3);
+        assert!((s.mean_inflation - 2.0).abs() < 1e-3);
+        // Work: 10·1 + 20·3 + 30·2 = 130 CPU·h.
+        assert!((s.cpu_hours - 130.0).abs() < 0.1);
+        assert_eq!(s.span, SimTime::from_secs(7200));
+    }
+
+    #[test]
+    fn offered_load_identity() {
+        let jobs = vec![job(0, 50, 10.0, 10.0)];
+        let s = TraceStats::of(&jobs);
+        // 500 CPU·h over 100 CPUs × 10 h = 0.5.
+        let u = s.offered_load(100, SimTime::from_hours(10));
+        assert!((u - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synthetic_blue_mountain_matches_paper_marginals() {
+        let cfg = blue_mountain();
+        let s = TraceStats::of(&native_trace(&cfg, 1));
+        // §4.3's published statistics for Blue Mountain natives.
+        assert!(
+            (s.median_runtime_h - 0.8).abs() < 0.2,
+            "{}",
+            s.median_runtime_h
+        );
+        assert!((s.mean_runtime_h - 2.5).abs() < 0.6, "{}", s.mean_runtime_h);
+        assert!(
+            (s.median_estimate_h - 6.0).abs() < 1.0,
+            "{}",
+            s.median_estimate_h
+        );
+        assert!(
+            (s.mean_estimate_h - 7.2).abs() < 2.0,
+            "{}",
+            s.mean_estimate_h
+        );
+        // Bursty arrivals.
+        assert!(s.arrival_dispersion > 1.5, "{}", s.arrival_dispersion);
+        let text = s.to_text();
+        assert!(text.contains("jobs: "));
+    }
+
+    #[test]
+    fn dispersion_of_regular_stream_is_low() {
+        // One job exactly every 6 minutes → 10/hour, zero variance.
+        let jobs: Vec<Job> = (0..240).map(|i| job(i * 360, 1, 1.0, 1.0)).collect();
+        let d = arrival_dispersion(&jobs);
+        assert!(d < 0.2, "{d}");
+    }
+
+    #[test]
+    fn autocorrelation_of_alternating_series_is_negative() {
+        let series: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let r1 = autocorrelation(&series, 1).unwrap();
+        assert!(r1 < -0.9);
+        let r2 = autocorrelation(&series, 2).unwrap();
+        assert!(r2 > 0.9);
+    }
+
+    #[test]
+    fn autocorrelation_edges() {
+        assert_eq!(autocorrelation(&[], 1), None);
+        assert_eq!(autocorrelation(&[1.0], 0), None);
+        assert_eq!(
+            autocorrelation(&[5.0, 5.0, 5.0], 1),
+            None,
+            "constant series"
+        );
+        let series = vec![1.0, 2.0, 3.0, 4.0];
+        assert!(autocorrelation(&series, 1).unwrap() > 0.0);
+        assert_eq!(autocorrelation(&series, 4), None, "lag beyond length");
+    }
+
+    #[test]
+    fn bursty_generator_shows_persistent_correlation() {
+        // Hourly arrival counts from the bursty model stay positively
+        // correlated over multiple hours (MMPP dwell ≈ hours).
+        let cfg = blue_mountain();
+        let jobs = native_trace(&cfg, 2);
+        let last = jobs.iter().map(|j| j.submit.as_secs()).max().unwrap();
+        let mut counts = vec![0.0; (last / HOUR + 1) as usize];
+        for j in &jobs {
+            counts[(j.submit.as_secs() / HOUR) as usize] += 1.0;
+        }
+        let r1 = autocorrelation(&counts, 1).unwrap();
+        assert!(r1 > 0.1, "lag-1 autocorrelation {r1}");
+    }
+}

@@ -1,0 +1,332 @@
+//! Standard Workload Format (SWF) support.
+//!
+//! The Parallel Workloads Archive's SWF is the lingua franca for
+//! supercomputer logs: one job per line, 18 whitespace-separated integer
+//! fields, `;` starts a comment. Supporting it means a site with a real log
+//! (the paper used ASCI logs we cannot redistribute) can replay it through
+//! this simulator unchanged.
+//!
+//! Field map (1-based, as in the SWF definition):
+//!
+//! | # | field | use here |
+//! |---|-------|----------|
+//! | 1 | job number | [`Job::id`] |
+//! | 2 | submit time (s) | [`Job::submit`] |
+//! | 3 | wait time (s) | ignored on read (an output of *our* simulation) |
+//! | 4 | run time (s) | [`Job::runtime`] |
+//! | 5 | allocated processors | [`Job::cpus`] (falls back to field 8) |
+//! | 8 | requested processors | fallback for CPUs |
+//! | 9 | requested time (s) | [`Job::estimate`] (falls back to run time) |
+//! | 12 | user id | [`Job::user`] |
+//! | 13 | group id | [`Job::group`] |
+//!
+//! Remaining fields are preserved as `-1` on write.
+
+use crate::job::{CompletedJob, Job, JobClass};
+use simkit::time::{SimDuration, SimTime};
+
+/// A parse failure with line context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SwfError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SwfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SWF line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+fn parse_i64(tok: &str, line: usize, what: &str) -> Result<i64, SwfError> {
+    tok.parse::<i64>().map_err(|_| SwfError {
+        line,
+        message: format!("field '{what}' is not an integer: {tok:?}"),
+    })
+}
+
+/// Machine metadata carried in an SWF header (`; Key: value` comment
+/// lines, as the Parallel Workloads Archive writes them).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SwfHeader {
+    /// `; Computer:` — the machine's name.
+    pub computer: Option<String>,
+    /// `; MaxProcs:` — total processors (falls back to `MaxNodes`).
+    pub max_procs: Option<u32>,
+    /// `; MaxRuntime:` — queue runtime limit, seconds.
+    pub max_runtime: Option<u64>,
+    /// `; UnixStartTime:` — epoch of the log's time zero.
+    pub unix_start_time: Option<i64>,
+}
+
+/// Extract archive metadata from the header comments. Unknown keys are
+/// ignored; a missing header yields all-`None`.
+pub fn parse_header(text: &str) -> SwfHeader {
+    let mut h = SwfHeader::default();
+    for line in text.lines() {
+        let Some(body) = line.trim_start().strip_prefix(';') else {
+            // Headers precede data; stop at the first job line.
+            if !line.trim().is_empty() {
+                break;
+            }
+            continue;
+        };
+        let Some((key, value)) = body.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match key.as_str() {
+            "computer" => h.computer = Some(value.to_string()),
+            "maxprocs" => h.max_procs = value.parse().ok().or(h.max_procs),
+            "maxnodes" if h.max_procs.is_none() => h.max_procs = value.parse().ok(),
+            "maxruntime" => h.max_runtime = value.parse().ok(),
+            "unixstarttime" => h.unix_start_time = value.parse().ok(),
+            _ => {}
+        }
+    }
+    h
+}
+
+/// Parse an SWF document into jobs. Comment (`;`) and blank lines are
+/// skipped. Jobs with non-positive CPUs or negative times are rejected —
+/// real archives carry cancelled jobs with `-1` runtimes; pass
+/// `skip_invalid = true` to drop them silently instead.
+pub fn parse(text: &str, skip_invalid: bool) -> Result<Vec<Job>, SwfError> {
+    let mut jobs = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 5 {
+            return Err(SwfError {
+                line: line_no,
+                message: format!("expected at least 5 fields, got {}", fields.len()),
+            });
+        }
+        let get = |i: usize| fields.get(i).copied().unwrap_or("-1");
+        let id = parse_i64(get(0), line_no, "job number")?;
+        let submit = parse_i64(get(1), line_no, "submit time")?;
+        let runtime = parse_i64(get(3), line_no, "run time")?;
+        let alloc = parse_i64(get(4), line_no, "allocated processors")?;
+        let req_procs = parse_i64(get(7), line_no, "requested processors")?;
+        let req_time = parse_i64(get(8), line_no, "requested time")?;
+        let user = parse_i64(get(11), line_no, "user id")?;
+        let group = parse_i64(get(12), line_no, "group id")?;
+
+        let cpus = if alloc > 0 { alloc } else { req_procs };
+        let valid = cpus > 0 && submit >= 0 && runtime >= 0;
+        if !valid {
+            if skip_invalid {
+                continue;
+            }
+            return Err(SwfError {
+                line: line_no,
+                message: format!("invalid job: cpus={cpus} submit={submit} runtime={runtime}"),
+            });
+        }
+        let estimate = if req_time > 0 { req_time } else { runtime };
+        jobs.push(Job {
+            id: id.max(0) as u64,
+            class: JobClass::Native,
+            user: user.max(0) as u32,
+            group: group.max(0) as u32,
+            submit: SimTime::from_secs(submit as u64),
+            cpus: cpus as u32,
+            runtime: SimDuration::from_secs(runtime as u64),
+            estimate: SimDuration::from_secs(estimate as u64),
+        });
+    }
+    Ok(jobs)
+}
+
+/// Emit jobs as SWF (no realized schedule: wait = −1).
+pub fn emit(jobs: &[Job], header_comment: &str) -> String {
+    let mut out = String::new();
+    for l in header_comment.lines() {
+        out.push_str("; ");
+        out.push_str(l);
+        out.push('\n');
+    }
+    for j in jobs {
+        emit_line(&mut out, j, -1);
+    }
+    out
+}
+
+/// Emit completed jobs as SWF, including realized waits — a simulation
+/// output log in archive-compatible form.
+pub fn emit_completed(completed: &[CompletedJob], header_comment: &str) -> String {
+    let mut out = String::new();
+    for l in header_comment.lines() {
+        out.push_str("; ");
+        out.push_str(l);
+        out.push('\n');
+    }
+    for c in completed {
+        emit_line(&mut out, &c.job, c.wait().as_secs() as i64);
+    }
+    out
+}
+
+fn emit_line(out: &mut String, j: &Job, wait: i64) {
+    use std::fmt::Write;
+    // 18 fields; unused ones carry the SWF "unknown" value -1.
+    writeln!(
+        out,
+        "{} {} {} {} {} -1 -1 {} {} -1 1 {} {} -1 -1 -1 -1 -1",
+        j.id,
+        j.submit.as_secs(),
+        wait,
+        j.runtime.as_secs(),
+        j.cpus,
+        j.cpus,
+        j.estimate.as_secs(),
+        j.user,
+        j.group,
+    )
+    .expect("writing to String cannot fail");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+; Sample SWF log
+; Computer: TestMachine
+1 0 5 100 4 -1 -1 4 600 -1 1 7 2 -1 -1 -1 -1 -1
+2 50 -1 200 -1 -1 -1 8 -1 -1 1 9 3 -1 -1 -1 -1 -1
+
+3 120 0 30 1 -1 -1 1 60 -1 1 7 2 -1 -1 -1 -1 -1
+";
+
+    #[test]
+    fn header_metadata_is_extracted() {
+        let text = "\
+; Computer: ASCI Blue Mountain
+; MaxNodes: 48
+; MaxProcs: 6144
+; MaxRuntime: 172800
+; UnixStartTime: 922000000
+; SomethingUnknown: ignored
+1 0 0 100 4 -1 -1 4 600 -1 1 7 2 -1 -1 -1 -1 -1
+; trailing comments are not headers
+";
+        let h = parse_header(text);
+        assert_eq!(h.computer.as_deref(), Some("ASCI Blue Mountain"));
+        assert_eq!(h.max_procs, Some(6144), "MaxProcs wins over MaxNodes");
+        assert_eq!(h.max_runtime, Some(172_800));
+        assert_eq!(h.unix_start_time, Some(922_000_000));
+    }
+
+    #[test]
+    fn header_falls_back_to_max_nodes() {
+        let h = parse_header("; MaxNodes: 128\n1 0 0 1 1\n");
+        assert_eq!(h.max_procs, Some(128));
+    }
+
+    #[test]
+    fn missing_header_is_all_none() {
+        let h = parse_header(SAMPLE);
+        assert_eq!(h.max_procs, None);
+        // SAMPLE's header does carry a Computer line.
+        assert_eq!(h.computer.as_deref(), Some("TestMachine"));
+        assert_eq!(parse_header(""), SwfHeader::default());
+    }
+
+    #[test]
+    fn parses_jobs_and_skips_comments() {
+        let jobs = parse(SAMPLE, false).unwrap();
+        assert_eq!(jobs.len(), 3);
+        let j = &jobs[0];
+        assert_eq!(j.id, 1);
+        assert_eq!(j.submit, SimTime::from_secs(0));
+        assert_eq!(j.runtime, SimDuration::from_secs(100));
+        assert_eq!(j.cpus, 4);
+        assert_eq!(j.estimate, SimDuration::from_secs(600));
+        assert_eq!(j.user, 7);
+        assert_eq!(j.group, 2);
+        assert_eq!(j.class, JobClass::Native);
+    }
+
+    #[test]
+    fn allocated_falls_back_to_requested() {
+        let jobs = parse(SAMPLE, false).unwrap();
+        assert_eq!(jobs[1].cpus, 8, "alloc=-1 -> requested procs");
+        assert_eq!(
+            jobs[1].estimate,
+            SimDuration::from_secs(200),
+            "req time=-1 -> actual runtime"
+        );
+    }
+
+    #[test]
+    fn invalid_lines_error_or_skip() {
+        let bad = "1 0 0 100 -1 -1 -1 -1 -1 -1 1 0 0 -1 -1 -1 -1 -1\n";
+        assert!(parse(bad, false).is_err(), "no usable CPU count");
+        assert_eq!(parse(bad, true).unwrap().len(), 0);
+        let neg = "1 -5 0 100 4 -1 -1 4 -1 -1 1 0 0 -1 -1 -1 -1 -1\n";
+        assert!(parse(neg, false).is_err());
+    }
+
+    #[test]
+    fn short_line_is_an_error() {
+        let err = parse("1 2 3\n", false).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("at least 5 fields"));
+    }
+
+    #[test]
+    fn non_integer_field_is_an_error() {
+        let err = parse("1 0 0 abc 4\n", false).unwrap_err();
+        assert!(err.message.contains("run time"), "{}", err.message);
+    }
+
+    #[test]
+    fn round_trip_emit_parse() {
+        let jobs = parse(SAMPLE, false).unwrap();
+        let text = emit(&jobs, "round trip\nsecond header line");
+        assert!(text.starts_with("; round trip\n; second header line\n"));
+        let again = parse(&text, false).unwrap();
+        assert_eq!(again.len(), jobs.len());
+        for (a, b) in jobs.iter().zip(again.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.submit, b.submit);
+            assert_eq!(a.cpus, b.cpus);
+            assert_eq!(a.runtime, b.runtime);
+            assert_eq!(a.estimate, b.estimate);
+            assert_eq!(a.user, b.user);
+            assert_eq!(a.group, b.group);
+        }
+    }
+
+    #[test]
+    fn emit_completed_records_wait() {
+        let jobs = parse(SAMPLE, false).unwrap();
+        let completed: Vec<CompletedJob> = jobs
+            .iter()
+            .map(|&j| CompletedJob::new(j, j.submit + SimDuration::from_secs(42)))
+            .collect();
+        let text = emit_completed(&completed, "with waits");
+        for line in text.lines().filter(|l| !l.starts_with(';')) {
+            let wait: i64 = line.split_whitespace().nth(2).unwrap().parse().unwrap();
+            assert_eq!(wait, 42);
+        }
+    }
+
+    #[test]
+    fn every_emitted_line_has_18_fields() {
+        let jobs = parse(SAMPLE, false).unwrap();
+        for line in emit(&jobs, "").lines() {
+            assert_eq!(line.split_whitespace().count(), 18, "{line}");
+        }
+    }
+}

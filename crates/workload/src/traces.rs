@@ -1,0 +1,249 @@
+//! Calibrated per-machine trace builders.
+//!
+//! Each builder targets the published marginals of that machine's log
+//! (Table 1): job count, log length, and a mean job footprint chosen so the
+//! *offered* load matches the machine's delivered utilization. The
+//! calibration identity is
+//!
+//! ```text
+//! E[cpus] = U · N · T · fudge / (n_jobs · E[runtime])
+//! ```
+//!
+//! with a per-machine `fudge` absorbing scheduling losses (delivered ≤
+//! offered). The fudge factors were tuned once against the full simulator
+//! and are pinned here; `core`'s integration tests verify the delivered
+//! utilization lands near Table 1.
+
+use crate::arrivals::ArrivalModel;
+use crate::generator::TraceGenerator;
+use crate::job::Job;
+use crate::shape::{EstimateModel, RuntimeModel, SizeModel};
+use machine::MachineConfig;
+use simkit::time::{SimDuration, HOUR};
+
+/// Per-machine tuning that is not derivable from Table 1 alone.
+#[derive(Clone, Debug)]
+pub struct TraceSpec {
+    /// Median actual runtime, hours.
+    pub runtime_median_h: f64,
+    /// Mean actual runtime, hours.
+    pub runtime_mean_h: f64,
+    /// Maximum runtime (queue limit).
+    pub runtime_max: SimDuration,
+    /// Maximum user estimate (queue wallclock limit).
+    pub estimate_max: SimDuration,
+    /// Largest job size offered, as a fraction of the machine.
+    pub max_size_fraction: f64,
+    /// Offered-over-delivered load fudge.
+    pub load_fudge: f64,
+    /// Users / groups in the population.
+    pub n_users: u32,
+    /// Accounting groups.
+    pub n_groups: u32,
+    /// Arrival process shape (rate is set by the target job count).
+    pub arrivals: ArrivalModel,
+}
+
+impl TraceSpec {
+    /// Tuned spec for one of the three ASCI machines (matched by name);
+    /// unknown machines get Blue Mountain-like defaults.
+    pub fn for_machine(cfg: &MachineConfig) -> TraceSpec {
+        match cfg.name {
+            // Ross: moderate utilization, users may run week-long jobs
+            // (§4.3.2: "on Ross users can submit very long jobs (on the
+            // order of weeks)").
+            "Ross" => TraceSpec {
+                runtime_median_h: 0.8,
+                runtime_mean_h: 2.5,
+                runtime_max: SimDuration::from_days(14),
+                estimate_max: SimDuration::from_days(14),
+                max_size_fraction: 0.25,
+                load_fudge: 0.955,
+                n_users: 64,
+                n_groups: 8,
+                arrivals: ArrivalModel::bursty(1.0),
+            },
+            // Blue Mountain: the machine the paper characterizes in most
+            // detail (median 0.8 h / mean 2.5 h actual; 6 h / 7.2 h
+            // estimated).
+            "Blue Mountain" => TraceSpec {
+                runtime_median_h: 0.8,
+                runtime_mean_h: 2.5,
+                runtime_max: SimDuration::from_days(2),
+                estimate_max: SimDuration::from_days(4),
+                max_size_fraction: 0.25,
+                load_fudge: 1.03,
+                n_users: 128,
+                n_groups: 12,
+                // Milder burstiness than the default: Blue Mountain's log
+                // shows low typical waits (median ~0) despite 383-CPU mean
+                // jobs, implying a steadier submission stream.
+                arrivals: ArrivalModel {
+                    burst_factor: 2.0,
+                    diurnal_amplitude: 2.0,
+                    weekend_level: 0.7,
+                    ..ArrivalModel::bursty(1.0)
+                },
+            },
+            // Blue Pacific: very high utilization sustained by "relatively
+            // smaller and shorter" jobs that "turn over quickly" (§4.3.2.1).
+            "Blue Pacific" => TraceSpec {
+                runtime_median_h: 0.5,
+                runtime_mean_h: 1.2,
+                runtime_max: SimDuration::from_hours(12),
+                estimate_max: SimDuration::from_days(1),
+                max_size_fraction: 0.25,
+                load_fudge: 1.085,
+                n_users: 150,
+                n_groups: 15,
+                // Blue Pacific sustains 0.9 utilization with a steadier
+                // submission stream: flatten the bursts so the queue is
+                // rarely empty (matching the paper’s near-saturated queue regime).
+                arrivals: ArrivalModel {
+                    burst_factor: 1.8,
+                    diurnal_amplitude: 1.8,
+                    weekend_level: 0.85,
+                    ..ArrivalModel::bursty(1.0)
+                },
+            },
+            _ => TraceSpec {
+                runtime_median_h: 0.8,
+                runtime_mean_h: 2.5,
+                runtime_max: SimDuration::from_days(2),
+                estimate_max: SimDuration::from_days(4),
+                max_size_fraction: 0.25,
+                load_fudge: 1.03,
+                n_users: 100,
+                n_groups: 10,
+                arrivals: ArrivalModel::bursty(1.0),
+            },
+        }
+    }
+
+    /// Mean job size (CPUs) implied by the calibration identity.
+    pub fn mean_cpus(&self, cfg: &MachineConfig) -> f64 {
+        let t = cfg.log_horizon().as_secs() as f64;
+        let mean_runtime_s = self.runtime_mean_h * HOUR as f64;
+        (cfg.target_utilization * cfg.cpus as f64 * t * self.load_fudge
+            / (cfg.log_jobs as f64 * mean_runtime_s))
+            .clamp(1.0, cfg.cpus as f64 * self.max_size_fraction)
+    }
+
+    /// Build the configured generator for `cfg`.
+    pub fn generator(&self, cfg: &MachineConfig) -> TraceGenerator {
+        let max_cpus = ((cfg.cpus as f64 * self.max_size_fraction) as u32).max(1);
+        TraceGenerator {
+            horizon: cfg.log_horizon(),
+            target_jobs: cfg.log_jobs,
+            arrivals: self.arrivals.clone(), // rate set by approx-count
+            sizes: SizeModel::with_mean(max_cpus, self.mean_cpus(cfg), 0.05),
+            runtimes: RuntimeModel::from_median_mean(
+                self.runtime_median_h * HOUR as f64,
+                self.runtime_mean_h * HOUR as f64,
+                SimDuration::from_mins(1),
+                self.runtime_max,
+            ),
+            estimates: EstimateModel::paper_default(self.estimate_max),
+            n_users: self.n_users,
+            n_groups: self.n_groups,
+            user_skew: 1.1,
+            // Mild shape resubmission: enough to concentrate users without
+            // disturbing the calibrated marginals.
+            resubmit_similarity: 0.3,
+        }
+    }
+}
+
+/// Generate the native trace for a machine with the tuned spec.
+pub fn native_trace(cfg: &MachineConfig, seed: u64) -> Vec<Job> {
+    TraceSpec::for_machine(cfg).generator(cfg).generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator as TG;
+    use machine::config::{blue_mountain, blue_pacific, ross};
+
+    #[test]
+    fn job_counts_near_table1() {
+        for cfg in [ross(), blue_mountain(), blue_pacific()] {
+            let jobs = native_trace(&cfg, 1);
+            let target = cfg.log_jobs as f64;
+            let got = jobs.len() as f64;
+            assert!(
+                (got - target).abs() / target < 0.1,
+                "{}: got {got}, want ≈{target}",
+                cfg.name
+            );
+        }
+    }
+
+    #[test]
+    fn offered_load_tracks_target_utilization() {
+        for cfg in [ross(), blue_mountain(), blue_pacific()] {
+            let jobs = native_trace(&cfg, 2);
+            let u = TG::offered_load(&jobs, cfg.cpus, cfg.log_horizon());
+            let want = cfg.target_utilization;
+            assert!(
+                (u - want).abs() < 0.12,
+                "{}: offered {u:.3}, target {want:.3}",
+                cfg.name
+            );
+        }
+    }
+
+    #[test]
+    fn sizes_respect_machine_fraction() {
+        for cfg in [ross(), blue_mountain(), blue_pacific()] {
+            let spec = TraceSpec::for_machine(&cfg);
+            let max_allowed = (cfg.cpus as f64 * spec.max_size_fraction) as u32;
+            for j in native_trace(&cfg, 3) {
+                assert!(j.cpus <= max_allowed, "{}: {}", cfg.name, j.cpus);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_cpus_identity() {
+        let cfg = blue_mountain();
+        let spec = TraceSpec::for_machine(&cfg);
+        // U·N·T·fudge / (jobs · E[rt]): .790·4662·(84.2·86400)·1.03 /
+        // (7763 · 9000) ≈ 395.
+        let m = spec.mean_cpus(&cfg);
+        assert!((m - 395.0).abs() < 15.0, "mean cpus {m}");
+    }
+
+    #[test]
+    fn ross_allows_multiday_jobs() {
+        let cfg = ross();
+        let jobs = native_trace(&cfg, 4);
+        let longest = jobs.iter().map(|j| j.runtime).max().unwrap();
+        assert!(
+            longest > SimDuration::from_days(1),
+            "Ross log should contain >1-day jobs, longest {longest}"
+        );
+    }
+
+    #[test]
+    fn blue_pacific_jobs_are_shorter() {
+        let bp_jobs = native_trace(&blue_pacific(), 5);
+        let bm_jobs = native_trace(&blue_mountain(), 5);
+        let mean = |jobs: &[Job]| {
+            jobs.iter().map(|j| j.runtime.as_secs_f64()).sum::<f64>() / jobs.len() as f64
+        };
+        assert!(mean(&bp_jobs) < mean(&bm_jobs) * 0.7);
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let cfg = ross();
+        let a = native_trace(&cfg, 9);
+        let b = native_trace(&cfg, 9);
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.submit == y.submit && x.cpus == y.cpus && x.runtime == y.runtime));
+    }
+}

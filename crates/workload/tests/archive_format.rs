@@ -1,0 +1,61 @@
+//! Compatibility with Parallel Workloads Archive formatting conventions:
+//! a hand-written excerpt mimicking a real archive log's header and data
+//! quirks (cancelled jobs, missing fields, tabs and alignment spaces).
+
+use simkit::time::SimDuration;
+use workload::swf;
+
+const ARCHIVE_EXCERPT: &str = r#";
+; SWF format, version 2
+; Computer: IBM SP2
+; Installation: San Diego Supercomputer Center (SDSC)
+; MaxJobs: 73496
+; MaxRecords: 73496
+; UnixStartTime: 893512091
+; TimeZoneString: US/Pacific
+; MaxNodes: 128
+; MaxProcs: 128
+; MaxRuntime: 64800
+; Queues: queue 1: low, queue 2: normal, queue 3: high
+; Note: anonymized
+;
+    1      0   1460   5460     4  1380  1023     4  21600    -1  1  13   1  1  2 -1 -1 -1
+    2    100     -1     -1     8    -1    -1     8   3600    -1  0  13   1  1  2 -1 -1 -1
+    3    212      5     60     1    55   400     1     60    -1  1   7   2  1  1 -1 -1 -1
+    4    312      0  64800   128 64000  2000   128  64800    -1  1   9   3  1  3 -1 -1 -1
+"#;
+
+#[test]
+fn header_carries_archive_metadata() {
+    let h = swf::parse_header(ARCHIVE_EXCERPT);
+    assert_eq!(h.computer.as_deref(), Some("IBM SP2"));
+    assert_eq!(h.max_procs, Some(128));
+    assert_eq!(h.max_runtime, Some(64_800));
+    assert_eq!(h.unix_start_time, Some(893_512_091));
+}
+
+#[test]
+fn cancelled_jobs_are_skippable() {
+    // Job 2 has runtime −1 (cancelled before start): strict parsing errors,
+    // lenient parsing drops it.
+    assert!(swf::parse(ARCHIVE_EXCERPT, false).is_err());
+    let jobs = swf::parse(ARCHIVE_EXCERPT, true).unwrap();
+    assert_eq!(jobs.len(), 3);
+    let ids: Vec<u64> = jobs.iter().map(|j| j.id).collect();
+    assert_eq!(ids, vec![1, 3, 4]);
+}
+
+#[test]
+fn field_semantics_survive_archive_quirks() {
+    let jobs = swf::parse(ARCHIVE_EXCERPT, true).unwrap();
+    let j1 = &jobs[0];
+    assert_eq!(j1.cpus, 4);
+    assert_eq!(j1.runtime, SimDuration::from_secs(5_460));
+    assert_eq!(j1.estimate, SimDuration::from_secs(21_600));
+    assert_eq!(j1.user, 13);
+    assert_eq!(j1.group, 1);
+    // Whole-machine job parses intact.
+    let j4 = jobs.iter().find(|j| j.id == 4).unwrap();
+    assert_eq!(j4.cpus, 128);
+    assert_eq!(j4.runtime, SimDuration::from_secs(64_800));
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the workload substrate.
+
+use proptest::prelude::*;
+use simkit::time::{SimDuration, SimTime};
+use workload::job::{CompletedJob, Job, JobClass};
+use workload::swf;
+
+fn arb_job() -> impl Strategy<Value = Job> {
+    (
+        1u64..1_000_000,
+        0u64..10_000_000,
+        1u32..10_000,
+        0u64..2_000_000,
+        0u64..4_000_000,
+        0u32..5_000,
+        0u32..500,
+    )
+        .prop_map(|(id, submit, cpus, runtime, estimate, user, group)| Job {
+            id,
+            class: JobClass::Native,
+            user,
+            group,
+            submit: SimTime::from_secs(submit),
+            cpus,
+            runtime: SimDuration::from_secs(runtime),
+            estimate: SimDuration::from_secs(estimate),
+        })
+}
+
+proptest! {
+    #[test]
+    fn swf_round_trips_every_job(jobs in proptest::collection::vec(arb_job(), 0..50)) {
+        let text = swf::emit(&jobs, "proptest");
+        let parsed = swf::parse(&text, false).unwrap();
+        prop_assert_eq!(parsed.len(), jobs.len());
+        for (a, b) in jobs.iter().zip(parsed.iter()) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.submit, b.submit);
+            prop_assert_eq!(a.cpus, b.cpus);
+            prop_assert_eq!(a.runtime, b.runtime);
+            // SWF writes estimate through "requested time"; zero estimates
+            // come back as the runtime (the format's fallback).
+            if a.estimate.as_secs() > 0 {
+                prop_assert_eq!(a.estimate, b.estimate);
+            } else {
+                prop_assert_eq!(b.estimate, a.runtime);
+            }
+            prop_assert_eq!(a.user, b.user);
+            prop_assert_eq!(a.group, b.group);
+        }
+    }
+
+    #[test]
+    fn swf_emission_is_parseable_line_by_line(jobs in proptest::collection::vec(arb_job(), 1..30)) {
+        let text = swf::emit(&jobs, "header\nlines");
+        for line in text.lines() {
+            if line.starts_with(';') {
+                continue;
+            }
+            prop_assert_eq!(line.split_whitespace().count(), 18);
+        }
+    }
+
+    #[test]
+    fn completed_job_invariants(job in arb_job(), delay in 0u64..100_000) {
+        let start = job.submit + SimDuration::from_secs(delay);
+        let c = CompletedJob::new(job, start);
+        prop_assert_eq!(c.wait().as_secs(), delay);
+        prop_assert_eq!(c.finish, start + job.runtime);
+        prop_assert!(c.turnaround() >= c.wait());
+        prop_assert!(c.expansion_factor() >= 1.0);
+        if delay == 0 {
+            prop_assert!((c.expansion_factor() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn generator_output_is_well_formed(seed in 0u64..1_000) {
+        use workload::arrivals::ArrivalModel;
+        use workload::shape::{EstimateModel, RuntimeModel, SizeModel};
+        use workload::TraceGenerator;
+        let g = TraceGenerator {
+            horizon: SimTime::from_days(3),
+            target_jobs: 200,
+            arrivals: ArrivalModel::bursty(1.0),
+            sizes: SizeModel::power_of_two(64, 0.7, 0.05),
+            runtimes: RuntimeModel::paper_native(SimDuration::from_hours(12)),
+            estimates: EstimateModel::paper_default(SimDuration::from_days(1)),
+            n_users: 20,
+            n_groups: 4,
+            user_skew: 1.1,
+            resubmit_similarity: 0.25,
+        };
+        let jobs = g.generate(seed);
+        prop_assert!(!jobs.is_empty());
+        for (i, j) in jobs.iter().enumerate() {
+            prop_assert_eq!(j.id, i as u64 + 1);
+            prop_assert!(j.cpus.is_power_of_two() && j.cpus <= 64);
+            prop_assert!(j.runtime.as_secs() >= 60);
+            prop_assert!(j.estimate.as_secs() >= 1);
+            prop_assert!(j.submit < g.horizon);
+            prop_assert!(j.user < 20 && j.group < 4);
+        }
+        // Sorted by submit time.
+        prop_assert!(jobs.windows(2).all(|w| w[0].submit <= w[1].submit));
+    }
+}

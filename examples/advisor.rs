@@ -1,0 +1,44 @@
+//! Pre-flight advice for an interstitial project — the paper's §5
+//! guidelines as a tool.
+//!
+//! ```sh
+//! cargo run --release --example advisor -- [jobs] [cpus] [secs@1GHz] [tolerance_mins]
+//! ```
+//!
+//! Checks a proposed project against each of the three ASCI machines and
+//! prints the §5 findings: does the job size fit the machine's typical
+//! spare capacity (breakage in space)? Does the runtime respect the
+//! facility's native-delay tolerance (breakage in time)? What makespan
+//! should the user expect?
+
+use interstitial::advisor::{advise, Severity};
+use interstitial::InterstitialProject;
+use machine::config::all_machines;
+use simkit::time::SimDuration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let jobs: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(8_000);
+    let cpus: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
+    let secs: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(960.0);
+    let tol_min: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(15);
+    let project = InterstitialProject::per_paper(jobs, cpus, secs);
+    let tolerance = SimDuration::from_mins(tol_min);
+
+    println!(
+        "project: {jobs} × {cpus} CPUs × {secs} s@1GHz = {:.1} peta-cycles; \
+         native-delay tolerance {tol_min} min\n",
+        project.peta_cycles()
+    );
+    for m in all_machines() {
+        let advice = advise(&m, &project, tolerance);
+        let verdict = match advice.verdict() {
+            Severity::Ok => "OK",
+            Severity::Warning => "WARN",
+            Severity::Problem => "PROBLEM",
+        };
+        println!("== {} [{verdict}] ==", m.name);
+        print!("{}", advice.to_text());
+        println!();
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: fill Blue Mountain's spare cycles with a parameter sweep.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Replays Blue Mountain's (synthetic) 84-day job log through its LSF-like
+//! scheduler, streams 32-CPU / 458-second interstitial jobs into the gaps
+//! per the paper's Figure 1 algorithm, and reports what the machine gained
+//! and what the native workload paid.
+
+use interstitial::prelude::*;
+use workload::traces::native_trace;
+
+fn main() {
+    // 1. A machine from the paper (Table 1) and its native job log.
+    let machine = machine::config::blue_mountain();
+    let natives = native_trace(&machine, 42);
+    println!(
+        "machine: {} — {} CPUs @ {:.3} GHz, {} native jobs over {:.0} days",
+        machine.name,
+        machine.cpus,
+        machine.clock_ghz,
+        natives.len(),
+        machine.log_days
+    );
+
+    // 2. Baseline: the log with no interstitial computing.
+    let baseline = SimBuilder::new(machine.clone())
+        .natives(natives.clone())
+        .build()
+        .run();
+    println!(
+        "baseline: native utilization {:.1}%",
+        100.0 * baseline.native_utilization()
+    );
+
+    // 3. The same log with a continual interstitial stream: 32-CPU jobs of
+    //    120 s @1 GHz (458 s at Blue Mountain's clock), unlimited supply.
+    let project = InterstitialProject::per_paper(u64::MAX / 2, 32, 120.0);
+    let with_interstitial = SimBuilder::new(machine.clone())
+        .natives(natives)
+        .interstitial(
+            project,
+            InterstitialMode::Continual,
+            InterstitialPolicy::default(),
+        )
+        .build()
+        .run();
+
+    // 4. What changed?
+    let impact_before = analysis::metrics::NativeImpact::of(&baseline.completed);
+    let impact_after = analysis::metrics::NativeImpact::of(&with_interstitial.completed);
+    println!(
+        "with interstitial: {} scavenged jobs, overall utilization {:.1}% (native {:.1}%)",
+        with_interstitial.interstitial_completed(),
+        100.0 * with_interstitial.overall_utilization(),
+        100.0 * with_interstitial.native_utilization(),
+    );
+    println!(
+        "native median wait: {:.0} s -> {:.0} s (bounded by one interstitial runtime, {} s)",
+        impact_before.all.median_wait,
+        impact_after.all.median_wait,
+        project.runtime_on(&machine).as_secs(),
+    );
+    println!(
+        "native throughput in the log window: {} -> {}",
+        baseline.native_throughput_in_window(),
+        with_interstitial.native_throughput_in_window(),
+    );
+    let cycles = machine.cycles(32, project.runtime_on(&machine))
+        * with_interstitial.interstitial_completed() as f64
+        / 1e15;
+    println!("free compute harvested: {cycles:.1} peta-cycles");
+}

@@ -1,0 +1,23 @@
+//! # interstitial-computing — workspace façade
+//!
+//! Umbrella crate re-exporting the workspace's public surface so examples,
+//! integration tests and downstream users can depend on one crate:
+//!
+//! * [`interstitial`] — the core library (projects, the Figure 1 submission
+//!   algorithm, the discrete-event driver, omniscient packing, theory).
+//! * [`machine`] — machine models and the three ASCI presets.
+//! * [`workload`] — job model, SWF support, synthetic trace substrate.
+//! * [`sched`] — PBS/LSF/DPCS scheduling personalities.
+//! * [`analysis`] — metrics, tables, figures.
+//! * [`simkit`] — the discrete-event kernel underneath it all.
+//!
+//! See `examples/quickstart.rs` for a three-minute tour.
+
+#![warn(missing_docs)]
+
+pub use analysis;
+pub use interstitial;
+pub use machine;
+pub use sched;
+pub use simkit;
+pub use workload;

@@ -1,0 +1,36 @@
+//! A Parallel-Workloads-Archive-style excerpt replayed end to end.
+
+use interstitial_computing::interstitial::prelude::*;
+use interstitial_computing::machine;
+use interstitial_computing::simkit::time::{SimDuration, SimTime};
+use interstitial_computing::workload::swf;
+
+const ARCHIVE_EXCERPT: &str = r#";
+; Computer: IBM SP2
+; MaxProcs: 128
+; MaxRuntime: 64800
+;
+    1      0   1460   5460     4  1380  1023     4  21600    -1  1  13   1  1  2 -1 -1 -1
+    2    100     -1     -1     8    -1    -1     8   3600    -1  0  13   1  1  2 -1 -1 -1
+    3    212      5     60     1    55   400     1     60    -1  1   7   2  1  1 -1 -1 -1
+    4    312      0  64800   128 64000  2000   128  64800    -1  1   9   3  1  3 -1 -1 -1
+"#;
+
+#[test]
+fn archive_log_replays_through_the_simulator() {
+    let jobs = swf::parse(ARCHIVE_EXCERPT, true).unwrap();
+    assert_eq!(jobs.len(), 3, "cancelled job dropped");
+    let header = swf::parse_header(ARCHIVE_EXCERPT);
+    let mut m = machine::config::ross();
+    m.name = "SDSC SP2 (excerpt)";
+    m.cpus = header.max_procs.unwrap();
+    let out = SimBuilder::new(m)
+        .natives(jobs)
+        .horizon(SimTime::from_days(2))
+        .build()
+        .run();
+    assert_eq!(out.native_completed(), 3);
+    // The whole-machine job must wait for the small ones.
+    let j4 = out.natives().find(|c| c.job.id == 4).unwrap();
+    assert!(j4.wait() > SimDuration::ZERO);
+}
