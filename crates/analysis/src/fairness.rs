@@ -6,7 +6,7 @@
 //! module quantifies both: per-user service shares, the Gini coefficient of
 //! delivered CPU·time, and Jain's fairness index of per-user slowdowns.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use workload::CompletedJob;
 
 /// Per-user aggregate over a job log.
@@ -20,9 +20,10 @@ pub struct UserService {
     pub total_wait: f64,
 }
 
-/// Aggregate native jobs per user.
-pub fn per_user(completed: &[CompletedJob]) -> HashMap<u32, UserService> {
-    let mut out: HashMap<u32, UserService> = HashMap::new();
+/// Aggregate native jobs per user, keyed in ascending user order so the
+/// derived metric vectors are reproducible across runs.
+pub fn per_user(completed: &[CompletedJob]) -> BTreeMap<u32, UserService> {
+    let mut out: BTreeMap<u32, UserService> = BTreeMap::new();
     for c in completed {
         if c.job.class.is_interstitial() {
             continue;
@@ -44,7 +45,7 @@ pub fn gini(values: &[f64]) -> f64 {
     }
     debug_assert!(values.iter().all(|&v| v >= 0.0));
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let total: f64 = sorted.iter().sum();
     if total == 0.0 {
         return 0.0;

@@ -42,9 +42,9 @@ pub fn wait_stats<'a>(jobs: impl Iterator<Item = &'a CompletedJob>) -> WaitStats
     WaitStats {
         count,
         avg_wait,
-        median_wait: median(&waits).unwrap(),
+        median_wait: median(&waits).unwrap_or(0.0),
         avg_ef,
-        median_ef: median(&efs).unwrap(),
+        median_ef: median(&efs).unwrap_or(0.0),
     }
 }
 
@@ -59,8 +59,7 @@ pub fn largest_fraction(jobs: &[&CompletedJob], fraction: f64) -> Vec<CompletedJ
     by_size.sort_by(|a, b| {
         b.job
             .cpu_seconds()
-            .partial_cmp(&a.job.cpu_seconds())
-            .unwrap()
+            .total_cmp(&a.job.cpu_seconds())
             .then(a.job.id.cmp(&b.job.id))
     });
     let n = ((jobs.len() as f64 * fraction).ceil() as usize).max(1);

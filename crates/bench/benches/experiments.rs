@@ -3,7 +3,7 @@
 //! regressions in any pipeline stage (trace → scheduler → driver →
 //! analysis) are caught where a user feels them.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Harness;
 use interstitial::experiment::{
     continual_run, native_baseline, omniscient_makespans, window_makespans,
 };
@@ -12,119 +12,95 @@ use machine::config::{blue_mountain, ross};
 use std::hint::black_box;
 
 /// Table 1 / baselines: a full native-only replay (Ross, the smallest).
-fn bench_native_replay(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiment");
-    g.sample_size(10);
-    g.bench_function("table1_native_replay_ross", |b| {
-        b.iter(|| black_box(native_baseline(&ross(), 1).native_utilization()));
+fn bench_native_replay(h: &mut Harness) {
+    h.bench("experiment/table1_native_replay_ross", || {
+        black_box(native_baseline(&ross(), 1).native_utilization())
     });
-    g.finish();
 }
 
 /// Table 2: omniscient packing of one project at 5 random starts.
-fn bench_omniscient(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiment");
-    g.sample_size(10);
+fn bench_omniscient(h: &mut Harness) {
     let baseline = native_baseline(&blue_mountain(), 1);
     let project = InterstitialProject::from_kjobs(8.0, 32, 120.0);
-    g.bench_function("table2_omniscient_pack_x5", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(omniscient_makespans(&baseline, &project, 5, seed, 4))
-        });
+    let mut seed = 0u64;
+    h.bench("experiment/table2_omniscient_pack_x5", || {
+        seed += 1;
+        black_box(omniscient_makespans(&baseline, &project, 5, seed, 4))
     });
-    g.finish();
 }
 
 /// Tables 4–8: a full continual interstitial run on Blue Mountain (the
 /// heaviest single simulation in the suite: ~400k interstitial jobs).
-fn bench_continual(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiment");
-    g.sample_size(10);
+fn bench_continual(h: &mut Harness) {
     let project = InterstitialProject::per_paper(u64::MAX / 2, 32, 120.0);
-    g.bench_function("table6_continual_blue_mountain", |b| {
-        b.iter(|| {
-            black_box(
-                continual_run(&blue_mountain(), 1, &project, InterstitialPolicy::default())
-                    .interstitial_completed(),
-            )
-        });
+    h.bench("experiment/table6_continual_blue_mountain", || {
+        black_box(
+            continual_run(&blue_mountain(), 1, &project, InterstitialPolicy::default())
+                .interstitial_completed(),
+        )
     });
-    g.finish();
 }
 
 /// §4.3.1 window extraction over a cached continual run.
-fn bench_window_method(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiment");
+fn bench_window_method(h: &mut Harness) {
     let project = InterstitialProject::per_paper(u64::MAX / 2, 32, 120.0);
     let run = continual_run(&blue_mountain(), 1, &project, InterstitialPolicy::default());
-    g.bench_function("table4_window_makespans_500", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(window_makespans(&run, 32_000, 500, seed))
-        });
+    let mut seed = 0u64;
+    h.bench("experiment/table4_window_makespans_500", || {
+        seed += 1;
+        black_box(window_makespans(&run, 32_000, 500, seed))
     });
-    g.finish();
 }
 
 /// Extension paths: preemption machinery and multi-stream round-robin.
-fn bench_extensions(c: &mut Criterion) {
+fn bench_extensions(h: &mut Harness) {
     use interstitial::policy::Preemption;
     use interstitial::prelude::*;
     use workload::traces::native_trace;
-    let mut g = c.benchmark_group("experiment");
-    g.sample_size(10);
     let cfg = blue_mountain();
     let natives = native_trace(&cfg, 1);
     let project = InterstitialProject::per_paper(u64::MAX / 2, 32, 960.0);
-    g.bench_function("continual_checkpoint_preemption", |b| {
-        b.iter(|| {
-            black_box(
-                SimBuilder::new(cfg.clone())
-                    .natives(natives.clone())
-                    .interstitial(
-                        project,
-                        InterstitialMode::Continual,
-                        InterstitialPolicy::preempting(Preemption::Checkpoint),
-                    )
-                    .build()
-                    .run()
-                    .interstitial_completed(),
-            )
-        });
+    h.bench("experiment/continual_checkpoint_preemption", || {
+        black_box(
+            SimBuilder::new(cfg.clone())
+                .natives(natives.clone())
+                .interstitial(
+                    project,
+                    InterstitialMode::Continual,
+                    InterstitialPolicy::preempting(Preemption::Checkpoint),
+                )
+                .build()
+                .run()
+                .interstitial_completed(),
+        )
     });
-    g.bench_function("continual_two_streams", |b| {
-        b.iter(|| {
-            black_box(
-                SimBuilder::new(cfg.clone())
-                    .natives(natives.clone())
-                    .interstitial(
-                        project,
-                        InterstitialMode::Continual,
-                        InterstitialPolicy::default(),
-                    )
-                    .interstitial(
-                        InterstitialProject::per_paper(u64::MAX / 2, 8, 120.0),
-                        InterstitialMode::Continual,
-                        InterstitialPolicy::default(),
-                    )
-                    .build()
-                    .run()
-                    .interstitial_completed(),
-            )
-        });
+    h.bench("experiment/continual_two_streams", || {
+        black_box(
+            SimBuilder::new(cfg.clone())
+                .natives(natives.clone())
+                .interstitial(
+                    project,
+                    InterstitialMode::Continual,
+                    InterstitialPolicy::default(),
+                )
+                .interstitial(
+                    InterstitialProject::per_paper(u64::MAX / 2, 8, 120.0),
+                    InterstitialMode::Continual,
+                    InterstitialPolicy::default(),
+                )
+                .build()
+                .run()
+                .interstitial_completed(),
+        )
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_native_replay,
-    bench_omniscient,
-    bench_continual,
-    bench_window_method,
-    bench_extensions
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args("experiments");
+    bench_native_replay(&mut h);
+    bench_omniscient(&mut h);
+    bench_continual(&mut h);
+    bench_window_method(&mut h);
+    bench_extensions(&mut h);
+    h.finish();
+}

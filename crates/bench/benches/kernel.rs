@@ -2,7 +2,7 @@
 //! experiment hammers (event queue, step-function profile ops, RNG and
 //! distribution sampling).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::harness::Harness;
 use simkit::dist::{Alias, Exp, LogNormal, Sample};
 use simkit::event::EventQueue;
 use simkit::rng::Rng;
@@ -10,31 +10,25 @@ use simkit::series::StepFunction;
 use simkit::time::{SimDuration, SimTime};
 use std::hint::black_box;
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
+fn bench_event_queue(h: &mut Harness) {
     for &n in &[1_000usize, 100_000] {
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
-            let mut rng = Rng::new(1);
-            let times: Vec<u64> = (0..n).map(|_| rng.below(1_000_000)).collect();
-            b.iter(|| {
-                let mut q = EventQueue::with_capacity(n);
-                for (i, &t) in times.iter().enumerate() {
-                    q.schedule(SimTime::from_secs(t), i);
-                }
-                let mut acc = 0usize;
-                while let Some((_, i)) = q.pop() {
-                    acc ^= i;
-                }
-                black_box(acc)
-            });
+        let mut rng = Rng::new(1);
+        let times: Vec<u64> = (0..n).map(|_| rng.below(1_000_000)).collect();
+        h.bench(&format!("event_queue/schedule_pop/{n}"), || {
+            let mut q = EventQueue::with_capacity(n);
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_secs(t), i);
+            }
+            let mut acc = 0usize;
+            while let Some((_, i)) = q.pop() {
+                acc ^= i;
+            }
+            black_box(acc)
         });
     }
-    g.finish();
 }
 
-fn bench_step_function(c: &mut Criterion) {
-    let mut g = c.benchmark_group("step_function");
+fn bench_step_function(h: &mut Harness) {
     // A profile shaped like a busy machine: ~4k segments over 84 days.
     let horizon = SimTime::from_days(84);
     let build_profile = || {
@@ -53,57 +47,45 @@ fn bench_step_function(c: &mut Criterion) {
     };
     let profile = build_profile();
 
-    g.bench_function("range_add_2000", |b| b.iter(build_profile));
-    g.bench_function("min_over_1h_windows", |b| {
-        let mut rng = Rng::new(3);
-        b.iter(|| {
-            let a = SimTime::from_secs(rng.below(horizon.as_secs() - 3600));
-            black_box(profile.min_over(a, a + SimDuration::from_hours(1)))
-        });
+    h.bench("step_function/range_add_2000", build_profile);
+    let mut rng = Rng::new(3);
+    h.bench("step_function/min_over_1h_windows", || {
+        let a = SimTime::from_secs(rng.below(horizon.as_secs() - 3600));
+        black_box(profile.min_over(a, a + SimDuration::from_hours(1)))
     });
-    g.bench_function("find_slot_32cpu_458s", |b| {
-        let mut rng = Rng::new(4);
-        b.iter(|| {
-            let from = SimTime::from_secs(rng.below(horizon.as_secs() / 2));
-            black_box(profile.find_slot(from, 4400, SimDuration::from_secs(458)))
-        });
+    let mut rng = Rng::new(4);
+    h.bench("step_function/find_slot_32cpu_458s", || {
+        let from = SimTime::from_secs(rng.below(horizon.as_secs() / 2));
+        black_box(profile.find_slot(from, 4400, SimDuration::from_secs(458)))
     });
-    g.bench_function("integral_full_domain", |b| {
-        b.iter(|| black_box(profile.integral(SimTime::ZERO, horizon)));
+    h.bench("step_function/integral_full_domain", || {
+        black_box(profile.integral(SimTime::ZERO, horizon))
     });
-    g.finish();
 }
 
-fn bench_rng_and_dists(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rng_dists");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("xoshiro_next_u64", |b| {
-        let mut rng = Rng::new(5);
-        b.iter(|| black_box(rng.next_u64()));
+fn bench_rng_and_dists(h: &mut Harness) {
+    let mut rng = Rng::new(5);
+    h.bench("rng_dists/xoshiro_next_u64", || black_box(rng.next_u64()));
+    let mut rng = Rng::new(6);
+    let d = Exp::with_mean(900.0);
+    h.bench("rng_dists/exp_sample", || black_box(d.sample(&mut rng)));
+    let mut rng = Rng::new(7);
+    let d = LogNormal::from_median_mean(2_880.0, 9_000.0);
+    h.bench("rng_dists/lognormal_sample", || {
+        black_box(d.sample(&mut rng))
     });
-    g.bench_function("exp_sample", |b| {
-        let mut rng = Rng::new(6);
-        let d = Exp::with_mean(900.0);
-        b.iter(|| black_box(d.sample(&mut rng)));
+    let mut rng = Rng::new(8);
+    let weights: Vec<f64> = (1..=12).map(|k| 1.0 / k as f64).collect();
+    let a = Alias::new(&weights);
+    h.bench("rng_dists/alias_sample", || {
+        black_box(a.sample_index(&mut rng))
     });
-    g.bench_function("lognormal_sample", |b| {
-        let mut rng = Rng::new(7);
-        let d = LogNormal::from_median_mean(2_880.0, 9_000.0);
-        b.iter(|| black_box(d.sample(&mut rng)));
-    });
-    g.bench_function("alias_sample", |b| {
-        let mut rng = Rng::new(8);
-        let weights: Vec<f64> = (1..=12).map(|k| 1.0 / k as f64).collect();
-        let a = Alias::new(&weights);
-        b.iter(|| black_box(a.sample_index(&mut rng)));
-    });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_step_function,
-    bench_rng_and_dists
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args("kernel");
+    bench_event_queue(&mut h);
+    bench_step_function(&mut h);
+    bench_rng_and_dists(&mut h);
+    h.finish();
+}

@@ -1,7 +1,7 @@
 //! Benchmarks of the scheduling layer: one dispatch-plan cycle under each
 //! backfill policy, and trace generation throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::harness::Harness;
 use machine::{RunningJob, RunningSet};
 use sched::backfill::{plan, BackfillPolicy};
 use sched::DispatchWindow;
@@ -49,8 +49,7 @@ fn scenario(queue_len: usize) -> (SimTime, u32, RunningSet, Vec<Job>) {
     (now, total - used, rs, queue)
 }
 
-fn bench_dispatch_plan(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dispatch_plan");
+fn bench_dispatch_plan(h: &mut Harness) {
     for &qlen in &[5usize, 50, 200] {
         let (now, free, rs, queue) = scenario(qlen);
         for policy in [
@@ -58,37 +57,32 @@ fn bench_dispatch_plan(c: &mut Criterion) {
             ("conservative", BackfillPolicy::Conservative),
             ("restrictive", BackfillPolicy::Restrictive { depth: 8 }),
         ] {
-            g.bench_with_input(BenchmarkId::new(policy.0, qlen), &qlen, |b, _| {
-                b.iter(|| {
-                    black_box(plan(
-                        policy.1,
-                        &queue,
-                        now,
-                        free,
-                        &rs,
-                        DispatchWindow::Always,
-                    ))
-                })
+            h.bench(&format!("dispatch_plan/{}/{qlen}", policy.0), || {
+                black_box(plan(
+                    policy.1,
+                    &queue,
+                    now,
+                    free,
+                    &rs,
+                    DispatchWindow::Always,
+                ))
             });
         }
     }
-    g.finish();
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace_generation");
-    g.sample_size(20);
+fn bench_trace_generation(h: &mut Harness) {
     let cfg = machine::config::blue_mountain();
-    g.throughput(Throughput::Elements(cfg.log_jobs as u64));
-    g.bench_function("blue_mountain_full_log", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(native_trace(&cfg, seed).len())
-        });
+    let mut seed = 0u64;
+    h.bench("trace_generation/blue_mountain_full_log", || {
+        seed += 1;
+        black_box(native_trace(&cfg, seed).len())
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_dispatch_plan, bench_trace_generation);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args("scheduling");
+    bench_dispatch_plan(&mut h);
+    bench_trace_generation(&mut h);
+    h.finish();
+}

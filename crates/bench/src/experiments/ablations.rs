@@ -407,7 +407,10 @@ pub fn open_vs_closed(lab: &mut Lab) -> Experiment {
             "native avg wait (s)",
         ],
     );
-    for (name, closed) in [("open loop (paper)", false), ("closed loop (30 min think)", true)] {
+    for (name, closed) in [
+        ("open loop (paper)", false),
+        ("closed loop (30 min think)", true),
+    ] {
         let mut b = SimBuilder::new(bm.clone())
             .natives(natives.clone())
             .interstitial(

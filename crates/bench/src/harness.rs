@@ -1,0 +1,80 @@
+//! A minimal micro-benchmark harness (criterion-shaped, dependency-free).
+//!
+//! The container this repo builds in has no network access to crates.io, so
+//! the bench targets cannot link criterion. This module supplies the small
+//! subset the suite needs: named benchmarks, adaptive iteration counts, and
+//! a median-of-samples ns/iter report. Wall-clock reads live here and in
+//! the bench binaries only — simulation code must stay on `SimTime`
+//! (enforced by `simlint` rule R2).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Target wall-clock per measurement sample.
+const SAMPLE_TARGET_NS: u128 = 25_000_000;
+/// Samples per benchmark; the median is reported.
+const SAMPLES: usize = 7;
+/// Hard cap on iterations per sample (protects multi-second benchmarks).
+const MAX_ITERS: u64 = 1 << 24;
+
+/// Runs named benchmarks, honoring an optional substring filter from argv.
+pub struct Harness {
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Harness {
+    /// Build from `std::env::args`: the first argument that is not a flag
+    /// (cargo bench passes `--bench`) filters benchmarks by substring.
+    pub fn from_args(suite: &str) -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        println!("# bench suite: {suite}");
+        Harness { filter, ran: 0 }
+    }
+
+    /// Time `f`, printing `name ... <median> ns/iter`. Results are passed
+    /// through [`black_box`] so the work is not optimized away.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if let Some(flt) = &self.filter {
+            if !name.contains(flt.as_str()) {
+                return;
+            }
+        }
+        // Calibration: one untimed call, then grow iterations until a
+        // sample takes long enough to time meaningfully.
+        black_box(f());
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed().as_nanos();
+            if elapsed >= SAMPLE_TARGET_NS / 4 || iters >= MAX_ITERS {
+                break;
+            }
+            iters = (iters * 4).min(MAX_ITERS);
+        }
+        let mut samples: Vec<u128> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() / iters as u128
+            })
+            .collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        println!("{name:<44} {median:>12} ns/iter  (x{iters})");
+        self.ran += 1;
+    }
+
+    /// Final line so truncated output is detectable in CI logs.
+    pub fn finish(self) {
+        println!("# {} benchmark(s) run", self.ran);
+    }
+}

@@ -28,7 +28,7 @@ use machine::{CpuPool, MachineConfig, OutageSchedule, RunningJob, RunningSet};
 use sched::Scheduler;
 use simkit::event::EventQueue;
 use simkit::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use workload::{CompletedJob, Job, JobClass};
 
 /// Interstitial job ids live far above any native id.
@@ -192,7 +192,10 @@ struct RunState {
     pool: CpuPool,
     running: RunningSet,
     /// Payload of running jobs (the RunningSet keeps only scheduling facts).
-    live: HashMap<u64, Job>,
+    /// All RunState maps are `BTreeMap`: the closed-loop seeding and any
+    /// future iteration must visit entries in a fixed order or replays
+    /// diverge (simlint R1).
+    live: BTreeMap<u64, Job>,
     completed: Vec<CompletedJob>,
     /// Interstitial jobs started so far, per stream.
     ij_started: Vec<u64>,
@@ -205,16 +208,16 @@ struct RunState {
     /// stale event complete it early; counting consumes exactly the stale
     /// ones (they always precede the live one, since resumption only ever
     /// pushes the true end later).
-    void_events: HashMap<u64, u32>,
+    void_events: BTreeMap<u64, u32>,
     /// Checkpointed interstitial jobs (FIFO resume order).
     suspended: Vec<Suspended>,
     /// First-start instants of checkpointed jobs currently running again.
-    resume_meta: HashMap<u64, SimTime>,
+    resume_meta: BTreeMap<u64, SimTime>,
     killed: u64,
     wasted_cpu_seconds: f64,
     /// Closed-loop mode: per-user queues of not-yet-submitted native trace
     /// indexes, and the think-time sampler.
-    user_pending: HashMap<u32, std::collections::VecDeque<u32>>,
+    user_pending: BTreeMap<u32, std::collections::VecDeque<u32>>,
     think: Option<(simkit::dist::Exp, simkit::rng::Rng)>,
 }
 
@@ -226,26 +229,24 @@ impl Simulator {
         let mut st = RunState {
             pool: CpuPool::new(self.machine.cpus),
             running: RunningSet::new(),
-            live: HashMap::new(),
+            live: BTreeMap::new(),
             completed: Vec::with_capacity(self.natives.len()),
             ij_started: vec![0; self.streams.len()],
             rr_next: 0,
             next_ij_id: INTERSTITIAL_ID_BASE,
             machine_up: !self.outages.is_down(SimTime::ZERO),
-            void_events: HashMap::new(),
+            void_events: BTreeMap::new(),
             suspended: Vec::new(),
-            resume_meta: HashMap::new(),
+            resume_meta: BTreeMap::new(),
             killed: 0,
             wasted_cpu_seconds: 0.0,
-            user_pending: HashMap::new(),
-            think: self
-                .feedback
-                .map(|(mean, seed)| {
-                    (
-                        simkit::dist::Exp::with_mean(mean.as_secs_f64().max(1.0)),
-                        simkit::rng::Rng::new(seed),
-                    )
-                }),
+            user_pending: BTreeMap::new(),
+            think: self.feedback.map(|(mean, seed)| {
+                (
+                    simkit::dist::Exp::with_mean(mean.as_secs_f64().max(1.0)),
+                    simkit::rng::Rng::new(seed),
+                )
+            }),
         };
 
         // Seed events: native arrivals, outage boundaries, project start.
@@ -367,7 +368,10 @@ impl Simulator {
 
     /// One scheduling pass: (extension) preempt interstitial jobs blocking
     /// the native head, then natives, then the Figure 1 interstitial
-    /// submission.
+    /// submission. With the `check-invariants` feature (on in test builds)
+    /// CPU conservation and the meta-backfill no-delay guarantee are
+    /// asserted around the interstitial placement; the calls are empty
+    /// inline stubs otherwise.
     fn cycle(&mut self, now: SimTime, st: &mut RunState, q: &mut EventQueue<Ev>) {
         if st.machine_up {
             self.preempt_for_head(now, st);
@@ -378,9 +382,52 @@ impl Simulator {
         for job in starts {
             Self::start_job(now, job, st, q, false);
         }
+        self.check_conservation(now, st);
         if st.machine_up {
+            // The no-delay guarantee only binds non-preempting streams (a
+            // preempting stream may block the head on purpose — the next
+            // cycle reclaims the CPUs), and the relaxed `>=`-with-rounding
+            // guard admits jobs ending up to 1 s past the reservation.
+            let no_delay_binds = !self.streams.is_empty()
+                && self
+                    .streams
+                    .iter()
+                    .all(|&(_, _, p)| p.preemption == Preemption::None);
+            let slack = if self
+                .streams
+                .iter()
+                .any(|&(_, _, p)| !p.strict_backfill_guard)
+            {
+                SimDuration::from_secs(1)
+            } else {
+                SimDuration::ZERO
+            };
+            let before = self.scheduler.head_reservation();
             self.submit_interstitial(now, st, q);
+            if no_delay_binds {
+                sched::invariants::check_no_delay(
+                    now,
+                    &mut self.scheduler,
+                    st.pool.free(),
+                    &st.running,
+                    before,
+                    slack,
+                );
+            }
+            self.check_conservation(now, st);
         }
+    }
+
+    /// CPU-conservation invariant (no-op without `check-invariants`).
+    fn check_conservation(&self, now: SimTime, st: &RunState) {
+        sched::invariants::check_conservation(
+            now,
+            &st.running,
+            st.pool.in_use(),
+            st.pool.free(),
+            st.pool.offline(),
+            st.pool.total(),
+        );
     }
 
     /// Breakage-in-time extension: if the native queue head could start
@@ -1057,8 +1104,10 @@ mod tests {
         assert!(open_waits > 200.0, "{open_waits}");
         assert_eq!(closed_waits, 0.0);
         // Per-user order preserved and think time separates them.
-        let mut starts: Vec<(u64, u64)> =
-            closed.natives().map(|c| (c.job.id, c.start.as_secs())).collect();
+        let mut starts: Vec<(u64, u64)> = closed
+            .natives()
+            .map(|c| (c.job.id, c.start.as_secs()))
+            .collect();
         starts.sort_unstable();
         assert!(starts[1].1 >= starts[0].1 + 100);
         assert!(starts[2].1 >= starts[1].1 + 100);

@@ -81,11 +81,7 @@ pub fn best_within_tolerance(
     outcomes
         .iter()
         .filter(|o| o.native_median_wait <= tolerance.as_secs_f64())
-        .max_by(|a, b| {
-            a.harvested_peta_cycles
-                .partial_cmp(&b.harvested_peta_cycles)
-                .unwrap()
-        })
+        .max_by(|a, b| a.harvested_peta_cycles.total_cmp(&b.harvested_peta_cycles))
         .copied()
 }
 

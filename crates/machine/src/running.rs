@@ -15,7 +15,7 @@
 
 use simkit::series::StepFunction;
 use simkit::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of a job within a simulation run.
 pub type JobId = u64;
@@ -40,9 +40,13 @@ pub struct RunningJob {
 }
 
 /// The set of executing jobs, indexed by id.
+///
+/// Backed by a `BTreeMap` so iteration is in ascending job-id order — the
+/// shadow-time and free-profile scans below feed scheduling decisions, and
+/// a nondeterministic visit order would make replays diverge (simlint R1).
 #[derive(Clone, Debug, Default)]
 pub struct RunningSet {
-    jobs: HashMap<JobId, RunningJob>,
+    jobs: BTreeMap<JobId, RunningJob>,
     cpus_in_use: u32,
 }
 
@@ -100,7 +104,7 @@ impl RunningSet {
         self.jobs.get(&id)
     }
 
-    /// Iterate over running jobs (arbitrary order).
+    /// Iterate over running jobs in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = &RunningJob> {
         self.jobs.values()
     }

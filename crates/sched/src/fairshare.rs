@@ -12,7 +12,7 @@
 //! decayed lazily on read — O(1) per charge and per query, no periodic sweep.
 
 use simkit::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One decayed accumulator.
 #[derive(Clone, Copy, Debug, Default)]
@@ -31,11 +31,14 @@ impl Account {
 }
 
 /// Fair-share ledger: decayed CPU·second usage per user and per group.
+///
+/// Keyed by `BTreeMap` — simulation state must iterate in a fixed order so
+/// replays are bit-for-bit reproducible (simlint rule R1).
 #[derive(Clone, Debug)]
 pub struct FairShare {
     half_life: SimDuration,
-    users: HashMap<u32, Account>,
-    groups: HashMap<u32, Account>,
+    users: BTreeMap<u32, Account>,
+    groups: BTreeMap<u32, Account>,
 }
 
 impl FairShare {
@@ -45,8 +48,8 @@ impl FairShare {
         assert!(!half_life.is_zero(), "half-life must be positive");
         FairShare {
             half_life,
-            users: HashMap::new(),
-            groups: HashMap::new(),
+            users: BTreeMap::new(),
+            groups: BTreeMap::new(),
         }
     }
 

@@ -1,0 +1,237 @@
+//! Runtime invariant checks for the simulation loop.
+//!
+//! Two properties the whole reproduction rests on are asserted here, at
+//! every scheduling cycle, when the `check-invariants` feature is enabled:
+//!
+//! 1. **CPU conservation** — the CPUs booked by the running set, the pool's
+//!    allocation counter and the machine size always agree: `in_use + free +
+//!    offline == total` and `in_use <= total`. A divergence means jobs were
+//!    started on CPUs that do not exist (or released twice), which silently
+//!    corrupts every utilization number downstream.
+//! 2. **Meta-backfill no-delay** — placing interstitial jobs never moves the
+//!    projected start of the head native job (the paper's
+//!    `backFillWallTime`), *on the scheduler's own information*. This is the
+//!    Figure 1 guarantee; bad user estimates may still delay natives in
+//!    actuality (the §4.3 effect), but the plan itself must never regress.
+//!
+//! Without the feature both functions compile to empty inline bodies, so the
+//! driver calls them unconditionally and release builds pay nothing. The
+//! `interstitial` crate (crates/core) turns the feature on for its test
+//! builds via a dev-dependency, so every `cargo test` replay runs checked.
+
+use crate::backfill::Reservation;
+use crate::Scheduler;
+use machine::RunningSet;
+use simkit::time::{SimDuration, SimTime};
+
+/// Assert the CPU-accounting invariant: the running set and the pool agree,
+/// and the partition is never oversubscribed.
+#[cfg(feature = "check-invariants")]
+pub fn check_conservation(
+    now: SimTime,
+    running: &RunningSet,
+    in_use: u32,
+    free: u32,
+    offline: u32,
+    total: u32,
+) {
+    let listed: u32 = running.iter().map(|j| j.cpus).sum();
+    assert_eq!(
+        listed,
+        running.cpus_in_use(),
+        "invariant: RunningSet cached CPU counter diverged from its contents at {now:?}"
+    );
+    assert_eq!(
+        listed, in_use,
+        "invariant: pool books {in_use} CPUs but running jobs hold {listed} at {now:?}"
+    );
+    assert!(
+        in_use <= total,
+        "invariant: {in_use} CPUs allocated on a {total}-CPU machine at {now:?}"
+    );
+    assert_eq!(
+        in_use + free + offline,
+        total,
+        "invariant: pool accounting leak at {now:?} ({in_use} + {free} + {offline} != {total})"
+    );
+}
+
+/// No-op stand-in when the feature is off.
+#[cfg(not(feature = "check-invariants"))]
+#[inline(always)]
+pub fn check_conservation(
+    _now: SimTime,
+    _running: &RunningSet,
+    _in_use: u32,
+    _free: u32,
+    _offline: u32,
+    _total: u32,
+) {
+}
+
+/// Assert the meta-backfill no-delay guarantee: given the head native job's
+/// reservation captured *before* interstitial placement, recompute it
+/// against the post-placement running set and verify the projected start
+/// moved by at most `slack` (zero under the strict Figure 1 guard; one
+/// second under the relaxed `>=`-with-rounding variant). Callers skip the
+/// check entirely for preempting streams, whose guard is deliberately
+/// relaxed because a blocking job can always be reclaimed.
+#[cfg(feature = "check-invariants")]
+pub fn check_no_delay(
+    now: SimTime,
+    scheduler: &mut Scheduler,
+    free: u32,
+    running: &RunningSet,
+    before: Option<Reservation>,
+    slack: SimDuration,
+) {
+    let Some(before) = before else {
+        // No blocked head → nothing to protect (and with a non-empty queue
+        // whose head is unplaceable, the guard admits no interstitial jobs).
+        return;
+    };
+    match scheduler.probe_head_reservation(now, free, running) {
+        Some(after) => {
+            assert_eq!(
+                after.job_id, before.job_id,
+                "invariant: head job changed during interstitial placement at {now:?}"
+            );
+            assert!(
+                after.start <= before.start + slack,
+                "invariant: interstitial placement delayed the head native job {} at {now:?}: \
+                 reserved at {:?} before, {:?} after (allowed slack {slack:?})",
+                before.job_id,
+                before.start,
+                after.start,
+            );
+        }
+        None => panic!(
+            "invariant: head native job {} lost its reservation during interstitial \
+             placement at {now:?}",
+            before.job_id
+        ),
+    }
+}
+
+/// No-op stand-in when the feature is off.
+#[cfg(not(feature = "check-invariants"))]
+#[inline(always)]
+pub fn check_no_delay(
+    _now: SimTime,
+    _scheduler: &mut Scheduler,
+    _free: u32,
+    _running: &RunningSet,
+    _before: Option<Reservation>,
+    _slack: SimDuration,
+) {
+}
+
+#[cfg(all(test, feature = "check-invariants"))]
+mod tests {
+    use super::*;
+    use machine::RunningJob;
+    use workload::{Job, JobClass};
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn rj(id: u64, cpus: u32, est_end: u64, interstitial: bool) -> RunningJob {
+        RunningJob {
+            id,
+            cpus,
+            start: SimTime::ZERO,
+            actual_end: t(est_end),
+            estimated_end: t(est_end),
+            interstitial,
+        }
+    }
+
+    fn job(id: u64, cpus: u32, est: u64) -> Job {
+        Job {
+            id,
+            class: JobClass::Native,
+            user: id as u32,
+            group: 0,
+            submit: SimTime::ZERO,
+            cpus,
+            runtime: SimDuration::from_secs(est),
+            estimate: SimDuration::from_secs(est),
+        }
+    }
+
+    #[test]
+    fn conservation_accepts_consistent_state() {
+        let mut rs = RunningSet::new();
+        rs.insert(rj(1, 6, 100, false));
+        check_conservation(t(0), &rs, 6, 4, 0, 10);
+        check_conservation(t(0), &rs, 6, 2, 2, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "running jobs hold")]
+    fn conservation_catches_pool_divergence() {
+        let mut rs = RunningSet::new();
+        rs.insert(rj(1, 6, 100, false));
+        check_conservation(t(0), &rs, 4, 6, 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "accounting leak")]
+    fn conservation_catches_leaked_cpus() {
+        let mut rs = RunningSet::new();
+        rs.insert(rj(1, 6, 100, false));
+        check_conservation(t(0), &rs, 6, 3, 0, 10);
+    }
+
+    #[test]
+    fn no_delay_accepts_harmless_placement() {
+        // 10-CPU machine: native 6 CPUs until t=1000; head wants 8.
+        let mut s = Scheduler::lsf();
+        s.submit(job(1, 8, 500));
+        let mut rs = RunningSet::new();
+        rs.insert(rj(100, 6, 1000, false));
+        let before = s.cycle(t(0), 4, &rs, true);
+        assert!(before.is_empty());
+        let res = s.head_reservation();
+        assert_eq!(res.unwrap().start, t(1000));
+        // Interstitial slab on the 4 idle CPUs, done by t=800 < 1000.
+        rs.insert(rj(1 << 40, 4, 800, true));
+        check_no_delay(t(0), &mut s, 0, &rs, res, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "delayed the head native job")]
+    fn no_delay_catches_regressing_placement() {
+        let mut s = Scheduler::lsf();
+        s.submit(job(1, 8, 500));
+        let mut rs = RunningSet::new();
+        rs.insert(rj(100, 6, 1000, false));
+        s.cycle(t(0), 4, &rs, true);
+        let res = s.head_reservation();
+        // A rogue interstitial job squatting on the idle CPUs until t=5000
+        // pushes the head's earliest 8-CPU slot from 1000 to 5000.
+        rs.insert(rj(1 << 40, 4, 5000, true));
+        check_no_delay(t(0), &mut s, 0, &rs, res, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn no_delay_tolerates_declared_slack() {
+        let mut s = Scheduler::lsf();
+        s.submit(job(1, 8, 500));
+        let mut rs = RunningSet::new();
+        rs.insert(rj(100, 6, 1000, false));
+        s.cycle(t(0), 4, &rs, true);
+        let res = s.head_reservation();
+        // Relaxed guard admits a job ending one second past the reservation.
+        rs.insert(rj(1 << 40, 4, 1001, true));
+        check_no_delay(t(0), &mut s, 0, &rs, res, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn no_delay_ignores_unblocked_queue() {
+        let mut s = Scheduler::lsf();
+        let rs = RunningSet::new();
+        check_no_delay(t(0), &mut s, 10, &rs, None, SimDuration::ZERO);
+    }
+}

@@ -39,6 +39,7 @@
 
 pub mod backfill;
 pub mod fairshare;
+pub mod invariants;
 pub mod priority;
 pub mod scheduler;
 pub mod window;

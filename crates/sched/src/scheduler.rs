@@ -160,8 +160,8 @@ impl Scheduler {
         match self.max_dispatchable_per_user {
             None => self.queue.clone(),
             Some(cap) => {
-                let mut counts: std::collections::HashMap<u32, u32> =
-                    std::collections::HashMap::new();
+                let mut counts: std::collections::BTreeMap<u32, u32> =
+                    std::collections::BTreeMap::new();
                 self.queue
                     .iter()
                     .filter(|j| {
@@ -199,11 +199,28 @@ impl Scheduler {
         self.counters.inorder_starts += plan.starts.len() as u64 - u64::from(plan.backfilled);
         self.last_head_reservation = plan.head_reservation;
         if !plan.starts.is_empty() {
-            let started: std::collections::HashSet<u64> =
+            let started: std::collections::BTreeSet<u64> =
                 plan.starts.iter().map(|j| j.id).collect();
             self.queue.retain(|j| !started.contains(&j.id));
         }
         plan.starts
+    }
+
+    /// Recompute the head reservation against the current running set
+    /// without touching counters or the queue contents. Used by
+    /// [`crate::invariants`] to verify interstitial placement did not move
+    /// the head native job's projected start.
+    #[cfg(feature = "check-invariants")]
+    pub fn probe_head_reservation(
+        &mut self,
+        now: SimTime,
+        free: u32,
+        running: &RunningSet,
+    ) -> Option<Reservation> {
+        self.priority
+            .order_aged(&mut self.queue, &self.fairshare, now, self.aging_weight);
+        let eligible = self.dispatchable();
+        backfill::plan(self.backfill, &eligible, now, free, running, self.window).head_reservation
     }
 
     /// Charge a finished job's actual consumption to the fair-share ledger.

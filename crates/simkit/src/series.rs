@@ -53,6 +53,12 @@ impl StepFunction {
     /// Value at instant `t` (clamped into the domain).
     pub fn value_at(&self, t: SimTime) -> i64 {
         let t = t.as_secs().min(self.horizon.saturating_sub(1));
+        self.floor_val(t)
+    }
+
+    /// Value of the segment covering `t`. Total for any `t`: `new` inserts
+    /// a breakpoint at 0, so `range(..=t)` is never empty.
+    fn floor_val(&self, t: u64) -> i64 {
         *self
             .segments
             .range(..=t)
@@ -68,7 +74,7 @@ impl StepFunction {
             return;
         }
         if !self.segments.contains_key(&t) {
-            let v = *self.segments.range(..t).next_back().unwrap().1;
+            let v = self.floor_val(t - 1);
             self.segments.insert(t, v);
         }
     }
@@ -97,7 +103,7 @@ impl StepFunction {
             return None;
         }
         // The segment covering `a` plus every breakpoint inside (a, b).
-        let head = *self.segments.range(..=a).next_back().unwrap().1;
+        let head = self.floor_val(a);
         let tail_min = self.segments.range(a + 1..b).map(|(_, &v)| v).min();
         Some(match tail_min {
             Some(m) => head.min(m),
@@ -114,7 +120,7 @@ impl StepFunction {
         }
         let mut total = 0i64;
         let mut cur_start = a;
-        let mut cur_val = *self.segments.range(..=a).next_back().unwrap().1;
+        let mut cur_val = self.floor_val(a);
         for (&s, &v) in self.segments.range(a + 1..b) {
             total += cur_val * (s - cur_start) as i64;
             cur_start = s;
@@ -139,7 +145,7 @@ impl StepFunction {
         }
         // Walk segments, tracking the start of the current qualifying run.
         let mut run_start: Option<u64> = None;
-        let head_val = *self.segments.range(..=start0).next_back().unwrap().1;
+        let head_val = self.floor_val(start0);
         if head_val >= need {
             run_start = Some(start0);
         }

@@ -165,7 +165,7 @@ impl Ecdf {
             sample.iter().all(|x| !x.is_nan()),
             "ECDF sample contains NaN"
         );
-        sample.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sample.sort_by(f64::total_cmp);
         Ecdf { xs: sample }
     }
 
@@ -204,7 +204,7 @@ impl Ecdf {
             return Vec::new();
         }
         let lo = self.xs[0];
-        let hi = *self.xs.last().unwrap();
+        let hi = *self.xs.last().unwrap_or(&lo);
         let span = (hi - lo).max(f64::MIN_POSITIVE);
         (0..points)
             .map(|i| {

@@ -1,0 +1,221 @@
+//! Randomized tests for the kernel data structures, checked against naive
+//! reference models. All randomness comes from [`simkit::rng::Rng`] under
+//! fixed seeds, so every run explores the identical scenario set.
+
+use simkit::event::EventQueue;
+use simkit::rng::Rng;
+use simkit::series::StepFunction;
+use simkit::stats::{quantile, sorted, Ecdf, OnlineStats};
+use simkit::time::{SimDuration, SimTime};
+
+const HORIZON: u64 = 1_000;
+const CASES: u64 = 192;
+
+/// Naive reference for `StepFunction`: one value per second.
+#[derive(Clone)]
+struct NaiveStep(Vec<i64>);
+
+impl NaiveStep {
+    fn new(v: i64) -> Self {
+        NaiveStep(vec![v; HORIZON as usize])
+    }
+    fn range_add(&mut self, a: u64, b: u64, d: i64) {
+        for t in a.min(HORIZON)..b.min(HORIZON) {
+            self.0[t as usize] += d;
+        }
+    }
+    fn value_at(&self, t: u64) -> i64 {
+        self.0[t.min(HORIZON - 1) as usize]
+    }
+    fn min_over(&self, a: u64, b: u64) -> Option<i64> {
+        let (a, b) = (a.min(HORIZON), b.min(HORIZON));
+        (a < b).then(|| {
+            self.0[a as usize..b as usize]
+                .iter()
+                .copied()
+                .min()
+                .expect("non-empty window")
+        })
+    }
+    fn integral(&self, a: u64, b: u64) -> i64 {
+        let (a, b) = (a.min(HORIZON), b.min(HORIZON));
+        if a >= b {
+            return 0;
+        }
+        self.0[a as usize..b as usize].iter().sum()
+    }
+    fn find_slot(&self, from: u64, need: i64, dur: u64) -> Option<u64> {
+        if dur == 0 {
+            return (from < HORIZON).then_some(from);
+        }
+        'outer: for s in from..HORIZON.saturating_sub(dur - 1) {
+            for t in s..s + dur {
+                if self.0[t as usize] < need {
+                    continue 'outer;
+                }
+            }
+            return Some(s);
+        }
+        None
+    }
+}
+
+fn rng_for(suite: u64, case: u64) -> Rng {
+    Rng::new(0x51_31A7).split(suite ^ (case << 8))
+}
+
+/// Up to 24 random `range_add` edits.
+fn edits(rng: &mut Rng) -> Vec<(u64, u64, i64)> {
+    (0..rng.below(24))
+        .map(|_| {
+            (
+                rng.below(HORIZON + 100),
+                rng.below(HORIZON + 100),
+                rng.range_u64(0, 9) as i64 - 5,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn step_function_matches_naive_model() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let init = rng.range_u64(0, 19) as i64 - 10;
+        let mut real = StepFunction::constant(SimTime::from_secs(HORIZON), init);
+        let mut naive = NaiveStep::new(init);
+        for (a, b, d) in edits(&mut rng) {
+            real.range_add(SimTime::from_secs(a), SimTime::from_secs(b), d);
+            naive.range_add(a, b, d);
+        }
+        for _ in 0..rng.range_u64(1, 19) {
+            let t = rng.below(HORIZON + 50);
+            assert_eq!(real.value_at(SimTime::from_secs(t)), naive.value_at(t));
+        }
+        for _ in 0..rng.range_u64(1, 9) {
+            let (a, b) = (rng.below(HORIZON + 50), rng.below(HORIZON + 50));
+            assert_eq!(
+                real.min_over(SimTime::from_secs(a), SimTime::from_secs(b)),
+                naive.min_over(a, b),
+                "min_over({a},{b})"
+            );
+            assert_eq!(
+                real.integral(SimTime::from_secs(a), SimTime::from_secs(b)),
+                naive.integral(a, b),
+                "integral({a},{b})"
+            );
+        }
+        for _ in 0..rng.range_u64(1, 7) {
+            let from = rng.below(HORIZON);
+            let need = rng.range_u64(0, 8) as i64 - 3;
+            let dur = rng.below(200);
+            let got = real.find_slot(SimTime::from_secs(from), need, SimDuration::from_secs(dur));
+            let want = naive.find_slot(from, need, dur).map(SimTime::from_secs);
+            assert_eq!(got, want, "find_slot({from},{need},{dur})");
+        }
+    }
+}
+
+#[test]
+fn step_function_coalesce_preserves_semantics() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let init = rng.range_u64(0, 9) as i64 - 5;
+        let mut f = StepFunction::constant(SimTime::from_secs(HORIZON), init);
+        for (a, b, d) in edits(&mut rng) {
+            f.range_add(SimTime::from_secs(a), SimTime::from_secs(b), d);
+        }
+        let before: Vec<i64> = (0..HORIZON)
+            .step_by(7)
+            .map(|t| f.value_at(SimTime::from_secs(t)))
+            .collect();
+        let segs_before = f.segment_count();
+        f.coalesce();
+        assert!(f.segment_count() <= segs_before);
+        let after: Vec<i64> = (0..HORIZON)
+            .step_by(7)
+            .map(|t| f.value_at(SimTime::from_secs(t)))
+            .collect();
+        assert_eq!(before, after);
+    }
+}
+
+#[test]
+fn event_queue_is_a_stable_sort() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let events: Vec<u64> = (0..rng.below(100)).map(|_| rng.below(500)).collect();
+        let mut q = EventQueue::new();
+        for (i, &t) in events.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i);
+        }
+        // Reference: stable sort by time.
+        let mut want: Vec<(u64, usize)> = events.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        want.sort_by_key(|&(t, _)| t);
+        let mut got = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            got.push((t.as_secs(), i));
+        }
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn online_stats_merge_is_associative_enough() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let xs: Vec<f64> = (0..rng.range_u64(1, 199))
+            .map(|_| (rng.f64() - 0.5) * 2e6)
+            .collect();
+        let split = (rng.below(200) as usize).min(xs.len());
+        let mut whole = OnlineStats::new();
+        xs.iter().for_each(|&x| whole.push(x));
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        xs[..split].iter().for_each(|&x| a.push(x));
+        xs[split..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        assert!((a.variance() - whole.variance()).abs() <= 1e-6 * (1.0 + whole.variance().abs()));
+    }
+}
+
+#[test]
+fn quantiles_are_monotone_and_bounded() {
+    for case in 0..CASES {
+        let mut rng = rng_for(5, case);
+        let xs: Vec<f64> = (0..rng.range_u64(1, 99))
+            .map(|_| (rng.f64() - 0.5) * 2e9)
+            .collect();
+        let s = sorted(xs);
+        let mut qs: Vec<f64> = (0..rng.range_u64(2, 9)).map(|_| rng.f64()).collect();
+        qs.sort_by(|a, b| a.partial_cmp(b).expect("finite quantiles"));
+        let values: Vec<f64> = qs
+            .iter()
+            .map(|&q| quantile(&s, q).expect("non-empty sample"))
+            .collect();
+        for w in values.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(values[0] >= s[0]);
+        assert!(*values.last().expect("non-empty") <= *s.last().expect("non-empty"));
+    }
+}
+
+#[test]
+fn ecdf_matches_counting() {
+    for case in 0..CASES {
+        let mut rng = rng_for(6, case);
+        let xs: Vec<i32> = (0..rng.range_u64(1, 79))
+            .map(|_| rng.range_u64(0, 199) as i32 - 100)
+            .collect();
+        let probe = rng.range_u64(0, 239) as i32 - 120;
+        let sample: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
+        let e = Ecdf::new(sample.clone());
+        let want =
+            xs.iter().filter(|&&x| x as f64 <= probe as f64).count() as f64 / xs.len() as f64;
+        assert!((e.cdf(probe as f64) - want).abs() < 1e-12);
+        assert!((e.survival(probe as f64) - (1.0 - want)).abs() < 1e-12);
+    }
+}

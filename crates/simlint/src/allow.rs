@@ -1,0 +1,162 @@
+//! The `simlint.toml` allowlist: audited exceptions to the lint rules.
+//!
+//! The file is a flat array-of-tables in a tiny TOML subset (this tool is
+//! dependency-free), one entry per exception:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "R4"
+//! path = "crates/core/src/driver.rs"
+//! contains = ".expect(\"live payload\")"
+//! reason = "RunningSet and live are updated in lockstep; absence is a simulator bug."
+//! ```
+//!
+//! An entry suppresses a violation when the rule id matches, `path` equals
+//! the repo-relative file path, and the flagged line contains `contains`.
+//! Every entry must carry a non-empty `reason`: the point of the file is an
+//! audit trail, not a mute button. Unknown keys are errors so typos cannot
+//! silently disable an entry.
+
+/// One audited exception.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Allow {
+    /// Rule id: "R1" … "R4".
+    pub rule: String,
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// Substring of the offending line.
+    pub contains: String,
+    /// Why this occurrence is sound.
+    pub reason: String,
+}
+
+/// Parse `simlint.toml` text into allow entries.
+pub fn parse(text: &str) -> Result<Vec<Allow>, String> {
+    let mut out: Vec<Allow> = Vec::new();
+    let mut current: Option<Allow> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(a) = current.take() {
+                finish(a, &mut out)?;
+            }
+            current = Some(Allow::default());
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "simlint.toml:{}: expected key = \"value\"",
+                lineno + 1
+            ));
+        };
+        let entry = current
+            .as_mut()
+            .ok_or_else(|| format!("simlint.toml:{}: key outside [[allow]]", lineno + 1))?;
+        let value = unquote(value.trim())
+            .ok_or_else(|| format!("simlint.toml:{}: value must be a quoted string", lineno + 1))?;
+        match key.trim() {
+            "rule" => entry.rule = value,
+            "path" => entry.path = value,
+            "contains" => entry.contains = value,
+            "reason" => entry.reason = value,
+            other => {
+                return Err(format!(
+                    "simlint.toml:{}: unknown key `{other}`",
+                    lineno + 1
+                ));
+            }
+        }
+    }
+    if let Some(a) = current.take() {
+        finish(a, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn finish(a: Allow, out: &mut Vec<Allow>) -> Result<(), String> {
+    if a.rule.is_empty() || a.path.is_empty() || a.contains.is_empty() {
+        return Err(format!(
+            "simlint.toml: entry for `{}` must set rule, path and contains",
+            if a.path.is_empty() { "?" } else { &a.path }
+        ));
+    }
+    if a.reason.trim().is_empty() {
+        return Err(format!(
+            "simlint.toml: entry {} @ {} has no reason — allowlisting requires a justification",
+            a.rule, a.path
+        ));
+    }
+    out.push(a);
+    Ok(())
+}
+
+/// Strip surrounding quotes and unescape `\"` and `\\`.
+fn unquote(s: &str) -> Option<String> {
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries() {
+        let text = r#"
+# audited exceptions
+[[allow]]
+rule = "R4"
+path = "crates/core/src/driver.rs"
+contains = ".expect(\"live payload\")"
+reason = "lockstep maps"
+
+[[allow]]
+rule = "R3"
+path = "crates/machine/src/outage.rs"
+contains = "from_secs_f64"
+reason = "sampled gaps"
+"#;
+        let allows = parse(text).unwrap();
+        assert_eq!(allows.len(), 2);
+        assert_eq!(allows[0].rule, "R4");
+        assert_eq!(allows[0].contains, r#".expect("live payload")"#);
+        assert_eq!(allows[1].path, "crates/machine/src/outage.rs");
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let text = "[[allow]]\nrule = \"R1\"\npath = \"x.rs\"\ncontains = \"HashMap\"\n";
+        assert!(parse(text).unwrap_err().contains("justification"));
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let text = "[[allow]]\nrule = \"R1\"\npathh = \"x.rs\"\n";
+        assert!(parse(text).unwrap_err().contains("unknown key"));
+    }
+
+    #[test]
+    fn keys_outside_entry_are_rejected() {
+        assert!(parse("rule = \"R1\"\n").unwrap_err().contains("outside"));
+    }
+}

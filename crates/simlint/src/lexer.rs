@@ -1,0 +1,296 @@
+//! A small Rust source "cleaner": blanks out comments and literal contents
+//! so the rule passes can match tokens with plain string search, and maps
+//! out `#[cfg(test)]` regions so test code can be exempted.
+//!
+//! This is deliberately not a full parser. The rules simlint enforces are
+//! token-shaped (`HashMap`, `Instant::now`, `.unwrap()`), so all the
+//! analysis needs is (a) to never match inside a comment, string, char or
+//! raw-string literal, and (b) to know which byte ranges belong to test
+//! code. Both are computable with a single linear scan plus brace matching
+//! — no external syntax crate required (the build container is offline, so
+//! `syn` is not an option; see DESIGN.md "Determinism & invariants").
+
+/// A source file after cleaning: `text` has the same length and line
+/// structure as the input, but comment bodies and literal contents are
+/// replaced with spaces. `test_mask[line]` is true when the line lies
+/// inside a `#[cfg(test)]` item or a `#[test]` function.
+pub struct Cleaned {
+    /// The blanked source (same byte length as the input).
+    pub text: String,
+    /// Per-line test-region flags, index 0 = line 1.
+    pub test_mask: Vec<bool>,
+}
+
+/// Blank comments and literal contents, preserving newlines and length.
+pub fn clean(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(b.len());
+    let n = b.len();
+    let mut i = 0;
+    // Push `c` or a space-preserving substitute for blanked regions.
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < n {
+        let c = b[i];
+        // Line comment (// and //! and ///).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 0usize;
+            while i < n {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string: r"..." / r#"..."# / br#"..."# with any # count.
+        if (c == 'r' || c == 'b') && !prev_is_ident(&b, i) {
+            let mut j = i;
+            if b[j] == 'b' && j + 1 < n && b[j + 1] == 'r' {
+                j += 1;
+            }
+            if b[j] == 'r' {
+                let mut k = j + 1;
+                let mut hashes = 0usize;
+                while k < n && b[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && b[k] == '"' {
+                    // Emit the opener verbatim-ish (letters kept so token
+                    // boundaries stay sane), blank the body.
+                    for &ch in &b[i..=k] {
+                        out.push(ch);
+                    }
+                    i = k + 1;
+                    while i < n {
+                        if b[i] == '"' && closes_raw(&b, i, hashes) {
+                            out.push('"');
+                            out.extend(std::iter::repeat_n('#', hashes));
+                            i += 1 + hashes;
+                            break;
+                        }
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+        }
+        // Plain or byte string.
+        if c == '"' {
+            out.push('"');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(blank(b[i + 1])); // keep line continuations' newline
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    break;
+                }
+                out.push(blank(b[i]));
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs lifetime: 'a' is a literal, 'a (no close) is a
+        // lifetime. Escapes ('\n', '\u{..}') are always literals.
+        if c == '\'' && i + 1 < n {
+            if b[i + 1] == '\\' {
+                out.push('\'');
+                out.push(' ');
+                out.push(' ');
+                i += 2;
+                while i < n && b[i] != '\'' {
+                    out.push(' ');
+                    i += 1;
+                }
+                if i < n {
+                    out.push('\'');
+                    i += 1;
+                }
+                continue;
+            }
+            if i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'' {
+                out.push('\'');
+                out.push(' ');
+                out.push('\'');
+                i += 3;
+                continue;
+            }
+            // Lifetime or label: keep as-is.
+        }
+        out.push(c);
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+/// Does the `"` at `i` close a raw string with `hashes` trailing `#`s?
+fn closes_raw(b: &[char], i: usize, hashes: usize) -> bool {
+    if i + hashes >= b.len() {
+        return i + hashes == b.len() && hashes == 0;
+    }
+    b[i + 1..=i + hashes].iter().all(|&c| c == '#')
+}
+
+/// Compute per-line test flags over *cleaned* text: the body of any item
+/// annotated `#[cfg(test)]` or `#[test]`, from the attribute line through
+/// the item's closing brace.
+pub fn test_mask(cleaned: &str) -> Vec<bool> {
+    let line_count = cleaned.lines().count();
+    let mut mask = vec![false; line_count];
+    // Byte offset of the start of each line.
+    let mut line_starts = vec![0usize];
+    for (i, c) in cleaned.char_indices() {
+        if c == '\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |off: usize| line_starts.partition_point(|&s| s <= off) - 1;
+
+    for (pos, _) in cleaned.match_indices("#[") {
+        let attr_end = match cleaned[pos..].find(']') {
+            Some(k) => pos + k,
+            None => continue,
+        };
+        let attr = &cleaned[pos + 2..attr_end];
+        let a = attr.replace(' ', "");
+        if a != "cfg(test)" && a != "test" {
+            continue;
+        }
+        // Find the annotated item's opening brace (first '{' at or after
+        // the attribute that precedes any ';' — `#[cfg(test)] use x;` has
+        // no body and marks only its own line).
+        let rest = &cleaned[attr_end..];
+        let open_rel = rest.find('{');
+        let semi_rel = rest.find(';');
+        let open = match (open_rel, semi_rel) {
+            (Some(o), Some(s)) if s < o => {
+                mask[line_of(pos)] = true;
+                continue;
+            }
+            (Some(o), _) => attr_end + o,
+            (None, _) => {
+                mask[line_of(pos)] = true;
+                continue;
+            }
+        };
+        // Match braces to the item's end.
+        let mut depth = 0i64;
+        let mut end = cleaned.len();
+        for (k, c) in cleaned[open..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let (first, last) = (line_of(pos), line_of(end.min(cleaned.len() - 1)));
+        for m in mask.iter_mut().take(last + 1).skip(first) {
+            *m = true;
+        }
+    }
+    mask
+}
+
+/// Clean `src` and compute its test mask in one call.
+pub fn analyze(src: &str) -> Cleaned {
+    let text = clean(src);
+    let test_mask = test_mask(&text);
+    Cleaned { text, test_mask }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = r#"let x = "HashMap"; // HashMap
+/* HashMap */ let y = 'H';"#;
+        let c = clean(src);
+        assert!(!c.contains("HashMap"), "{c}");
+        assert_eq!(c.len(), src.len());
+        assert_eq!(c.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = r##"let s = r#"Instant::now()"#; let t = 1;"##;
+        let c = clean(src);
+        assert!(!c.contains("Instant::now"), "{c}");
+        assert!(c.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn lifetimes_survive() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let c = clean(src);
+        assert_eq!(c, src);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* b */ c */ let z = 9;";
+        let c = clean(src);
+        assert!(c.contains("let z = 9;"));
+        assert!(!c.contains('a') || !c.contains('b'));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let src = r"let q = '\''; let w = '\n'; let s = 3;";
+        let c = clean(src);
+        assert!(c.contains("let s = 3;"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn tail() {}\n";
+        let c = analyze(src);
+        assert_eq!(c.test_mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn test_fn_is_masked() {
+        let src = "fn a() {}\n#[test]\nfn t() {\n    x();\n}\nfn b() {}\n";
+        let c = analyze(src);
+        assert_eq!(c.test_mask, vec![false, true, true, true, true, false]);
+    }
+}

@@ -1,0 +1,184 @@
+//! simlint — workspace-wide static analysis enforcing the determinism and
+//! scheduler invariants this simulator depends on.
+//!
+//! Four rules (see DESIGN.md "Determinism & invariants" for the full
+//! rationale):
+//!
+//! * **R1** — no `HashMap`/`HashSet` in simulation crates: random iteration
+//!   order breaks bit-for-bit replay.
+//! * **R2** — no wall-clock reads (`SystemTime::now`, `Instant::now`,
+//!   `thread_rng`) outside `crates/bench`.
+//! * **R3** — no `from_secs_f64` time conversion outside `simkit::time`.
+//! * **R4** — no `unwrap()`/`expect()` in library-crate non-test code.
+//!
+//! Audited exceptions live in `simlint.toml` at the repo root; every entry
+//! must state a reason. Run as `cargo run -p simlint` (or `cargo xtask
+//! lint` via the cargo alias).
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+
+pub use allow::Allow;
+pub use rules::{lint_source, Violation};
+
+use std::path::{Path, PathBuf};
+
+/// The outcome of linting a workspace.
+pub struct Report {
+    /// Violations not covered by the allowlist, sorted by path then line.
+    pub violations: Vec<Violation>,
+    /// Allowlist entries that suppressed nothing (stale — worth pruning).
+    pub unused_allows: Vec<Allow>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+}
+
+/// Locate the workspace root from the simlint crate's own manifest dir.
+pub fn workspace_root() -> PathBuf {
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    Path::new(manifest)
+        .ancestors()
+        .nth(2)
+        .unwrap_or_else(|| Path::new("."))
+        .to_path_buf()
+}
+
+/// All `.rs` files under `crates/*/src` and the root `src/`, sorted, as
+/// repo-relative forward-slash paths. `tests/`, `benches/` and `examples/`
+/// directories are intentionally out of scope: they are test code.
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            walk_rs(&member.join("src"), root, &mut files)?;
+        }
+    }
+    walk_rs(&root.join("src"), root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every workspace source file, applying the `simlint.toml` allowlist
+/// if present at `root`.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let allow_path = root.join("simlint.toml");
+    let allows = if allow_path.is_file() {
+        let text = std::fs::read_to_string(&allow_path)
+            .map_err(|e| format!("reading {}: {e}", allow_path.display()))?;
+        allow::parse(&text)?
+    } else {
+        Vec::new()
+    };
+
+    let files = collect_sources(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut violations = Vec::new();
+    let mut used = vec![false; allows.len()];
+    for rel in &files {
+        let src =
+            std::fs::read_to_string(root.join(rel)).map_err(|e| format!("reading {rel}: {e}"))?;
+        for v in rules::lint_source(rel, &src) {
+            let suppressed = allows.iter().enumerate().any(|(i, a)| {
+                let hit = a.rule == v.rule && a.path == v.path && v.excerpt.contains(&a.contains);
+                if hit {
+                    used[i] = true;
+                }
+                hit
+            });
+            if !suppressed {
+                violations.push(v);
+            }
+        }
+    }
+    let unused_allows = allows
+        .into_iter()
+        .zip(used)
+        .filter(|(_, u)| !u)
+        .map(|(a, _)| a)
+        .collect();
+    Ok(Report {
+        violations,
+        unused_allows,
+        files_scanned: files.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_contains_manifest() {
+        let root = workspace_root();
+        assert!(root.join("Cargo.toml").is_file(), "{}", root.display());
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn collects_own_sources() {
+        let root = workspace_root();
+        let files = collect_sources(&root).unwrap();
+        assert!(files.iter().any(|f| f == "crates/simlint/src/lib.rs"));
+        assert!(files.iter().any(|f| f == "crates/sched/src/scheduler.rs"));
+        // Integration tests are out of scope.
+        assert!(files.iter().all(|f| !f.contains("/tests/")));
+        // Deterministic order.
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+
+    /// The tentpole acceptance check: the real workspace lints clean with
+    /// the committed allowlist, and the allowlist carries no dead entries.
+    #[test]
+    fn workspace_is_clean() {
+        let report = lint_workspace(&workspace_root()).unwrap();
+        assert!(
+            report.violations.is_empty(),
+            "workspace has lint violations:\n{}",
+            report
+                .violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(
+            report.unused_allows.is_empty(),
+            "stale simlint.toml entries: {:?}",
+            report.unused_allows
+        );
+        assert!(report.files_scanned > 50, "suspiciously few files scanned");
+    }
+}

@@ -1,0 +1,80 @@
+//! CLI entry point: `cargo run -p simlint [lint] [--root PATH]`.
+//!
+//! Exit codes: 0 = clean, 1 = violations found, 2 = internal error
+//! (unreadable files, malformed simlint.toml).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // `cargo xtask lint` forwards a `lint` subcommand; accept it.
+            "lint" => {}
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("simlint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "simlint: static analysis for determinism & scheduler invariants\n\
+                     usage: cargo run -p simlint [lint] [--root PATH]\n\
+                     rules: R1 hash collections in sim state, R2 wall-clock reads,\n\
+                     \u{20}      R3 f64 time conversion outside simkit::time, R4 unwrap/expect\n\
+                     allowlist: simlint.toml at the workspace root"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("simlint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(simlint::workspace_root);
+
+    let report = match simlint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if report.files_scanned == 0 {
+        // A clean verdict over zero files is a misconfiguration (wrong
+        // --root, moved sources), not a pass.
+        eprintln!(
+            "simlint: error: no source files found under {}",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    for a in &report.unused_allows {
+        eprintln!(
+            "simlint: warning: stale allowlist entry ({} @ {} contains {:?}) — prune it",
+            a.rule, a.path, a.contains
+        );
+    }
+    if report.violations.is_empty() {
+        println!(
+            "simlint: {} files checked, no violations",
+            report.files_scanned
+        );
+        return ExitCode::SUCCESS;
+    }
+    for v in &report.violations {
+        eprintln!("{v}");
+    }
+    eprintln!(
+        "simlint: {} violation(s) in {} files checked",
+        report.violations.len(),
+        report.files_scanned
+    );
+    ExitCode::FAILURE
+}

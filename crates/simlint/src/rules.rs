@@ -1,0 +1,231 @@
+//! The repo-specific rules. Each rule is a token pattern plus a scope
+//! (which crates, which files, test or non-test code); the motivation for
+//! every rule is recorded in DESIGN.md "Determinism & invariants".
+
+use crate::lexer;
+
+/// Crates whose code is (or feeds) replayed simulation state. Names are
+/// the directory names under `crates/`.
+pub const DETERMINISM_CRATES: &[&str] =
+    &["sched", "machine", "simkit", "core", "workload", "analysis"];
+
+/// Crates allowed to read the wall clock: the benchmark harness times real
+/// execution, and is never part of a simulated replay.
+pub const WALLCLOCK_EXEMPT_CRATES: &[&str] = &["bench"];
+
+/// The single file allowed to convert between `f64` seconds and sim time.
+pub const TIME_MODULE: &str = "crates/simkit/src/time.rs";
+
+/// One diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id: "R1" … "R4".
+    pub rule: &'static str,
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong and why it matters.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.path, self.line, self.rule, self.message, self.excerpt
+        )
+    }
+}
+
+/// Is `needle` present in `hay` as a whole token (not an identifier infix)?
+fn token_match(hay: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(k) = hay[from..].find(needle) {
+        let at = from + k;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = hay[at + needle.len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+/// Crate directory name for a repo-relative path (`crates/<name>/…`), or
+/// `"."` for the root package's sources.
+pub fn crate_of(rel_path: &str) -> &str {
+    let mut parts = rel_path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("."),
+        _ => ".",
+    }
+}
+
+/// Lint one source file. `rel_path` uses forward slashes from the repo
+/// root; test regions and literal/comment contents are exempt by
+/// construction (see [`crate::lexer`]).
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
+    let krate = crate_of(rel_path);
+    let cleaned = lexer::analyze(src);
+    let mut out = Vec::new();
+
+    let det = DETERMINISM_CRATES.contains(&krate);
+    let wallclock_ok = WALLCLOCK_EXEMPT_CRATES.contains(&krate);
+    let is_time_module = rel_path == TIME_MODULE;
+
+    for (idx, (line, orig)) in cleaned.text.lines().zip(src.lines()).enumerate() {
+        if cleaned.test_mask.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let lineno = idx + 1;
+        let mut push = |rule: &'static str, message: String| {
+            out.push(Violation {
+                rule,
+                path: rel_path.to_string(),
+                line: lineno,
+                message,
+                excerpt: orig.trim().to_string(),
+            });
+        };
+
+        // R1 — nondeterministic iteration order in simulation state.
+        if det {
+            for ty in ["HashMap", "HashSet"] {
+                if token_match(line, ty) {
+                    push(
+                        "R1",
+                        format!(
+                            "{ty} in simulation code: iteration order varies per process, \
+                             breaking bit-for-bit replay — use BTreeMap/BTreeSet or a \
+                             sorted Vec"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // R2 — wall-clock leakage into simulated time.
+        if !wallclock_ok {
+            for pat in [
+                "SystemTime::now",
+                "Instant::now",
+                "thread_rng",
+                "rand::random",
+            ] {
+                if token_match(line, pat) {
+                    push(
+                        "R2",
+                        format!(
+                            "{pat} outside the bench harness: simulations must be pure \
+                             functions of their seeds and SimTime"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // R3 — f64→time conversion outside simkit::time.
+        if det && !is_time_module && token_match(line, "from_secs_f64") {
+            push(
+                "R3",
+                "f64→time conversion outside simkit::time: float time arithmetic \
+                 drifts across platforms; convert at an audited boundary or stay in \
+                 integer seconds"
+                    .to_string(),
+            );
+        }
+
+        // R4 — unchecked panics in library code.
+        if det {
+            if line.contains(".unwrap()") {
+                push(
+                    "R4",
+                    "unwrap() in library code: panics erase the failure context — \
+                     return a typed error, or use an invariant-documented expect() \
+                     allowlisted in simlint.toml"
+                        .to_string(),
+                );
+            }
+            if line.contains(".expect(") {
+                push(
+                    "R4",
+                    "expect() in library code: allowed only for documented invariants \
+                     — add a simlint.toml entry stating why it cannot fire"
+                        .to_string(),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(v: &[Violation]) -> Vec<&'static str> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn r1_flags_hash_collections_in_sim_crates() {
+        let src = "use std::collections::HashMap;\nstruct S { m: HashSet<u32> }\n";
+        let v = lint_source("crates/sched/src/x.rs", src);
+        assert_eq!(rules_of(&v), ["R1", "R1"]);
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 2);
+        // Same source in an exempt crate: clean.
+        assert!(lint_source("crates/cli/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r1_ignores_comments_strings_and_tests() {
+        let src = "// HashMap here\nlet s = \"HashMap\";\n#[cfg(test)]\nmod t { use std::collections::HashMap; }\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r2_flags_wall_clock_everywhere_but_bench() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert_eq!(rules_of(&lint_source("crates/cli/src/x.rs", src)), ["R2"]);
+        assert_eq!(
+            rules_of(&lint_source("crates/simkit/src/x.rs", src)),
+            ["R2"]
+        );
+        assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r3_flags_float_time_outside_time_module() {
+        let src = "let d = SimDuration::from_secs_f64(x);\n";
+        assert_eq!(rules_of(&lint_source("crates/core/src/x.rs", src)), ["R3"]);
+        assert!(lint_source("crates/simkit/src/time.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r4_flags_unwrap_and_expect_in_lib_code() {
+        let src = "let a = x.unwrap();\nlet b = y.expect(\"msg\");\nlet c = z.unwrap_or(0);\n";
+        let v = lint_source("crates/machine/src/x.rs", src);
+        assert_eq!(rules_of(&v), ["R4", "R4"]);
+        // Binary/bench crates may panic freely.
+        assert!(lint_source("crates/cli/src/x.rs", src).is_empty());
+        assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn token_boundaries_respected() {
+        // Identifiers merely containing the pattern are not violations.
+        let src = "struct MyHashMapLike;\nfn hash_set_ish() {}\n";
+        assert!(lint_source("crates/sched/src/x.rs", src).is_empty());
+    }
+}

@@ -63,8 +63,8 @@ impl TraceGenerator {
 
         let mut jobs = Vec::with_capacity(arrivals.len());
         // Last job shape per user, for the resubmission model.
-        let mut last_shape: std::collections::HashMap<u32, (u32, SimDuration)> =
-            std::collections::HashMap::new();
+        let mut last_shape: std::collections::BTreeMap<u32, (u32, SimDuration)> =
+            std::collections::BTreeMap::new();
         for (i, submit) in arrivals.into_iter().enumerate() {
             let user = population.sample_user(&mut user_rng);
             let repeat = self.resubmit_similarity > 0.0
@@ -132,7 +132,7 @@ mod tests {
 
     fn shape_correlation(jobs: &[Job]) -> f64 {
         // Fraction of consecutive same-user job pairs with identical CPUs.
-        let mut per_user: std::collections::HashMap<u32, u32> = Default::default();
+        let mut per_user: std::collections::BTreeMap<u32, u32> = Default::default();
         let mut same = 0u32;
         let mut pairs = 0u32;
         for j in jobs {

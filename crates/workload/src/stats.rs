@@ -124,7 +124,7 @@ pub fn arrival_dispersion(jobs: &[Job]) -> f64 {
     if jobs.is_empty() {
         return 0.0;
     }
-    let last = jobs.iter().map(|j| j.submit.as_secs()).max().unwrap();
+    let last = jobs.iter().map(|j| j.submit.as_secs()).max().unwrap_or(0);
     let bins = (last / HOUR + 1) as usize;
     let mut counts = vec![0.0f64; bins];
     for j in jobs {

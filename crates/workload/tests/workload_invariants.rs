@@ -1,0 +1,120 @@
+//! Randomized tests for the workload substrate, driven by seeded
+//! [`simkit::rng::Rng`] streams so every run checks the identical cases.
+
+use simkit::rng::Rng;
+use simkit::time::{SimDuration, SimTime};
+use workload::job::{CompletedJob, Job, JobClass};
+use workload::swf;
+
+const CASES: u64 = 192;
+
+fn rng_for(suite: u64, case: u64) -> Rng {
+    Rng::new(0x51_3012).split(suite ^ (case << 8))
+}
+
+fn random_job(rng: &mut Rng) -> Job {
+    Job {
+        id: rng.range_u64(1, 999_999),
+        class: JobClass::Native,
+        user: rng.below(5_000) as u32,
+        group: rng.below(500) as u32,
+        submit: SimTime::from_secs(rng.below(10_000_000)),
+        cpus: rng.range_u64(1, 9_999) as u32,
+        runtime: SimDuration::from_secs(rng.below(2_000_000)),
+        estimate: SimDuration::from_secs(rng.below(4_000_000)),
+    }
+}
+
+#[test]
+fn swf_round_trips_every_job() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let jobs: Vec<Job> = (0..rng.below(50)).map(|_| random_job(&mut rng)).collect();
+        let text = swf::emit(&jobs, "randomized");
+        let parsed = swf::parse(&text, false).expect("emitted SWF must parse");
+        assert_eq!(parsed.len(), jobs.len());
+        for (a, b) in jobs.iter().zip(parsed.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.submit, b.submit);
+            assert_eq!(a.cpus, b.cpus);
+            assert_eq!(a.runtime, b.runtime);
+            // SWF writes estimate through "requested time"; zero estimates
+            // come back as the runtime (the format's fallback).
+            if a.estimate.as_secs() > 0 {
+                assert_eq!(a.estimate, b.estimate);
+            } else {
+                assert_eq!(b.estimate, a.runtime);
+            }
+            assert_eq!(a.user, b.user);
+            assert_eq!(a.group, b.group);
+        }
+    }
+}
+
+#[test]
+fn swf_emission_is_parseable_line_by_line() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let jobs: Vec<Job> = (0..rng.range_u64(1, 29))
+            .map(|_| random_job(&mut rng))
+            .collect();
+        let text = swf::emit(&jobs, "header\nlines");
+        for line in text.lines() {
+            if line.starts_with(';') {
+                continue;
+            }
+            assert_eq!(line.split_whitespace().count(), 18);
+        }
+    }
+}
+
+#[test]
+fn completed_job_invariants() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let job = random_job(&mut rng);
+        let delay = rng.below(100_000);
+        let start = job.submit + SimDuration::from_secs(delay);
+        let c = CompletedJob::new(job, start);
+        assert_eq!(c.wait().as_secs(), delay);
+        assert_eq!(c.finish, start + job.runtime);
+        assert!(c.turnaround() >= c.wait());
+        assert!(c.expansion_factor() >= 1.0);
+        if delay == 0 {
+            assert!((c.expansion_factor() - 1.0).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn generator_output_is_well_formed() {
+    use workload::arrivals::ArrivalModel;
+    use workload::shape::{EstimateModel, RuntimeModel, SizeModel};
+    use workload::TraceGenerator;
+    for seed in 0..64u64 {
+        let g = TraceGenerator {
+            horizon: SimTime::from_days(3),
+            target_jobs: 200,
+            arrivals: ArrivalModel::bursty(1.0),
+            sizes: SizeModel::power_of_two(64, 0.7, 0.05),
+            runtimes: RuntimeModel::paper_native(SimDuration::from_hours(12)),
+            estimates: EstimateModel::paper_default(SimDuration::from_days(1)),
+            n_users: 20,
+            n_groups: 4,
+            user_skew: 1.1,
+            resubmit_similarity: 0.25,
+        };
+        let jobs = g.generate(seed);
+        assert!(!jobs.is_empty());
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, i as u64 + 1);
+            assert!(j.cpus.is_power_of_two() && j.cpus <= 64);
+            assert!(j.runtime.as_secs() >= 60);
+            assert!(j.estimate.as_secs() >= 1);
+            assert!(j.submit < g.horizon);
+            assert!(j.user < 20 && j.group < 4);
+        }
+        // Sorted by submit time.
+        assert!(jobs.windows(2).all(|w| w[0].submit <= w[1].submit));
+    }
+}
