@@ -88,6 +88,30 @@ impl NativeImpact {
         let largest = wait_stats(top.iter());
         NativeImpact { all, largest }
     }
+
+    /// Export both panels into an obs metrics registry as integer gauges
+    /// (waits in milliseconds, expansion factors in milli-units), so
+    /// RunReport artifacts stay float-free and byte-stable.
+    pub fn export(&self, registry: &mut obs::MetricsRegistry) {
+        let milli = |v: f64| (v * 1000.0).round() as i64;
+        let count = |c: u64| i64::try_from(c).unwrap_or(i64::MAX);
+        registry.gauge_set("impact.all.count", count(self.all.count));
+        registry.gauge_set("impact.all.avg_wait_ms", milli(self.all.avg_wait));
+        registry.gauge_set("impact.all.median_wait_ms", milli(self.all.median_wait));
+        registry.gauge_set("impact.all.avg_ef_milli", milli(self.all.avg_ef));
+        registry.gauge_set("impact.all.median_ef_milli", milli(self.all.median_ef));
+        registry.gauge_set("impact.largest.count", count(self.largest.count));
+        registry.gauge_set("impact.largest.avg_wait_ms", milli(self.largest.avg_wait));
+        registry.gauge_set(
+            "impact.largest.median_wait_ms",
+            milli(self.largest.median_wait),
+        );
+        registry.gauge_set("impact.largest.avg_ef_milli", milli(self.largest.avg_ef));
+        registry.gauge_set(
+            "impact.largest.median_ef_milli",
+            milli(self.largest.median_ef),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +190,26 @@ mod tests {
         assert!((impact.all.avg_wait - 50.0).abs() < 1e-12);
         // The single native job is also the "largest 5%".
         assert_eq!(impact.largest.count, 1);
+    }
+
+    #[test]
+    fn export_writes_integer_gauges() {
+        let jobs = vec![
+            completed(1, JobClass::Native, 1, 50, 100),
+            completed(2, JobClass::Native, 1, 150, 100),
+        ];
+        let impact = NativeImpact::of(&jobs);
+        let mut reg = obs::MetricsRegistry::enabled();
+        impact.export(&mut reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges["impact.all.count"], 2);
+        assert_eq!(snap.gauges["impact.all.avg_wait_ms"], 100_000);
+        // EF = 1 + wait/runtime → (1.5 + 2.5)/2 = 2.0 → 2000 milli.
+        assert_eq!(snap.gauges["impact.all.avg_ef_milli"], 2_000);
+        // Disabled registry ignores the export.
+        let mut off = obs::MetricsRegistry::disabled();
+        impact.export(&mut off);
+        assert!(off.snapshot().gauges.is_empty());
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! `profile` — per-run phase breakdown for each machine preset.
+//!
+//! Replays every calibrated native log with the observability bundle's
+//! metrics and phase profiler attached, then prints where the simulator's
+//! wall-clock goes (schedule-cycle / backfill / free-profile / event-pump)
+//! alongside the run's headline counters, plus the raw `RunReport` JSON for
+//! machine consumption. Finishes with a tracing-overhead check: the same
+//! truncated replay with observability off vs fully on, so regressions in
+//! the "zero-cost when disabled" claim show up here first.
+//!
+//! Wall-clock reads are fine in this crate (simlint R2 exempts `bench`).
+
+use bench::lab::TRACE_SEED;
+use interstitial::prelude::*;
+use machine::config::{blue_mountain, blue_pacific, ross};
+use obs::Obs;
+use std::time::Instant;
+use workload::traces::native_trace;
+
+/// Native-log prefix used for the overhead A/B check (full logs would make
+/// the comparison needlessly slow without changing the verdict).
+const OVERHEAD_JOBS: usize = 2_000;
+
+fn observed_replay(cfg: &machine::MachineConfig) -> SimOutput {
+    let natives = native_trace(cfg, TRACE_SEED);
+    SimBuilder::new(cfg.clone())
+        .natives(natives)
+        .observer(Obs::with(false, true, true))
+        .build()
+        .run()
+}
+
+fn print_breakdown(cfg: &machine::MachineConfig, out: &SimOutput) {
+    let report = out.obs.run_report();
+    println!("## {} ({} CPUs)", cfg.name, cfg.cpus);
+    let total: u64 = report.profile.phases.values().map(|p| p.total_ns).sum();
+    println!(
+        "{:<16} {:>10} {:>12} {:>8}",
+        "phase", "calls", "total ms", "share"
+    );
+    for (name, stat) in &report.profile.phases {
+        println!(
+            "{:<16} {:>10} {:>12.2} {:>7.1}%",
+            name,
+            stat.calls,
+            stat.total_ns as f64 / 1e6,
+            if total > 0 {
+                stat.total_ns as f64 / total as f64 * 100.0
+            } else {
+                0.0
+            }
+        );
+    }
+    for key in [
+        "sched.cycles",
+        "jobs.finished.native",
+        "jobs.started.backfill",
+    ] {
+        println!("{key:<28} {}", out.obs.metrics.counter(key));
+    }
+    println!("{}", report.to_json());
+    println!();
+}
+
+fn overhead_check(cfg: &machine::MachineConfig) {
+    let mut natives = native_trace(cfg, TRACE_SEED);
+    natives.truncate(OVERHEAD_JOBS);
+    let time = |observer: Obs| {
+        let jobs = natives.clone();
+        let t = Instant::now();
+        let out = SimBuilder::new(cfg.clone())
+            .natives(jobs)
+            .observer(observer)
+            .build()
+            .run();
+        let elapsed = t.elapsed();
+        (elapsed, out.native_completed())
+    };
+    // Warm-up, then one timed run per configuration.
+    let _ = time(Obs::disabled());
+    let (off, n_off) = time(Obs::disabled());
+    let (on, n_on) = time(Obs::enabled());
+    assert_eq!(n_off, n_on, "observability must not change the schedule");
+    let ratio = on.as_secs_f64() / off.as_secs_f64().max(1e-9);
+    println!(
+        "overhead[{}]: disabled {:.1} ms, enabled {:.1} ms (x{ratio:.3})",
+        cfg.name,
+        off.as_secs_f64() * 1e3,
+        on.as_secs_f64() * 1e3,
+    );
+}
+
+fn main() {
+    println!("# per-run phase profile (seed {TRACE_SEED})");
+    for cfg in [ross(), blue_mountain(), blue_pacific()] {
+        let out = observed_replay(&cfg);
+        print_breakdown(&cfg, &out);
+    }
+    println!("# tracing overhead A/B ({OVERHEAD_JOBS}-job prefix)");
+    for cfg in [ross(), blue_mountain(), blue_pacific()] {
+        overhead_check(&cfg);
+    }
+}

@@ -1,13 +1,28 @@
 //! `interstitial advise` — §5-guideline pre-flight for a proposed project.
 
 use crate::args::{machine_by_name, shape_spec, ArgError, Args};
-use interstitial::advisor::advise;
+use interstitial::advisor::{advise, Severity};
+use interstitial::prelude::SimBuilder;
 use interstitial::InterstitialProject;
+use obs::Obs;
 use simkit::time::SimDuration;
+
+/// Native-trace prefix replayed when `--trace`/`--metrics` ask for
+/// observability artifacts: enough to exercise the scheduler without
+/// turning a pre-flight check into a full-log simulation.
+const PREFLIGHT_JOBS: usize = 500;
 
 /// Run the advisor.
 pub fn run(args: &Args) -> Result<String, ArgError> {
-    args.check_flags(&["machine", "jobs", "shape", "tolerance"])?;
+    args.check_flags(&[
+        "machine",
+        "jobs",
+        "shape",
+        "tolerance",
+        "seed",
+        "trace",
+        "metrics",
+    ])?;
     let machine = machine_by_name(
         args.get("machine")
             .ok_or_else(|| ArgError("missing required flag --machine".into()))?,
@@ -23,13 +38,63 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
     let tolerance = SimDuration::from_mins(args.get_or("tolerance", 15u64)?);
     let project = InterstitialProject::per_paper(jobs, cpus, secs);
     let advice = advise(&machine, &project, tolerance);
-    Ok(format!(
+    let mut out = format!(
         "project: {jobs} × {cpus} CPUs × {secs} s@1GHz = {:.2} peta-cycles on {}\nverdict: {:?}\n{}",
         project.peta_cycles(),
         machine.name,
         advice.verdict(),
         advice.to_text()
-    ))
+    );
+
+    // Observability artifacts: a short observed replay of the machine's
+    // calibrated native trace, plus the advisory findings as gauges.
+    if args.get("trace").is_some() || args.get("metrics").is_some() {
+        let mut natives = workload::traces::native_trace(&machine, args.get_or("seed", 1)?);
+        natives.truncate(PREFLIGHT_JOBS);
+        let replay = SimBuilder::new(machine.clone())
+            .natives(natives)
+            .observer(Obs::enabled())
+            .build()
+            .run();
+        if let Some(path) = args.get("trace") {
+            std::fs::write(path, replay.obs.trace.to_jsonl())
+                .map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+            out.push_str(&format!(
+                "wrote {} pre-flight trace events to {path}\n",
+                replay.obs.trace.recorded()
+            ));
+        }
+        if let Some(path) = args.get("metrics") {
+            let mut bundle = replay.obs.clone();
+            let reg = &mut bundle.metrics;
+            analysis::metrics::NativeImpact::of(&replay.completed).export(reg);
+            reg.gauge_set(
+                "advise.expected_makespan_s",
+                i64::try_from(advice.expected_makespan.as_secs()).unwrap_or(i64::MAX),
+            );
+            reg.gauge_set(
+                "advise.breakage_milli",
+                (advice.breakage * 1000.0).round() as i64,
+            );
+            reg.gauge_set(
+                "advise.concurrent_jobs",
+                i64::try_from(advice.concurrent_jobs).unwrap_or(i64::MAX),
+            );
+            reg.gauge_set(
+                "advise.verdict",
+                match advice.verdict() {
+                    Severity::Ok => 0,
+                    Severity::Warning => 1,
+                    Severity::Problem => 2,
+                },
+            );
+            reg.inc("advise.findings", advice.findings.len() as u64);
+            std::fs::write(path, bundle.run_report().to_json())
+                .map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+            out.push_str(&format!("wrote pre-flight metrics snapshot to {path}\n"));
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -72,6 +137,41 @@ mod tests {
         .unwrap();
         assert!(out.contains("verdict: Problem"), "{out}");
         assert!(out.contains("job-size"));
+    }
+
+    #[test]
+    fn preflight_artifacts_are_written() {
+        let dir = std::env::temp_dir().join("interstitial-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("advise.jsonl");
+        let metrics = dir.join("advise.json");
+        let out = run(&parse(&[
+            "advise",
+            "--machine",
+            "bm",
+            "--jobs",
+            "1000",
+            "--shape",
+            "32x120",
+            "--tolerance",
+            "30",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("pre-flight trace events"), "{out}");
+        assert!(out.contains("pre-flight metrics snapshot"), "{out}");
+        let jsonl = std::fs::read_to_string(&trace).unwrap();
+        assert!(jsonl.lines().count() > 0);
+        assert!(jsonl.contains("\"ev\":\"submit\""));
+        let report = std::fs::read_to_string(&metrics).unwrap();
+        assert!(report.contains("\"advise.verdict\":0"), "{report}");
+        assert!(report.contains("\"advise.concurrent_jobs\":30"));
+        assert!(report.contains("\"impact.all.count\""));
+        let _ = std::fs::remove_file(trace);
+        let _ = std::fs::remove_file(metrics);
     }
 
     #[test]

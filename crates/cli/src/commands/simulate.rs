@@ -7,13 +7,17 @@ use analysis::tables::fmt_k;
 use analysis::Table;
 use interstitial::policy::Preemption;
 use interstitial::prelude::*;
+use obs::Obs;
 use simkit::time::SimTime;
+use std::sync::Arc;
 use workload::traces::native_trace;
 use workload::{swf, Job};
 
 /// Run the simulation described by the flags.
 pub fn run(args: &Args) -> Result<String, ArgError> {
-    args.check_flags(&["machine", "seed", "shape", "mode", "cap", "preempt", "out"])?;
+    args.check_flags(&[
+        "machine", "seed", "shape", "mode", "cap", "preempt", "out", "trace", "metrics",
+    ])?;
 
     // Native log: an SWF positional, or a synthetic trace by seed. An SWF
     // header with MaxProcs can stand in for --machine.
@@ -38,10 +42,10 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
             m
         }
     };
-    let natives: Vec<Job> = match &swf_text {
+    let natives: Arc<Vec<Job>> = Arc::new(match &swf_text {
         Some(text) => swf::parse(text, true).map_err(|e| ArgError(e.to_string()))?,
         None => native_trace(&machine, args.get_or("seed", 1)?),
-    };
+    });
     if natives.is_empty() {
         return Err(ArgError("native log is empty".into()));
     }
@@ -52,12 +56,19 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         .unwrap()
         .max(SimTime::from_days(1));
 
+    // Observability rides on the interstitial run when a shape is given,
+    // otherwise on the baseline.
+    let observe = args.get("trace").is_some() || args.get("metrics").is_some();
+    let shape_given = args.get("shape").is_some();
+
     // Baseline (always) and, if a shape is given, the interstitial run.
-    let baseline = SimBuilder::new(machine.clone())
-        .natives(natives.clone())
-        .horizon(horizon)
-        .build()
-        .run();
+    let mut baseline_builder = SimBuilder::new(machine.clone())
+        .natives_arc(Arc::clone(&natives))
+        .horizon(horizon);
+    if observe && !shape_given {
+        baseline_builder = baseline_builder.observer(Obs::enabled());
+    }
+    let baseline = baseline_builder.build().run();
 
     let mut out = String::new();
     let mut t = Table::new(
@@ -105,14 +116,14 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
                 Some(p) => return Err(ArgError(format!("bad --preempt {p:?}"))),
             };
             let project = InterstitialProject::per_paper(u64::MAX / 2, cpus, secs);
-            Some(
-                SimBuilder::new(machine.clone())
-                    .natives(natives.clone())
-                    .horizon(horizon)
-                    .interstitial(project, mode, policy)
-                    .build()
-                    .run(),
-            )
+            let mut b = SimBuilder::new(machine.clone())
+                .natives_arc(Arc::clone(&natives))
+                .horizon(horizon)
+                .interstitial(project, mode, policy);
+            if observe {
+                b = b.observer(Obs::enabled());
+            }
+            Some(b.build().run())
         }
     };
 
@@ -157,6 +168,25 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         let text = swf::emit_completed(&o.completed, "interstitial simulation output");
         std::fs::write(path, text).map_err(|e| ArgError(format!("writing {path}: {e}")))?;
         out.push_str(&format!("\nwrote completed-job log to {path}\n"));
+    }
+
+    if observe {
+        let observed = inter.as_ref().unwrap_or(&baseline);
+        if let Some(path) = args.get("trace") {
+            std::fs::write(path, observed.obs.trace.to_jsonl())
+                .map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+            out.push_str(&format!(
+                "\nwrote {} trace events to {path}\n",
+                observed.obs.trace.recorded()
+            ));
+        }
+        if let Some(path) = args.get("metrics") {
+            let mut bundle = observed.obs.clone();
+            NativeImpact::of(&observed.completed).export(&mut bundle.metrics);
+            std::fs::write(path, bundle.run_report().to_json())
+                .map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+            out.push_str(&format!("\nwrote metrics snapshot to {path}\n"));
+        }
     }
     Ok(out)
 }
@@ -263,6 +293,76 @@ mod tests {
         let out = run(&parse(&["simulate", path.to_str().unwrap()])).unwrap();
         assert!(out.contains("from SWF header"), "{out}");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn trace_and_metrics_flags_write_parseable_artifacts() {
+        let dir = std::env::temp_dir().join("interstitial-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("run.jsonl");
+        let metrics = dir.join("run.json");
+        let out = run(&parse(&[
+            "simulate",
+            "--machine",
+            "128x1.0",
+            "--seed",
+            "2",
+            "--shape",
+            "16x120",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("trace events"), "{out}");
+        assert!(out.contains("metrics snapshot"), "{out}");
+        let jsonl = std::fs::read_to_string(&trace).unwrap();
+        assert!(!jsonl.is_empty());
+        for line in jsonl.lines() {
+            assert!(line.starts_with("{\"t\":") && line.ends_with('}'), "{line}");
+        }
+        // The stream must cover submits, starts, finishes and interstitial
+        // placements (the acceptance-bar event classes).
+        for needle in [
+            "\"ev\":\"submit\"",
+            "\"ev\":\"start\"",
+            "\"ev\":\"finish\"",
+            "\"class\":\"interstitial\"",
+        ] {
+            assert!(jsonl.contains(needle), "missing {needle}");
+        }
+        let report = std::fs::read_to_string(&metrics).unwrap();
+        assert!(
+            report.starts_with("{\"metrics\":{\"counters\":{"),
+            "{report}"
+        );
+        assert!(report.contains("\"jobs.finished.native\""));
+        assert!(report.contains("\"impact.all.median_wait_ms\""));
+        assert!(report.contains("\"profile\""));
+        let _ = std::fs::remove_file(trace);
+        let _ = std::fs::remove_file(metrics);
+    }
+
+    #[test]
+    fn baseline_trace_without_shape() {
+        let dir = std::env::temp_dir().join("interstitial-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("baseline.jsonl");
+        run(&parse(&[
+            "simulate",
+            "--machine",
+            "128x1.0",
+            "--seed",
+            "2",
+            "--trace",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let jsonl = std::fs::read_to_string(&trace).unwrap();
+        assert!(jsonl.contains("\"ev\":\"submit\""));
+        assert!(!jsonl.contains("\"class\":\"interstitial\""));
+        let _ = std::fs::remove_file(trace);
     }
 
     #[test]

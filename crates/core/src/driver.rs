@@ -25,10 +25,12 @@ use crate::policy::{InterstitialMode, InterstitialPolicy, Preemption};
 use crate::project::InterstitialProject;
 use crate::report::SimOutput;
 use machine::{CpuPool, MachineConfig, OutageSchedule, RunningJob, RunningSet};
+use obs::{EventKind, Obs, StartKind};
 use sched::Scheduler;
 use simkit::event::EventQueue;
 use simkit::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use workload::{CompletedJob, Job, JobClass};
 
 /// Interstitial job ids live far above any native id.
@@ -58,13 +60,14 @@ pub type InterstitialStream = (InterstitialProject, InterstitialMode, Interstiti
 /// streams, outages and scheduler override.
 pub struct SimBuilder {
     machine: MachineConfig,
-    natives: Vec<Job>,
+    natives: Arc<Vec<Job>>,
     scheduler: Option<Scheduler>,
     outages: OutageSchedule,
     streams: Vec<InterstitialStream>,
     horizon_override: Option<SimTime>,
     periodic_cycle: Option<SimDuration>,
     feedback: Option<(SimDuration, u64)>,
+    observer: Obs,
 }
 
 impl SimBuilder {
@@ -72,20 +75,38 @@ impl SimBuilder {
     pub fn new(machine: MachineConfig) -> Self {
         SimBuilder {
             machine,
-            natives: Vec::new(),
+            natives: Arc::new(Vec::new()),
             scheduler: None,
             outages: OutageSchedule::none(),
             streams: Vec::new(),
             horizon_override: None,
             periodic_cycle: None,
             feedback: None,
+            observer: Obs::disabled(),
         }
     }
 
     /// The native job log to replay. Jobs larger than the machine are
     /// rejected at build time.
     pub fn natives(mut self, jobs: Vec<Job>) -> Self {
+        self.natives = Arc::new(jobs);
+        self
+    }
+
+    /// The native job log as a shared handle. Callers running the same
+    /// trace through many configurations (baseline vs interstitial,
+    /// replications) share one allocation instead of cloning the whole
+    /// log per run.
+    pub fn natives_arc(mut self, jobs: Arc<Vec<Job>>) -> Self {
         self.natives = jobs;
+        self
+    }
+
+    /// Attach an observability bundle: its trace sink, metrics registry and
+    /// phase profiler collect during [`Simulator::run`] and come back in
+    /// [`SimOutput::obs`]. Default: [`Obs::disabled`] — all hooks no-op.
+    pub fn observer(mut self, observer: Obs) -> Self {
+        self.observer = observer;
         self
     }
 
@@ -154,8 +175,19 @@ impl SimBuilder {
             .scheduler
             .unwrap_or_else(|| Scheduler::for_machine(&self.machine));
         let max = self.machine.cpus;
-        let mut natives = self.natives;
-        natives.retain(|j| j.cpus <= max);
+        // Shared logs are the common case; only a log containing oversized
+        // jobs pays for a filtered copy.
+        let natives = if self.natives.iter().any(|j| j.cpus > max) {
+            Arc::new(
+                self.natives
+                    .iter()
+                    .filter(|j| j.cpus <= max)
+                    .copied()
+                    .collect(),
+            )
+        } else {
+            self.natives
+        };
         Simulator {
             machine: self.machine,
             natives,
@@ -165,6 +197,7 @@ impl SimBuilder {
             horizon,
             periodic_cycle: self.periodic_cycle,
             feedback: self.feedback,
+            obs: self.observer,
         }
     }
 }
@@ -172,13 +205,14 @@ impl SimBuilder {
 /// A fully configured simulation, consumed by [`Simulator::run`].
 pub struct Simulator {
     machine: MachineConfig,
-    natives: Vec<Job>,
+    natives: Arc<Vec<Job>>,
     scheduler: Scheduler,
     outages: OutageSchedule,
     streams: Vec<InterstitialStream>,
     horizon: SimTime,
     periodic_cycle: Option<SimDuration>,
     feedback: Option<(SimDuration, u64)>,
+    obs: Obs,
 }
 
 /// A checkpointed interstitial job awaiting resumption.
@@ -288,6 +322,7 @@ impl Simulator {
 
         let mut steps = 0u64;
         while let Some((now, ev)) = q.pop() {
+            let pump = self.obs.profiler.begin();
             self.handle(now, ev, &mut st, &mut q);
             steps += 1;
             // Coalesce every event at this instant into one scheduling pass.
@@ -296,6 +331,7 @@ impl Simulator {
                 self.handle(now, ev, &mut st, &mut q);
                 steps += 1;
             }
+            self.obs.profiler.end("event-pump", pump);
             assert!(steps < MAX_EVENTS, "event storm: {steps} events");
             self.cycle(now, &mut st, &mut q);
         }
@@ -304,6 +340,11 @@ impl Simulator {
         debug_assert_eq!(st.pool.in_use(), 0);
         debug_assert!(st.void_events.is_empty(), "unconsumed tombstones");
         st.completed.sort_by_key(|c| (c.finish, c.job.id));
+        self.obs.metrics.inc("engine.events", steps);
+        self.obs.metrics.gauge_set(
+            "engine.end_time_s",
+            i64::try_from(q.now().as_secs()).unwrap_or(i64::MAX),
+        );
         SimOutput {
             machine: self.machine.clone(),
             horizon: self.horizon,
@@ -313,6 +354,7 @@ impl Simulator {
             interstitial_killed: st.killed,
             wasted_cpu_seconds: st.wasted_cpu_seconds,
             sim_end: q.now(),
+            obs: self.obs,
         }
     }
 
@@ -323,6 +365,16 @@ impl Simulator {
                 // In closed-loop mode the arrival may have been deferred;
                 // the wait clock starts at the actual submission instant.
                 job.submit = now;
+                self.obs.trace.record(
+                    now,
+                    EventKind::Submit {
+                        job: job.id,
+                        cpus: job.cpus,
+                        estimate_s: job.estimate.as_secs(),
+                        interstitial: false,
+                    },
+                );
+                self.obs.metrics.inc("jobs.submitted.native", 1);
                 self.scheduler.submit(job);
             }
             Ev::Finish(id) => {
@@ -344,6 +396,24 @@ impl Simulator {
                     Some(first_start) => CompletedJob::with_finish(job, first_start, now),
                     None => CompletedJob::new(job, rj.start),
                 };
+                let interstitial = job.class.is_interstitial();
+                self.obs.trace.record(
+                    now,
+                    EventKind::Finish {
+                        job: id,
+                        cpus: rj.cpus,
+                        wait_s: record.wait().as_secs(),
+                        interstitial,
+                    },
+                );
+                if interstitial {
+                    self.obs.metrics.inc("jobs.finished.interstitial", 1);
+                } else {
+                    self.obs.metrics.inc("jobs.finished.native", 1);
+                    self.obs
+                        .metrics
+                        .observe("wait.native_s", record.wait().as_secs());
+                }
                 st.completed.push(record);
                 // Closed loop: this completion releases the user's next job.
                 if !job.class.is_interstitial() {
@@ -361,6 +431,8 @@ impl Simulator {
             }
             Ev::Outage(up) => {
                 st.machine_up = up;
+                self.obs.trace.record(now, EventKind::Outage { up });
+                self.obs.metrics.inc("outages.boundaries", 1);
             }
             Ev::Kick => {}
         }
@@ -373,14 +445,28 @@ impl Simulator {
     /// asserted around the interstitial placement; the calls are empty
     /// inline stubs otherwise.
     fn cycle(&mut self, now: SimTime, st: &mut RunState, q: &mut EventQueue<Ev>) {
+        let span = self.obs.profiler.begin();
+        self.obs.trace.advance_cycle();
         if st.machine_up {
             self.preempt_for_head(now, st);
         }
-        let starts = self
-            .scheduler
-            .cycle(now, st.pool.free(), &st.running, st.machine_up);
-        for job in starts {
-            Self::start_job(now, job, st, q, false);
+        let plan = self.scheduler.cycle_observed(
+            now,
+            st.pool.free(),
+            &st.running,
+            st.machine_up,
+            &mut self.obs,
+        );
+        // The planner emits all in-order dispatches before any backfill
+        // (the head only blocks once, and stays blocked for the scan).
+        let inorder = plan.starts.len() - plan.backfilled as usize;
+        for (i, job) in plan.starts.into_iter().enumerate() {
+            let kind = if i < inorder {
+                StartKind::InOrder
+            } else {
+                StartKind::Backfill
+            };
+            Self::start_job(now, job, st, q, false, kind, &mut self.obs);
         }
         self.check_conservation(now, st);
         if st.machine_up {
@@ -416,6 +502,7 @@ impl Simulator {
             }
             self.check_conservation(now, st);
         }
+        self.obs.profiler.end("schedule-cycle", span);
     }
 
     /// CPU-conservation invariant (no-op without `check-invariants`).
@@ -489,6 +576,15 @@ impl Simulator {
                     st.wasted_cpu_seconds += rj.cpus as f64 * worked;
                     // Kill restores the job budget: the work must be redone.
                     st.ij_started[stream] -= 1;
+                    self.obs.trace.record(
+                        now,
+                        EventKind::Preempt {
+                            job: id,
+                            cpus,
+                            kind: obs::PreemptKind::Kill,
+                        },
+                    );
+                    self.obs.metrics.inc("preempt.killed", 1);
                 }
                 Preemption::Checkpoint => {
                     let first_start = st.resume_meta.remove(&id).unwrap_or(rj.start);
@@ -497,6 +593,15 @@ impl Simulator {
                         first_start,
                         remaining: rj.actual_end - now,
                     });
+                    self.obs.trace.record(
+                        now,
+                        EventKind::Preempt {
+                            job: id,
+                            cpus,
+                            kind: obs::PreemptKind::Checkpoint,
+                        },
+                    );
+                    self.obs.metrics.inc("preempt.checkpointed", 1);
                 }
                 Preemption::None => unreachable!("victims are preemptible"),
             }
@@ -504,7 +609,15 @@ impl Simulator {
         }
     }
 
-    fn start_job(now: SimTime, job: Job, st: &mut RunState, q: &mut EventQueue<Ev>, exact: bool) {
+    fn start_job(
+        now: SimTime,
+        job: Job,
+        st: &mut RunState,
+        q: &mut EventQueue<Ev>,
+        exact: bool,
+        kind: StartKind,
+        observer: &mut Obs,
+    ) {
         st.pool
             .allocate(job.cpus)
             .expect("dispatch plan oversubscribed the pool");
@@ -523,6 +636,23 @@ impl Simulator {
             interstitial: job.class.is_interstitial(),
         });
         st.live.insert(job.id, job);
+        observer.trace.record(
+            now,
+            EventKind::Start {
+                job: job.id,
+                cpus: job.cpus,
+                kind,
+            },
+        );
+        observer.metrics.inc(
+            match kind {
+                StartKind::InOrder => "jobs.started.inorder",
+                StartKind::Backfill => "jobs.started.backfill",
+                StartKind::Interstitial => "jobs.started.interstitial",
+                StartKind::Resume => "jobs.started.resumed",
+            },
+            1,
+        );
         q.schedule(actual_end, Ev::Finish(job.id));
     }
 
@@ -579,6 +709,15 @@ impl Simulator {
                 interstitial: true,
             });
             st.resume_meta.insert(id, susp.first_start);
+            self.obs.trace.record(
+                now,
+                EventKind::Start {
+                    job: id,
+                    cpus: susp.job.cpus,
+                    kind: StartKind::Resume,
+                },
+            );
+            self.obs.metrics.inc("jobs.started.resumed", 1);
             st.live.insert(id, susp.job);
             q.schedule(actual_end, Ev::Finish(id));
         }
@@ -644,7 +783,25 @@ impl Simulator {
                 runtime: dur,
                 estimate: dur, // zero-variance runtimes, exactly known (§4)
             };
-            Self::start_job(now, job, st, q, true);
+            self.obs.trace.record(
+                now,
+                EventKind::Submit {
+                    job: id,
+                    cpus,
+                    estimate_s: dur.as_secs(),
+                    interstitial: true,
+                },
+            );
+            self.obs.metrics.inc("jobs.submitted.interstitial", 1);
+            Self::start_job(
+                now,
+                job,
+                st,
+                q,
+                true,
+                StartKind::Interstitial,
+                &mut self.obs,
+            );
             cursor = (cursor + 1) % live.len();
         }
         st.rr_next = (st.rr_next + 1) % live.len();
@@ -1006,9 +1163,12 @@ mod tests {
         // Queue head imminent (reservation at t=1000): the paper's guard
         // blocks interstitial submission; with Checkpoint preemption the
         // stream flows immediately.
-        let jobs = vec![native(1, 0, 64, 1000, 1000), native(2, 10, 64, 500, 500)];
+        let jobs = Arc::new(vec![
+            native(1, 0, 64, 1000, 1000),
+            native(2, 10, 64, 500, 500),
+        ]);
         let paper = SimBuilder::new(tiny_machine())
-            .natives(jobs.clone())
+            .natives_arc(Arc::clone(&jobs))
             .horizon(SimTime::from_secs(30_000))
             .interstitial(
                 InterstitialProject::per_paper(1_000_000, 16, 2_000.0),
@@ -1018,7 +1178,7 @@ mod tests {
             .build()
             .run();
         let preempt = SimBuilder::new(tiny_machine())
-            .natives(jobs)
+            .natives_arc(jobs)
             .horizon(SimTime::from_secs(30_000))
             .interstitial(
                 InterstitialProject::per_paper(1_000_000, 16, 2_000.0),
@@ -1077,20 +1237,22 @@ mod tests {
         // One user, three jobs logged at t = 0, 10, 20, each running 100 s
         // on the whole machine. Open loop: all queue at once. Closed loop:
         // each is only submitted after the previous finishes (+ think).
-        let jobs: Vec<Job> = (0..3)
-            .map(|i| {
-                let mut j = native(i + 1, i * 10, 64, 100, 100);
-                j.user = 1; // one user owns the whole sequence
-                j
-            })
-            .collect();
+        let jobs: Arc<Vec<Job>> = Arc::new(
+            (0..3)
+                .map(|i| {
+                    let mut j = native(i + 1, i * 10, 64, 100, 100);
+                    j.user = 1; // one user owns the whole sequence
+                    j
+                })
+                .collect(),
+        );
         let open = SimBuilder::new(tiny_machine())
-            .natives(jobs.clone())
+            .natives_arc(Arc::clone(&jobs))
             .horizon(SimTime::from_secs(100_000))
             .build()
             .run();
         let closed = SimBuilder::new(tiny_machine())
-            .natives(jobs)
+            .natives_arc(jobs)
             .horizon(SimTime::from_secs(100_000))
             .closed_loop(SimDuration::from_secs(60), 9)
             .build()
@@ -1115,12 +1277,14 @@ mod tests {
 
     #[test]
     fn closed_loop_is_deterministic_and_respects_logged_floors() {
-        let jobs: Vec<Job> = (0..30)
-            .map(|i| native(i + 1, i * 1_000, 8, 50, 60))
-            .collect();
+        let jobs: Arc<Vec<Job>> = Arc::new(
+            (0..30)
+                .map(|i| native(i + 1, i * 1_000, 8, 50, 60))
+                .collect(),
+        );
         let run = || {
             SimBuilder::new(tiny_machine())
-                .natives(jobs.clone())
+                .natives_arc(Arc::clone(&jobs))
                 .horizon(SimTime::from_secs(200_000))
                 .closed_loop(SimDuration::from_secs(30), 4)
                 .build()
@@ -1239,12 +1403,14 @@ mod tests {
 
     #[test]
     fn deterministic_output() {
-        let jobs: Vec<Job> = (0..50)
-            .map(|i| native(i + 1, i * 97, 1 << (i % 6), 200 + i * 13, 400 + i * 13))
-            .collect();
+        let jobs: Arc<Vec<Job>> = Arc::new(
+            (0..50)
+                .map(|i| native(i + 1, i * 97, 1 << (i % 6), 200 + i * 13, 400 + i * 13))
+                .collect(),
+        );
         let run = || {
             SimBuilder::new(tiny_machine())
-                .natives(jobs.clone())
+                .natives_arc(Arc::clone(&jobs))
                 .horizon(SimTime::from_secs(100_000))
                 .interstitial(
                     InterstitialProject::per_paper(100_000, 8, 150.0),
@@ -1262,5 +1428,124 @@ mod tests {
             assert_eq!(x.start, y.start);
             assert_eq!(x.finish, y.finish);
         }
+    }
+
+    #[test]
+    fn disabled_tracing_is_allocation_free() {
+        // The default (no observer) run must never touch the trace buffer:
+        // zero events, zero heap growth — the "zero-cost when disabled"
+        // contract future perf PRs lean on.
+        let jobs: Vec<Job> = (0..40)
+            .map(|i| native(i + 1, i * 50, 1 << (i % 5), 100 + i * 7, 150 + i * 7))
+            .collect();
+        let out = SimBuilder::new(tiny_machine())
+            .natives(jobs)
+            .horizon(SimTime::from_secs(50_000))
+            .interstitial(
+                InterstitialProject::per_paper(10_000, 8, 120.0),
+                InterstitialMode::Continual,
+                InterstitialPolicy::default(),
+            )
+            .build()
+            .run();
+        assert!(out.native_completed() > 0 && out.interstitial_completed() > 0);
+        assert_eq!(out.obs.trace.recorded(), 0);
+        assert_eq!(out.obs.trace.heap_allocations(), 0);
+        assert!(!out.obs.is_active());
+        assert!(out.obs.run_report().metrics.counters.is_empty());
+    }
+
+    #[test]
+    fn observer_captures_full_event_stream() {
+        use obs::{EventKind, Obs};
+        let jobs = Arc::new(vec![
+            native(1, 0, 64, 1000, 1000), // runs immediately
+            native(2, 10, 64, 500, 500),  // blocked head, reserved at 1000
+            native(3, 20, 16, 400, 400),  // backfill candidate
+        ]);
+        let run = || {
+            SimBuilder::new(tiny_machine())
+                .natives_arc(Arc::clone(&jobs))
+                .horizon(SimTime::from_secs(30_000))
+                .interstitial(
+                    InterstitialProject::per_paper(100, 16, 100.0),
+                    InterstitialMode::Continual,
+                    InterstitialPolicy::default(),
+                )
+                .observer(Obs::enabled())
+                .build()
+                .run()
+        };
+        let out = run();
+        let evs = out.obs.trace.events();
+        let count = |f: &dyn Fn(&EventKind) -> bool| evs.iter().filter(|e| f(&e.kind)).count();
+        assert_eq!(
+            count(&|k| matches!(
+                k,
+                EventKind::Submit {
+                    interstitial: false,
+                    ..
+                }
+            )),
+            3
+        );
+        assert_eq!(
+            count(&|k| matches!(
+                k,
+                EventKind::Finish {
+                    interstitial: false,
+                    ..
+                }
+            )),
+            3
+        );
+        assert!(
+            count(&|k| matches!(
+                k,
+                EventKind::Start {
+                    kind: StartKind::Interstitial,
+                    ..
+                }
+            )) > 0
+        );
+        // Events arrive in nondecreasing time order with nondecreasing
+        // cycle ids.
+        for w in evs.windows(2) {
+            assert!(w[0].t <= w[1].t);
+            assert!(w[0].cycle <= w[1].cycle);
+        }
+        // Metrics agree with the output's own accounting.
+        assert_eq!(out.obs.metrics.counter("jobs.finished.native"), 3);
+        assert_eq!(
+            out.obs.metrics.counter("jobs.started.interstitial"),
+            out.interstitial_started
+        );
+        // Same seed, second run: byte-identical trace and metrics.
+        let again = run();
+        assert_eq!(out.obs.trace.to_jsonl(), again.obs.trace.to_jsonl());
+        assert_eq!(
+            out.obs.run_report().to_json_deterministic(),
+            again.obs.run_report().to_json_deterministic()
+        );
+    }
+
+    #[test]
+    fn shared_native_log_is_not_copied_at_build() {
+        let jobs = Arc::new(vec![native(1, 0, 8, 100, 100)]);
+        let sim = SimBuilder::new(tiny_machine())
+            .natives_arc(Arc::clone(&jobs))
+            .horizon(SimTime::from_secs(1_000))
+            .build();
+        // No oversized jobs → the builder must reuse the shared allocation.
+        assert_eq!(Arc::strong_count(&jobs), 2);
+        drop(sim);
+        // An oversized job forces (only then) a filtered private copy.
+        let jobs = Arc::new(vec![native(1, 0, 8, 100, 100), native(2, 0, 10_000, 5, 5)]);
+        let sim = SimBuilder::new(tiny_machine())
+            .natives_arc(Arc::clone(&jobs))
+            .horizon(SimTime::from_secs(1_000))
+            .build();
+        assert_eq!(Arc::strong_count(&jobs), 1);
+        assert_eq!(sim.run().native_submitted, 1);
     }
 }

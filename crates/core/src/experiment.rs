@@ -219,6 +219,7 @@ mod tests {
             interstitial_killed: 0,
             wasted_cpu_seconds: 0.0,
             sim_end: SimTime::from_secs(horizon_s),
+            obs: obs::Obs::disabled(),
         }
     }
 

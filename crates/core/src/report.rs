@@ -33,6 +33,9 @@ pub struct SimOutput {
     pub wasted_cpu_seconds: f64,
     /// Instant the last event was processed.
     pub sim_end: SimTime,
+    /// The observability bundle that rode along (disabled and empty unless
+    /// the run was built with [`crate::driver::SimBuilder::observer`]).
+    pub obs: obs::Obs,
 }
 
 impl SimOutput {
@@ -179,6 +182,7 @@ mod tests {
             interstitial_killed: 0,
             wasted_cpu_seconds: 0.0,
             sim_end: SimTime::from_secs(1_000),
+            obs: obs::Obs::disabled(),
         }
     }
 

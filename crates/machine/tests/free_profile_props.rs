@@ -1,0 +1,118 @@
+//! Property tests for [`machine::RunningSet::free_profile`]: under any
+//! random running set the projected free-CPU profile starts at the actual
+//! free count, only ever steps *upward* (running jobs can only end), and
+//! converges to `free_now` plus every job whose projected end falls inside
+//! the horizon.
+
+use machine::{RunningJob, RunningSet};
+use simkit::rng::Rng;
+use simkit::time::{SimDuration, SimTime};
+
+const TOTAL_CPUS: u32 = 1_024;
+
+/// A random running set at `now`, returning `(set, free_now, ends)` where
+/// `ends` is each inserted job's `(cpus, estimated_end)`.
+fn random_running_set(rng: &mut Rng, now: SimTime) -> (RunningSet, u32, Vec<(u32, SimTime)>) {
+    let mut rs = RunningSet::new();
+    let mut ends = Vec::new();
+    let mut used = 0u32;
+    for i in 0..rng.below(40) {
+        let cpus = rng.below(64) as u32 + 1;
+        if used + cpus > TOTAL_CPUS {
+            break;
+        }
+        used += cpus;
+        let start = now - SimDuration::from_secs(rng.below(5_000));
+        let actual_end = now + SimDuration::from_secs(rng.below(60_000) + 1);
+        // A fifth of the jobs have *overrun* their estimate (estimated end
+        // in the past) — free_profile must clamp them to `now + 1`.
+        let estimated_end = if rng.chance(0.2) {
+            // Clamped to `start`: RunningSet::insert rejects estimates
+            // earlier than the job's own start.
+            (now - SimDuration::from_secs(rng.below(1_000))).max(start)
+        } else {
+            now + SimDuration::from_secs(rng.below(60_000))
+        };
+        rs.insert(RunningJob {
+            id: i,
+            cpus,
+            start,
+            actual_end,
+            estimated_end,
+            interstitial: rng.chance(0.3),
+        });
+        ends.push((cpus, estimated_end));
+    }
+    (rs, TOTAL_CPUS - used, ends)
+}
+
+#[test]
+fn free_profile_is_monotone_under_random_running_sets() {
+    for seed in 0..30u64 {
+        let mut rng = Rng::new(seed);
+        let now = SimTime::from_secs(rng.below(10_000) + 5_000);
+        let horizon = now + SimDuration::from_secs(rng.below(50_000) + 1_000);
+        let (rs, free_now, ends) = random_running_set(&mut rng, now);
+        let f = rs.free_profile(now, free_now, horizon);
+
+        // Starts at the actual free count: nothing for sale that is busy.
+        assert_eq!(f.value_at(now), i64::from(free_now), "seed {seed}");
+
+        // Monotone nondecreasing: CPUs are only ever released.
+        let mut prev = i64::MIN;
+        for (s, e, v) in f.iter_segments() {
+            assert!(s < e, "seed {seed}: empty segment");
+            assert!(
+                v >= prev,
+                "seed {seed}: profile steps down ({prev} -> {v} at {s})"
+            );
+            prev = v;
+        }
+
+        // Converges to free_now + every job whose projected (clamped) end
+        // lies strictly inside the horizon.
+        let next = now + SimDuration::from_secs(1);
+        let released: i64 = ends
+            .iter()
+            .filter(|(_, est)| (*est).max(next) < horizon)
+            .map(|(cpus, _)| i64::from(*cpus))
+            .sum();
+        let last = horizon - SimDuration::from_secs(1);
+        assert_eq!(
+            f.value_at(last),
+            i64::from(free_now) + released,
+            "seed {seed}: terminal free count is wrong"
+        );
+
+        // Bounded by the machine: never projects more than every CPU free.
+        for (_, _, v) in f.iter_segments() {
+            assert!(v <= i64::from(TOTAL_CPUS), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn free_profile_value_matches_per_instant_recount() {
+    // Pointwise cross-check against a direct recount at sampled instants.
+    for seed in 100..110u64 {
+        let mut rng = Rng::new(seed);
+        let now = SimTime::from_secs(10_000);
+        let horizon = now + SimDuration::from_secs(20_000);
+        let (rs, free_now, ends) = random_running_set(&mut rng, now);
+        let f = rs.free_profile(now, free_now, horizon);
+        let next = now + SimDuration::from_secs(1);
+        for k in 0..200u64 {
+            let probe = now + SimDuration::from_secs(k * 100);
+            if probe >= horizon {
+                break;
+            }
+            let expect: i64 = i64::from(free_now)
+                + ends
+                    .iter()
+                    .filter(|(_, est)| (*est).max(next) <= probe)
+                    .map(|(cpus, _)| i64::from(*cpus))
+                    .sum::<i64>();
+            assert_eq!(f.value_at(probe), expect, "seed {seed}, probe {probe}");
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! The trace event alphabet.
+//!
+//! One record per scheduler-visible state change, mirroring the per-event
+//! schedule traces of Dubenskaya & Polyakov (arXiv:1909.00394): submissions,
+//! starts (split by placement kind), finishes, preemptions and outage
+//! boundaries. Every record carries the sim-time (integer seconds) and the
+//! scheduling-cycle id it belongs to, so a trace can be replayed or diffed
+//! event-for-event.
+
+use crate::json;
+use simkit::time::SimTime;
+
+/// How a job came to occupy CPUs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StartKind {
+    /// Dispatched from the head of the priority-ordered native queue.
+    InOrder,
+    /// A native job that jumped a blocked head (backfill placement).
+    Backfill,
+    /// An interstitial job placed into spare cycles (Figure 1 placement).
+    Interstitial,
+    /// A checkpointed interstitial job resuming after suspension.
+    Resume,
+}
+
+impl StartKind {
+    /// Stable lowercase tag used in the JSONL encoding.
+    pub fn tag(self) -> &'static str {
+        match self {
+            StartKind::InOrder => "inorder",
+            StartKind::Backfill => "backfill",
+            StartKind::Interstitial => "interstitial",
+            StartKind::Resume => "resume",
+        }
+    }
+}
+
+/// What preemption did to a running interstitial job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PreemptKind {
+    /// Work discarded; the job will be resubmitted from scratch.
+    Kill,
+    /// Progress checkpointed; the job resumes later with remaining work.
+    Checkpoint,
+}
+
+impl PreemptKind {
+    /// Stable lowercase tag used in the JSONL encoding.
+    pub fn tag(self) -> &'static str {
+        match self {
+            PreemptKind::Kill => "kill",
+            PreemptKind::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+/// The payload of one trace record (sim-time and cycle id are attached by
+/// the sink).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A job entered the system.
+    Submit {
+        /// Job id.
+        job: u64,
+        /// CPUs requested.
+        cpus: u32,
+        /// User-supplied runtime estimate, seconds.
+        estimate_s: u64,
+        /// True for interstitial jobs.
+        interstitial: bool,
+    },
+    /// A job began executing.
+    Start {
+        /// Job id.
+        job: u64,
+        /// CPUs allocated.
+        cpus: u32,
+        /// Placement kind (in-order / backfill / interstitial / resume).
+        kind: StartKind,
+    },
+    /// A job finished and released its CPUs.
+    Finish {
+        /// Job id.
+        job: u64,
+        /// CPUs released.
+        cpus: u32,
+        /// Queue wait realized by the job, seconds.
+        wait_s: u64,
+        /// True for interstitial jobs.
+        interstitial: bool,
+    },
+    /// A running interstitial job was preempted for the native head.
+    Preempt {
+        /// Job id.
+        job: u64,
+        /// CPUs reclaimed.
+        cpus: u32,
+        /// Kill or checkpoint.
+        kind: PreemptKind,
+    },
+    /// The machine crossed an outage boundary.
+    Outage {
+        /// True when the machine is up after this event.
+        up: bool,
+    },
+}
+
+/// A fully tagged trace record: when, in which scheduling cycle, and what.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation instant, integer seconds.
+    pub t: SimTime,
+    /// Scheduling-cycle id the event belongs to (0 before the first cycle).
+    pub cycle: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Append this record as one JSON line (without trailing newline).
+    pub fn write_jsonl(&self, out: &mut String) {
+        out.push('{');
+        let first = json::push_u64_field(out, true, "t", self.t.as_secs());
+        let first = json::push_u64_field(out, first, "cycle", self.cycle);
+        match self.kind {
+            EventKind::Submit {
+                job,
+                cpus,
+                estimate_s,
+                interstitial,
+            } => {
+                let first = json::push_str_field(out, first, "ev", "submit");
+                let first = json::push_u64_field(out, first, "job", job);
+                let first = json::push_u64_field(out, first, "cpus", u64::from(cpus));
+                let first = json::push_u64_field(out, first, "estimate_s", estimate_s);
+                let _ = json::push_str_field(
+                    out,
+                    first,
+                    "class",
+                    if interstitial {
+                        "interstitial"
+                    } else {
+                        "native"
+                    },
+                );
+            }
+            EventKind::Start { job, cpus, kind } => {
+                let first = json::push_str_field(out, first, "ev", "start");
+                let first = json::push_u64_field(out, first, "job", job);
+                let first = json::push_u64_field(out, first, "cpus", u64::from(cpus));
+                let _ = json::push_str_field(out, first, "kind", kind.tag());
+            }
+            EventKind::Finish {
+                job,
+                cpus,
+                wait_s,
+                interstitial,
+            } => {
+                let first = json::push_str_field(out, first, "ev", "finish");
+                let first = json::push_u64_field(out, first, "job", job);
+                let first = json::push_u64_field(out, first, "cpus", u64::from(cpus));
+                let first = json::push_u64_field(out, first, "wait_s", wait_s);
+                let _ = json::push_str_field(
+                    out,
+                    first,
+                    "class",
+                    if interstitial {
+                        "interstitial"
+                    } else {
+                        "native"
+                    },
+                );
+            }
+            EventKind::Preempt { job, cpus, kind } => {
+                let first = json::push_str_field(out, first, "ev", "preempt");
+                let first = json::push_u64_field(out, first, "job", job);
+                let first = json::push_u64_field(out, first, "cpus", u64::from(cpus));
+                let _ = json::push_str_field(out, first, "kind", kind.tag());
+            }
+            EventKind::Outage { up } => {
+                let first = json::push_str_field(out, first, "ev", "outage");
+                let _ = json::push_str_field(out, first, "up", if up { "true" } else { "false" });
+            }
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_encoding_is_stable() {
+        let ev = TraceEvent {
+            t: SimTime::from_secs(42),
+            cycle: 7,
+            kind: EventKind::Start {
+                job: 9,
+                cpus: 32,
+                kind: StartKind::Backfill,
+            },
+        };
+        let mut s = String::new();
+        ev.write_jsonl(&mut s);
+        assert_eq!(
+            s,
+            "{\"t\":42,\"cycle\":7,\"ev\":\"start\",\"job\":9,\"cpus\":32,\"kind\":\"backfill\"}"
+        );
+    }
+
+    #[test]
+    fn all_kinds_encode() {
+        let kinds = [
+            EventKind::Submit {
+                job: 1,
+                cpus: 2,
+                estimate_s: 3,
+                interstitial: false,
+            },
+            EventKind::Finish {
+                job: 1,
+                cpus: 2,
+                wait_s: 0,
+                interstitial: true,
+            },
+            EventKind::Preempt {
+                job: 1,
+                cpus: 2,
+                kind: PreemptKind::Checkpoint,
+            },
+            EventKind::Outage { up: false },
+        ];
+        for k in kinds {
+            let mut s = String::new();
+            TraceEvent {
+                t: SimTime::ZERO,
+                cycle: 0,
+                kind: k,
+            }
+            .write_jsonl(&mut s);
+            assert!(s.starts_with("{\"t\":0,\"cycle\":0,\"ev\":\""), "{s}");
+            assert!(s.ends_with('}'));
+        }
+    }
+}

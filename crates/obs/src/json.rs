@@ -1,0 +1,78 @@
+//! Minimal deterministic JSON emission.
+//!
+//! The workspace is dependency-free (no serde), and the golden-trace suite
+//! requires byte-stable output, so everything here writes integers and
+//! escaped strings straight into a `String` with no locale, float or
+//! map-order pitfalls. Floats never appear: quantities that are naturally
+//! fractional are emitted as scaled integers by the callers (e.g.
+//! milli-units), keeping R3's "no float time" discipline in the artifacts
+//! too.
+
+/// Append a JSON string literal (with escaping) to `out`.
+pub fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `"key":` to `out`.
+pub fn push_key(out: &mut String, key: &str) {
+    push_str_literal(out, key);
+    out.push(':');
+}
+
+/// Append `"key":<u64>` with a leading comma when `first` is false; returns
+/// false (the next field is no longer first).
+pub fn push_u64_field(out: &mut String, first: bool, key: &str, value: u64) -> bool {
+    if !first {
+        out.push(',');
+    }
+    push_key(out, key);
+    let _ = std::fmt::Write::write_fmt(out, format_args!("{value}"));
+    false
+}
+
+/// Append `"key":"value"` with a leading comma when `first` is false.
+pub fn push_str_field(out: &mut String, first: bool, key: &str, value: &str) -> bool {
+    if !first {
+        out.push(',');
+    }
+    push_key(out, key);
+    push_str_literal(out, value);
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_str_literal(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn fields_chain_with_commas() {
+        let mut s = String::from("{");
+        let first = true;
+        let first = push_u64_field(&mut s, first, "a", 1);
+        let first = push_str_field(&mut s, first, "b", "x");
+        let _ = push_u64_field(&mut s, first, "c", 2);
+        s.push('}');
+        assert_eq!(s, "{\"a\":1,\"b\":\"x\",\"c\":2}");
+    }
+}

@@ -1,0 +1,130 @@
+//! # obs — observability for the interstitial simulator
+//!
+//! The paper's claims are all *measurements* (utilization interstices,
+//! wait-time deltas, makespan distributions), so the simulation stack needs
+//! a measurement substrate of its own. This crate provides three
+//! independent, individually switchable instruments, bundled in [`Obs`]:
+//!
+//! * [`trace::TraceSink`] — a structured event log: every job submit /
+//!   start / finish / preemption / outage event, tagged with sim-time and
+//!   the scheduling-cycle id, serialized as deterministic JSONL. Zero-cost
+//!   when disabled: `record` is a single predictable branch and the event
+//!   buffer never allocates.
+//! * [`metrics::MetricsRegistry`] — counters, gauges and log₂ histograms
+//!   keyed by `&'static str`. BTreeMap-backed so snapshots iterate in a
+//!   fixed order (simlint R1) and the emitted JSON is byte-stable across
+//!   runs — the property the golden-trace regression suite anchors on.
+//! * [`profile::PhaseProfiler`] — wall-clock spans for the simulator's hot
+//!   phases (schedule-cycle, backfill, free-profile, event-pump). The only
+//!   place outside the bench harness allowed to read the wall clock
+//!   (audited simlint R2 exception): span durations are reported, never fed
+//!   back into simulation behaviour.
+//!
+//! [`report::RunReport`] snapshots all three into one machine-readable JSON
+//! document per run. The golden suite compares only the deterministic
+//! sections (trace + metrics); wall-clock phase timings are excluded from
+//! golden comparisons by construction ([`report::RunReport::to_json_deterministic`]).
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod probe;
+pub mod profile;
+pub mod report;
+pub mod trace;
+
+pub use event::{EventKind, PreemptKind, StartKind, TraceEvent};
+pub use metrics::MetricsRegistry;
+pub use profile::PhaseProfiler;
+pub use report::RunReport;
+pub use trace::TraceSink;
+
+/// The full observability bundle threaded through a simulation run.
+///
+/// Each instrument is independently enabled; [`Obs::disabled`] (the
+/// default) turns the whole bundle into cheap no-ops, which is what every
+/// hot path that does not ask for observability pays.
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    /// Structured event log.
+    pub trace: TraceSink,
+    /// Counters / gauges / histograms.
+    pub metrics: MetricsRegistry,
+    /// Wall-clock phase spans.
+    pub profiler: PhaseProfiler,
+}
+
+impl Obs {
+    /// Everything off — the zero-cost default.
+    pub fn disabled() -> Self {
+        Obs::default()
+    }
+
+    /// Everything on: tracing, metrics and phase profiling.
+    pub fn enabled() -> Self {
+        Obs {
+            trace: TraceSink::enabled(),
+            metrics: MetricsRegistry::enabled(),
+            profiler: PhaseProfiler::enabled(),
+        }
+    }
+
+    /// Selectively enable instruments.
+    pub fn with(trace: bool, metrics: bool, profile: bool) -> Self {
+        Obs {
+            trace: if trace {
+                TraceSink::enabled()
+            } else {
+                TraceSink::disabled()
+            },
+            metrics: if metrics {
+                MetricsRegistry::enabled()
+            } else {
+                MetricsRegistry::disabled()
+            },
+            profiler: if profile {
+                PhaseProfiler::enabled()
+            } else {
+                PhaseProfiler::disabled()
+            },
+        }
+    }
+
+    /// True when at least one instrument is collecting.
+    pub fn is_active(&self) -> bool {
+        self.trace.is_enabled() || self.metrics.is_enabled() || self.profiler.is_enabled()
+    }
+
+    /// Snapshot the metrics registry and phase profile into a [`RunReport`].
+    pub fn run_report(&self) -> RunReport {
+        RunReport::new(self.metrics.snapshot(), self.profiler.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_bundle_is_inert() {
+        let mut o = Obs::disabled();
+        assert!(!o.is_active());
+        o.metrics.inc("x", 1);
+        o.trace
+            .record(simkit::time::SimTime::ZERO, EventKind::Outage { up: true });
+        assert_eq!(o.trace.recorded(), 0);
+        assert_eq!(o.trace.heap_allocations(), 0);
+        assert!(o.run_report().metrics.counters.is_empty());
+    }
+
+    #[test]
+    fn selective_enablement() {
+        let o = Obs::with(true, false, false);
+        assert!(o.trace.is_enabled());
+        assert!(!o.metrics.is_enabled());
+        assert!(!o.profiler.is_enabled());
+        assert!(o.is_active());
+    }
+}

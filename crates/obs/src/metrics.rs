@@ -1,0 +1,283 @@
+//! Deterministic metrics registry.
+//!
+//! Counters, gauges and log₂ histograms keyed by `&'static str`. All maps
+//! are `BTreeMap` (simlint R1): iteration — and therefore the snapshot JSON
+//! — is in lexicographic key order, byte-stable across runs. Values are
+//! integers only; anything naturally fractional is scaled by the caller
+//! before it gets here so artifacts stay float-free.
+
+use crate::json;
+use std::collections::BTreeMap;
+
+/// Number of log₂ buckets: bucket 0 holds value 0, bucket `i` (i ≥ 1)
+/// holds values whose bit length is `i`, i.e. `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log₂ histogram over `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Samples observed.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest sample (meaningless when `count == 0`).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Per-bucket sample counts; see [`bucket_index`].
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+/// Which bucket a sample falls into: 0 for 0, otherwise the sample's bit
+/// length (so bucket `i` spans `[2^(i-1), 2^i)`).
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Append `{"count":..,"sum":..,"min":..,"max":..,"buckets":[[i,n],..]}`
+    /// (only non-empty buckets, ascending index).
+    pub fn write_json(&self, out: &mut String) {
+        out.push('{');
+        let first = json::push_u64_field(out, true, "count", self.count);
+        let first = json::push_u64_field(out, first, "sum", self.sum);
+        let first = json::push_u64_field(
+            out,
+            first,
+            "min",
+            if self.count == 0 { 0 } else { self.min },
+        );
+        let first = json::push_u64_field(out, first, "max", self.max);
+        if !first {
+            out.push(',');
+        }
+        json::push_key(out, "buckets");
+        out.push('[');
+        let mut first_bucket = true;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !first_bucket {
+                out.push(',');
+            }
+            first_bucket = false;
+            let _ = std::fmt::Write::write_fmt(out, format_args!("[{i},{n}]"));
+        }
+        out.push_str("]}");
+    }
+}
+
+/// An immutable, ordered snapshot of the registry at one instant.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Monotone counters.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Last-set / max-tracked gauges.
+    pub gauges: BTreeMap<&'static str, i64>,
+    /// Log₂ histograms.
+    pub histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Append `{"counters":{..},"gauges":{..},"histograms":{..}}` in key
+    /// order — byte-stable across runs.
+    pub fn write_json(&self, out: &mut String) {
+        out.push('{');
+        json::push_key(out, "counters");
+        out.push('{');
+        let mut first = true;
+        for (k, v) in &self.counters {
+            first = json::push_u64_field(out, first, k, *v);
+        }
+        out.push_str("},");
+        json::push_key(out, "gauges");
+        out.push('{');
+        let mut first = true;
+        for (k, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            json::push_key(out, k);
+            let _ = std::fmt::Write::write_fmt(out, format_args!("{v}"));
+        }
+        out.push_str("},");
+        json::push_key(out, "histograms");
+        out.push('{');
+        let mut first = true;
+        for (k, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            json::push_key(out, k);
+            h.write_json(out);
+        }
+        out.push_str("}}");
+    }
+
+    /// The snapshot as a standalone JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+}
+
+/// Counters, gauges and histograms behind one enable switch.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    snap: MetricsSnapshot,
+}
+
+impl MetricsRegistry {
+    /// A registry that ignores all updates (the default).
+    pub fn disabled() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// A collecting registry.
+    pub fn enabled() -> Self {
+        MetricsRegistry {
+            enabled: true,
+            snap: MetricsSnapshot::default(),
+        }
+    }
+
+    /// Whether updates are collected.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Add `by` to counter `name` (creating it at 0).
+    #[inline]
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        if self.enabled {
+            *self.snap.counters.entry(name).or_insert(0) += by;
+        }
+    }
+
+    /// Set gauge `name` to `value`.
+    #[inline]
+    pub fn gauge_set(&mut self, name: &'static str, value: i64) {
+        if self.enabled {
+            self.snap.gauges.insert(name, value);
+        }
+    }
+
+    /// Raise gauge `name` to `value` if larger (high-water mark).
+    #[inline]
+    pub fn gauge_max(&mut self, name: &'static str, value: i64) {
+        if self.enabled {
+            let g = self.snap.gauges.entry(name).or_insert(i64::MIN);
+            if value > *g {
+                *g = value;
+            }
+        }
+    }
+
+    /// Record `value` into histogram `name`.
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        if self.enabled {
+            self.snap.histograms.entry(name).or_default().observe(value);
+        }
+    }
+
+    /// Read a counter (0 when absent or disabled).
+    pub fn counter(&self, name: &'static str) -> u64 {
+        self.snap.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Copy out the current state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.snap.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ignores_everything() {
+        let mut m = MetricsRegistry::disabled();
+        m.inc("a", 5);
+        m.gauge_set("g", -3);
+        m.observe("h", 100);
+        let s = m.snapshot();
+        assert!(s.counters.is_empty() && s.gauges.is_empty() && s.histograms.is_empty());
+        assert_eq!(m.counter("a"), 0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_tracks_extremes() {
+        let mut h = Histogram::default();
+        for v in [7u64, 0, 1_000_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 1_000_007);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1_000_000);
+    }
+
+    #[test]
+    fn snapshot_json_is_key_ordered() {
+        let mut m = MetricsRegistry::enabled();
+        m.inc("zebra", 1);
+        m.inc("alpha", 2);
+        m.gauge_set("neg", -7);
+        m.observe("wait", 3);
+        let json = m.snapshot().to_json();
+        assert_eq!(
+            json,
+            "{\"counters\":{\"alpha\":2,\"zebra\":1},\"gauges\":{\"neg\":-7},\
+             \"histograms\":{\"wait\":{\"count\":1,\"sum\":3,\"min\":3,\"max\":3,\
+             \"buckets\":[[2,1]]}}}"
+        );
+    }
+
+    #[test]
+    fn gauge_max_is_high_water() {
+        let mut m = MetricsRegistry::enabled();
+        m.gauge_max("hw", 5);
+        m.gauge_max("hw", 3);
+        m.gauge_max("hw", 9);
+        assert_eq!(m.snapshot().gauges["hw"], 9);
+    }
+}

@@ -1,0 +1,121 @@
+//! Adapter between [`simkit::engine::run_probed`] and an [`Obs`] bundle.
+//!
+//! Counts processed events into the metrics registry and stamps the final
+//! [`RunStats`] as gauges, so any model driven through the generic engine
+//! loop gets event-pump accounting for free.
+
+use crate::Obs;
+use simkit::engine::{Probe, RunStats, StopReason};
+use simkit::time::SimTime;
+
+/// Borrows an [`Obs`] bundle for the duration of one engine run.
+#[derive(Debug)]
+pub struct ObsProbe<'a> {
+    /// The observed bundle; counters land in its metrics registry.
+    pub obs: &'a mut Obs,
+}
+
+impl<'a> ObsProbe<'a> {
+    /// Wrap `obs` for a single [`simkit::engine::run_probed`] call.
+    pub fn new(obs: &'a mut Obs) -> Self {
+        ObsProbe { obs }
+    }
+}
+
+/// Stable tag for a stop reason, usable as a metrics suffix.
+pub fn stop_reason_tag(reason: StopReason) -> &'static str {
+    match reason {
+        StopReason::Drained => "drained",
+        StopReason::Horizon => "horizon",
+        StopReason::StepBudget => "step_budget",
+    }
+}
+
+impl Probe for ObsProbe<'_> {
+    #[inline]
+    fn on_event(&mut self, _now: SimTime) {
+        self.obs.metrics.inc("engine.events", 1);
+    }
+
+    fn on_stop(&mut self, stats: &RunStats) {
+        let m = &mut self.obs.metrics;
+        m.gauge_set(
+            "engine.end_time_s",
+            i64::try_from(stats.end_time.as_secs()).unwrap_or(i64::MAX),
+        );
+        m.gauge_set(
+            "engine.steps",
+            i64::try_from(stats.steps).unwrap_or(i64::MAX),
+        );
+        match stats.reason {
+            StopReason::Drained => m.inc("engine.stop.drained", 1),
+            StopReason::Horizon => m.inc("engine.stop.horizon", 1),
+            StopReason::StepBudget => m.inc("engine.stop.step_budget", 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::engine::{run_probed, Simulation};
+    use simkit::event::EventQueue;
+    use simkit::time::SimDuration;
+
+    struct Ticker {
+        remaining: u32,
+    }
+
+    impl Simulation for Ticker {
+        type Event = ();
+        fn handle(&mut self, now: SimTime, _: (), queue: &mut EventQueue<()>) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                queue.schedule(now + SimDuration::from_secs(10), ());
+            }
+        }
+    }
+
+    #[test]
+    fn probe_counts_engine_events() {
+        let mut obs = Obs::enabled();
+        let mut sim = Ticker { remaining: 4 };
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        let stats = run_probed(
+            &mut sim,
+            &mut q,
+            SimTime::MAX,
+            1_000,
+            &mut ObsProbe::new(&mut obs),
+        );
+        assert_eq!(stats.steps, 5);
+        assert_eq!(obs.metrics.counter("engine.events"), 5);
+        assert_eq!(obs.metrics.counter("engine.stop.drained"), 1);
+        assert_eq!(obs.metrics.snapshot().gauges["engine.steps"], 5);
+    }
+
+    #[test]
+    fn disabled_obs_collects_nothing_through_probe() {
+        let mut obs = Obs::disabled();
+        let mut sim = Ticker { remaining: 2 };
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        run_probed(
+            &mut sim,
+            &mut q,
+            SimTime::MAX,
+            100,
+            &mut ObsProbe::new(&mut obs),
+        );
+        assert_eq!(obs.metrics.counter("engine.events"), 0);
+        assert!(obs.run_report().metrics.counters.is_empty());
+    }
+
+    #[test]
+    fn stop_reason_tags_are_stable() {
+        assert_eq!(stop_reason_tag(StopReason::Drained), "drained");
+        assert_eq!(stop_reason_tag(StopReason::Horizon), "horizon");
+        assert_eq!(stop_reason_tag(StopReason::StepBudget), "step_budget");
+    }
+}

@@ -1,0 +1,160 @@
+//! Wall-clock phase profiling.
+//!
+//! This module is the one audited simlint R2 exception outside the bench
+//! harness: it reads `std::time::Instant` to time simulator phases
+//! (schedule-cycle, backfill, free-profile, event-pump). The readings are
+//! *reported only* — they never influence scheduling decisions, event
+//! ordering or any simulated quantity, so determinism is untouched. Golden
+//! comparisons exclude the profile section by construction
+//! (`RunReport::to_json_deterministic`).
+//!
+//! Spans use an explicit begin/end token rather than a drop guard so that
+//! nested phases (backfill inside schedule-cycle) can be timed without
+//! holding overlapping `&mut` borrows of the profiler.
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Accumulated timing for one named phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Number of completed spans.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across those spans (saturating).
+    pub total_ns: u64,
+}
+
+/// An ordered snapshot of all phase statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfileSnapshot {
+    /// Per-phase stats in name order.
+    pub phases: BTreeMap<&'static str, PhaseStat>,
+}
+
+impl ProfileSnapshot {
+    /// Append `{"phase":{"calls":..,"total_ns":..},..}` in name order.
+    /// Values are wall-clock readings — never compared in golden tests.
+    pub fn write_json(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        for (name, stat) in &self.phases {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            json::push_key(out, name);
+            out.push('{');
+            let inner = json::push_u64_field(out, true, "calls", stat.calls);
+            let _ = json::push_u64_field(out, inner, "total_ns", stat.total_ns);
+            out.push('}');
+        }
+        out.push('}');
+    }
+}
+
+/// Named wall-clock span accumulator with a zero-cost disabled path.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseProfiler {
+    enabled: bool,
+    snap: ProfileSnapshot,
+}
+
+impl PhaseProfiler {
+    /// A profiler whose spans are no-ops (the default).
+    pub fn disabled() -> Self {
+        PhaseProfiler::default()
+    }
+
+    /// A collecting profiler.
+    pub fn enabled() -> Self {
+        PhaseProfiler {
+            enabled: true,
+            snap: ProfileSnapshot::default(),
+        }
+    }
+
+    /// Whether spans are timed.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Open a span. Returns `None` (no clock read) when disabled; pass the
+    /// token to [`end`](PhaseProfiler::end) to close it.
+    #[inline]
+    pub fn begin(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Close a span opened by [`begin`](PhaseProfiler::begin), attributing
+    /// the elapsed wall-clock time to `name`.
+    #[inline]
+    pub fn end(&mut self, name: &'static str, token: Option<Instant>) {
+        if let Some(t0) = token {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let stat = self.snap.phases.entry(name).or_default();
+            stat.calls += 1;
+            stat.total_ns = stat.total_ns.saturating_add(ns);
+        }
+    }
+
+    /// Copy out the accumulated stats.
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        self.snap.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_never_reads_the_clock() {
+        let mut p = PhaseProfiler::disabled();
+        let token = p.begin();
+        assert!(token.is_none());
+        p.end("phase", token);
+        assert!(p.snapshot().phases.is_empty());
+    }
+
+    #[test]
+    fn spans_accumulate_per_name() {
+        let mut p = PhaseProfiler::enabled();
+        for _ in 0..3 {
+            let t = p.begin();
+            p.end("cycle", t);
+        }
+        let t = p.begin();
+        p.end("pump", t);
+        let snap = p.snapshot();
+        assert_eq!(snap.phases["cycle"].calls, 3);
+        assert_eq!(snap.phases["pump"].calls, 1);
+    }
+
+    #[test]
+    fn nested_spans_work() {
+        let mut p = PhaseProfiler::enabled();
+        let outer = p.begin();
+        let inner = p.begin();
+        p.end("inner", inner);
+        p.end("outer", outer);
+        let snap = p.snapshot();
+        assert_eq!(snap.phases.len(), 2);
+        assert!(snap.phases["outer"].total_ns >= snap.phases["inner"].total_ns);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut p = PhaseProfiler::enabled();
+        let t = p.begin();
+        p.end("a", t);
+        let mut s = String::new();
+        p.snapshot().write_json(&mut s);
+        assert!(s.starts_with("{\"a\":{\"calls\":1,\"total_ns\":"), "{s}");
+    }
+}

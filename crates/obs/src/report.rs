@@ -1,0 +1,90 @@
+//! Per-run machine-readable report.
+//!
+//! A [`RunReport`] bundles the metrics snapshot and the phase profile from
+//! one simulation run into a single JSON document. Two serializations
+//! exist on purpose:
+//!
+//! * [`RunReport::to_json`] — everything, including wall-clock phase
+//!   timings. For humans, dashboards and bench trajectories.
+//! * [`RunReport::to_json_deterministic`] — metrics only. Byte-stable for
+//!   a fixed seed, which is what the golden-trace suite and CI diff.
+
+use crate::json;
+use crate::metrics::MetricsSnapshot;
+use crate::profile::ProfileSnapshot;
+
+/// Snapshot of one run's metrics and phase profile.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Counters / gauges / histograms at end of run.
+    pub metrics: MetricsSnapshot,
+    /// Wall-clock phase timings (empty when profiling was disabled).
+    pub profile: ProfileSnapshot,
+}
+
+impl RunReport {
+    /// Bundle a metrics snapshot with a phase profile.
+    pub fn new(metrics: MetricsSnapshot, profile: ProfileSnapshot) -> Self {
+        RunReport { metrics, profile }
+    }
+
+    /// Full report: `{"metrics":{..},"profile":{..}}`. The profile section
+    /// contains wall-clock values and is NOT run-to-run stable.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        json::push_key(&mut out, "metrics");
+        self.metrics.write_json(&mut out);
+        out.push(',');
+        json::push_key(&mut out, "profile");
+        self.profile.write_json(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// Deterministic subset: `{"metrics":{..}}` only. Byte-identical across
+    /// same-seed runs; this is what golden files pin.
+    pub fn to_json_deterministic(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        json::push_key(&mut out, "metrics");
+        self.metrics.write_json(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::profile::PhaseProfiler;
+
+    #[test]
+    fn deterministic_json_excludes_profile() {
+        let mut m = MetricsRegistry::enabled();
+        m.inc("jobs.finished.native", 2);
+        let mut p = PhaseProfiler::enabled();
+        let t = p.begin();
+        p.end("schedule-cycle", t);
+        let report = RunReport::new(m.snapshot(), p.snapshot());
+        let det = report.to_json_deterministic();
+        assert_eq!(
+            det,
+            "{\"metrics\":{\"counters\":{\"jobs.finished.native\":2},\
+             \"gauges\":{},\"histograms\":{}}}"
+        );
+        let full = report.to_json();
+        assert!(full.contains("\"profile\":{\"schedule-cycle\""));
+        assert!(!det.contains("profile"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let r = RunReport::default();
+        assert_eq!(
+            r.to_json(),
+            "{\"metrics\":{\"counters\":{},\"gauges\":{},\"histograms\":{}},\"profile\":{}}"
+        );
+    }
+}

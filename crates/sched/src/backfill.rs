@@ -88,12 +88,31 @@ pub fn plan(
     running: &RunningSet,
     window: DispatchWindow,
 ) -> DispatchPlan {
+    if ordered_queue.is_empty() {
+        return DispatchPlan::default();
+    }
+    let horizon = now + LOOKAHEAD;
+    let mut profile = running.free_profile(now, free, horizon);
+    plan_on_profile(policy, ordered_queue, now, &mut profile, window)
+}
+
+/// [`plan`] against a pre-built free-capacity profile.
+///
+/// Callers that want to time profile construction and planning separately
+/// (the obs phase profiler) build the profile with
+/// [`RunningSet::free_profile`] over `now + LOOKAHEAD` themselves and pass
+/// it here; the profile is consumed (reservations are subtracted in place).
+pub fn plan_on_profile(
+    policy: BackfillPolicy,
+    ordered_queue: &[Job],
+    now: SimTime,
+    profile: &mut simkit::series::StepFunction,
+    window: DispatchWindow,
+) -> DispatchPlan {
     let mut out = DispatchPlan::default();
     if ordered_queue.is_empty() {
         return out;
     }
-    let horizon = now + LOOKAHEAD;
-    let mut profile = running.free_profile(now, free, horizon);
 
     let mut head_blocked = false;
     for (idx, job) in ordered_queue.iter().enumerate() {

@@ -6,7 +6,7 @@
 //! when a native job is submitted, when any job is finished, or at given
 //! time intervals").
 
-use crate::backfill::{self, BackfillPolicy, Reservation};
+use crate::backfill::{self, BackfillPolicy, DispatchPlan, Reservation};
 use crate::fairshare::FairShare;
 use crate::priority::PriorityPolicy;
 use crate::window::DispatchWindow;
@@ -186,24 +186,58 @@ impl Scheduler {
         running: &RunningSet,
         machine_up: bool,
     ) -> Vec<Job> {
+        self.cycle_observed(now, free, running, machine_up, &mut obs::Obs::disabled())
+            .starts
+    }
+
+    /// [`cycle`](Scheduler::cycle) with instrumentation: phase spans for
+    /// free-profile construction and backfill planning, plus cycle/start
+    /// counters, land in `observer`. Returns the full [`DispatchPlan`] so
+    /// the caller can tell in-order dispatches from backfills — the first
+    /// `starts.len() - backfilled` entries of `starts` are in-order (the
+    /// planner only marks jobs as backfills once the head is blocked, and
+    /// a blocked head stays blocked for the rest of the scan).
+    pub fn cycle_observed(
+        &mut self,
+        now: SimTime,
+        free: u32,
+        running: &RunningSet,
+        machine_up: bool,
+        observer: &mut obs::Obs,
+    ) -> DispatchPlan {
         if !machine_up {
             self.last_head_reservation = None;
-            return Vec::new();
+            return DispatchPlan::default();
         }
         self.priority
             .order_aged(&mut self.queue, &self.fairshare, now, self.aging_weight);
         let eligible = self.dispatchable();
-        let plan = backfill::plan(self.backfill, &eligible, now, free, running, self.window);
+        let plan = if eligible.is_empty() {
+            DispatchPlan::default()
+        } else {
+            let token = observer.profiler.begin();
+            let mut profile = running.free_profile(now, free, now + backfill::LOOKAHEAD);
+            observer.profiler.end("free-profile", token);
+            let token = observer.profiler.begin();
+            let plan =
+                backfill::plan_on_profile(self.backfill, &eligible, now, &mut profile, self.window);
+            observer.profiler.end("backfill", token);
+            plan
+        };
         self.counters.cycles += 1;
         self.counters.backfill_starts += u64::from(plan.backfilled);
         self.counters.inorder_starts += plan.starts.len() as u64 - u64::from(plan.backfilled);
+        observer.metrics.inc("sched.cycles", 1);
+        observer
+            .metrics
+            .gauge_max("sched.queue_depth_max", self.queue.len() as i64);
         self.last_head_reservation = plan.head_reservation;
         if !plan.starts.is_empty() {
             let started: std::collections::BTreeSet<u64> =
                 plan.starts.iter().map(|j| j.id).collect();
             self.queue.retain(|j| !started.contains(&j.id));
         }
-        plan.starts
+        plan
     }
 
     /// Recompute the head reservation against the current running set

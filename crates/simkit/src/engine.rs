@@ -17,6 +17,27 @@ pub trait Simulation {
     fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
 }
 
+/// Observation hook for [`run_probed`]. Implementations must not influence
+/// the simulation — they see the loop, they do not steer it.
+pub trait Probe {
+    /// Called after each event has been handled.
+    fn on_event(&mut self, now: SimTime);
+
+    /// Called once when the loop stops, with the final stats.
+    fn on_stop(&mut self, stats: &RunStats);
+}
+
+/// The do-nothing probe used by [`run`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {
+    #[inline]
+    fn on_event(&mut self, _now: SimTime) {}
+    #[inline]
+    fn on_stop(&mut self, _stats: &RunStats) {}
+}
+
 /// Why [`run`] returned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StopReason {
@@ -47,18 +68,30 @@ pub fn run<S: Simulation>(
     horizon: SimTime,
     max_steps: u64,
 ) -> RunStats {
+    run_probed(sim, queue, horizon, max_steps, &mut NoProbe)
+}
+
+/// Like [`run`], but reports each processed event (and the final stats) to
+/// `probe`. With [`NoProbe`] this compiles down to the uninstrumented loop.
+pub fn run_probed<S: Simulation, P: Probe>(
+    sim: &mut S,
+    queue: &mut EventQueue<S::Event>,
+    horizon: SimTime,
+    max_steps: u64,
+    probe: &mut P,
+) -> RunStats {
     let mut steps = 0u64;
-    loop {
+    let stats = loop {
         match queue.peek_time() {
             None => {
-                return RunStats {
+                break RunStats {
                     steps,
                     end_time: queue.now(),
                     reason: StopReason::Drained,
                 }
             }
             Some(t) if t >= horizon => {
-                return RunStats {
+                break RunStats {
                     steps,
                     end_time: queue.now(),
                     reason: StopReason::Horizon,
@@ -67,7 +100,7 @@ pub fn run<S: Simulation>(
             Some(_) => {}
         }
         if steps >= max_steps {
-            return RunStats {
+            break RunStats {
                 steps,
                 end_time: queue.now(),
                 reason: StopReason::StepBudget,
@@ -76,7 +109,10 @@ pub fn run<S: Simulation>(
         let (now, ev) = queue.pop().expect("peeked event disappeared");
         sim.handle(now, ev, queue);
         steps += 1;
-    }
+        probe.on_event(now);
+    };
+    probe.on_stop(&stats);
+    stats
 }
 
 #[cfg(test)]

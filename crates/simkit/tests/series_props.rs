@@ -1,0 +1,137 @@
+//! Property tests for [`simkit::series::StepFunction`], driven by the
+//! deterministic in-tree [`simkit::rng::Rng`] (no external proptest crate):
+//!
+//! * `range_add` commutes — any permutation of the same update set yields
+//!   the same function;
+//! * `find_slot` is sound (the returned window really satisfies
+//!   `min_over >= need`) and minimal (no earlier window qualifies).
+
+use simkit::rng::Rng;
+use simkit::series::StepFunction;
+use simkit::time::{SimDuration, SimTime};
+
+const HORIZON: u64 = 2_000;
+const BASE: i64 = 100;
+
+fn t(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+/// Random `(t0, t1, delta)` updates, deltas in `[-20, 20]`.
+fn random_ops(rng: &mut Rng, n: usize) -> Vec<(u64, u64, i64)> {
+    (0..n)
+        .map(|_| {
+            let a = rng.below(HORIZON);
+            let b = rng.below(HORIZON);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            (lo, hi, rng.below(41) as i64 - 20)
+        })
+        .collect()
+}
+
+fn apply(ops: &[(u64, u64, i64)]) -> StepFunction {
+    let mut f = StepFunction::constant(t(HORIZON), BASE);
+    for &(lo, hi, d) in ops {
+        if hi > lo {
+            f.range_add(t(lo), t(hi), d);
+        }
+    }
+    f.coalesce();
+    f
+}
+
+fn shuffled(rng: &mut Rng, mut ops: Vec<(u64, u64, i64)>) -> Vec<(u64, u64, i64)> {
+    for i in (1..ops.len()).rev() {
+        let j = rng.index(i + 1);
+        ops.swap(i, j);
+    }
+    ops
+}
+
+fn segments(f: &StepFunction) -> Vec<(SimTime, SimTime, i64)> {
+    f.iter_segments().collect()
+}
+
+#[test]
+fn range_add_commutes_across_application_order() {
+    for seed in 0..20u64 {
+        let mut rng = Rng::new(seed);
+        let ops = random_ops(&mut rng, 40);
+        let base = apply(&ops);
+        for round in 0..5u64 {
+            let mut perm_rng = Rng::new(seed * 1_000 + round + 1);
+            let perm = shuffled(&mut perm_rng, ops.clone());
+            let alt = apply(&perm);
+            assert_eq!(
+                segments(&base),
+                segments(&alt),
+                "seed {seed} round {round}: permuting range_add order changed the function"
+            );
+        }
+    }
+}
+
+#[test]
+fn range_add_matches_pointwise_reference() {
+    // Cross-check the segment representation against a dense array model.
+    for seed in 50..60u64 {
+        let mut rng = Rng::new(seed);
+        let ops = random_ops(&mut rng, 30);
+        let f = apply(&ops);
+        let mut dense = vec![BASE; HORIZON as usize];
+        for &(lo, hi, d) in &ops {
+            for v in &mut dense[lo as usize..hi as usize] {
+                *v += d;
+            }
+        }
+        for (s, val) in dense.iter().enumerate() {
+            assert_eq!(
+                f.value_at(t(s as u64)),
+                *val,
+                "seed {seed}: value_at({s}) disagrees with the dense model"
+            );
+        }
+    }
+}
+
+#[test]
+fn find_slot_is_sound_and_minimal() {
+    for seed in 100..110u64 {
+        let mut rng = Rng::new(seed);
+        let f = apply(&random_ops(&mut rng, 30));
+        for _ in 0..25 {
+            let from = rng.below(HORIZON);
+            let need = rng.below(2 * BASE as u64) as i64;
+            let dur = rng.below(300) + 1;
+            let window_min = |s: u64| f.min_over(t(s), t(s + dur)).expect("window inside horizon");
+            match f.find_slot(t(from), need, SimDuration::from_secs(dur)) {
+                Some(start) => {
+                    let s = start.as_secs();
+                    assert!(s >= from, "slot before `from`");
+                    assert!(s + dur <= HORIZON, "slot overruns the horizon");
+                    assert!(
+                        window_min(s) >= need,
+                        "seed {seed}: min_over({s}, {}) = {} < need {need}",
+                        s + dur,
+                        window_min(s)
+                    );
+                    for earlier in from..s {
+                        assert!(
+                            window_min(earlier) < need,
+                            "seed {seed}: earlier slot {earlier} also fits (need {need}, dur {dur})"
+                        );
+                    }
+                }
+                None => {
+                    for s in from..=HORIZON.saturating_sub(dur) {
+                        assert!(
+                            window_min(s) < need,
+                            "seed {seed}: find_slot returned None but {s} fits \
+                             (need {need}, dur {dur})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -6,8 +6,9 @@ use crate::lexer;
 
 /// Crates whose code is (or feeds) replayed simulation state. Names are
 /// the directory names under `crates/`.
-pub const DETERMINISM_CRATES: &[&str] =
-    &["sched", "machine", "simkit", "core", "workload", "analysis"];
+pub const DETERMINISM_CRATES: &[&str] = &[
+    "sched", "machine", "simkit", "core", "workload", "analysis", "obs",
+];
 
 /// Crates allowed to read the wall clock: the benchmark harness times real
 /// execution, and is never part of a simulated replay.

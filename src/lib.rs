@@ -10,6 +10,7 @@
 //! * [`sched`] — PBS/LSF/DPCS scheduling personalities.
 //! * [`analysis`] — metrics, tables, figures.
 //! * [`simkit`] — the discrete-event kernel underneath it all.
+//! * [`obs`] — run tracing, metrics and phase profiling.
 //!
 //! See `examples/quickstart.rs` for a three-minute tour.
 
@@ -18,6 +19,7 @@
 pub use analysis;
 pub use interstitial;
 pub use machine;
+pub use obs;
 pub use sched;
 pub use simkit;
 pub use workload;

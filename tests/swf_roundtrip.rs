@@ -1,0 +1,80 @@
+//! SWF round-trip: every calibrated machine trace must survive
+//! emit → parse unchanged, and the re-read log must reproduce the same
+//! Table-1 measurements when replayed.
+
+use interstitial_computing::interstitial::prelude::*;
+use interstitial_computing::machine::{self, MachineConfig};
+use interstitial_computing::workload::traces::native_trace;
+use interstitial_computing::workload::{swf, Job};
+
+/// Native-log prefix replayed for the Table-1 comparison (field-level
+/// equality is still checked over the *full* trace).
+const REPLAY_JOBS: usize = 1_500;
+
+fn assert_jobs_equal(name: &str, original: &[Job], reread: &[Job]) {
+    assert_eq!(
+        original.len(),
+        reread.len(),
+        "{name}: job count changed across the round trip"
+    );
+    for (a, b) in original.iter().zip(reread) {
+        assert_eq!(a.id, b.id, "{name}: id");
+        assert_eq!(a.class, b.class, "{name}: class of job {}", a.id);
+        assert_eq!(a.user, b.user, "{name}: user of job {}", a.id);
+        assert_eq!(a.group, b.group, "{name}: group of job {}", a.id);
+        assert_eq!(a.submit, b.submit, "{name}: submit of job {}", a.id);
+        assert_eq!(a.cpus, b.cpus, "{name}: cpus of job {}", a.id);
+        assert_eq!(a.runtime, b.runtime, "{name}: runtime of job {}", a.id);
+        assert_eq!(a.estimate, b.estimate, "{name}: estimate of job {}", a.id);
+    }
+}
+
+fn roundtrip(cfg: &MachineConfig) {
+    let original = native_trace(cfg, 20_030_901);
+    let text = swf::emit(&original, &format!("round-trip test, {}", cfg.name));
+    let reread = swf::parse(&text, false).expect("emitted SWF must parse strictly");
+    assert_jobs_equal(cfg.name, &original, &reread);
+
+    // Table-1 measured columns (native utilization, jobs in the synthetic
+    // log, completions) must be identical when the re-read log replays.
+    let replay = |jobs: &[Job]| {
+        SimBuilder::new(cfg.clone())
+            .natives(jobs[..jobs.len().min(REPLAY_JOBS)].to_vec())
+            .build()
+            .run()
+    };
+    let a = replay(&original);
+    let b = replay(&reread);
+    assert_eq!(a.native_submitted, b.native_submitted, "{}", cfg.name);
+    assert_eq!(a.native_completed(), b.native_completed(), "{}", cfg.name);
+    assert_eq!(
+        a.native_utilization().to_bits(),
+        b.native_utilization().to_bits(),
+        "{}: utilization must be bit-identical",
+        cfg.name
+    );
+    assert_eq!(a.completed.len(), b.completed.len(), "{}", cfg.name);
+    for (x, y) in a.completed.iter().zip(&b.completed) {
+        assert_eq!(
+            (x.job.id, x.start, x.finish),
+            (y.job.id, y.start, y.finish),
+            "{}: realized schedule changed",
+            cfg.name
+        );
+    }
+}
+
+#[test]
+fn ross_trace_round_trips() {
+    roundtrip(&machine::config::ross());
+}
+
+#[test]
+fn blue_mountain_trace_round_trips() {
+    roundtrip(&machine::config::blue_mountain());
+}
+
+#[test]
+fn blue_pacific_trace_round_trips() {
+    roundtrip(&machine::config::blue_pacific());
+}
