@@ -8,6 +8,7 @@ pub mod pack;
 pub mod simulate;
 pub mod stats;
 pub mod sweep;
+pub mod trace;
 
 use crate::args::{ArgError, Args};
 
@@ -21,6 +22,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         "advise" => advise::run(args),
         "pack" => pack::run(args),
         "sweep" => sweep::run(args),
+        "trace" => trace::run(args),
         "help" | "--help" | "-h" => Ok(help()),
         other => Err(ArgError(format!(
             "unknown command {other:?} (try `interstitial help`)"
@@ -53,6 +55,18 @@ COMMANDS
   sweep     --machine M [--shape CPUSxSECS] [--tolerance MIN] [--cap F]
                                    empirically compare job shapes and
                                    recommend the best within tolerance
+  trace     summarize FILE.jsonl [--cpus N]
+                                   single-pass counts, utilization and P²
+                                   wait percentiles of a trace
+  trace     attribute FILE.jsonl [--cpus N] [--top K]
+                                   causal wait attribution: saturated /
+                                   interference / fair-share / window
+  trace     timeline FILE.jsonl [--cpus N] [--width W]
+                                   ASCII occupancy heatmap + interstice
+                                   census
+  trace     diff BASE.jsonl WITH.jsonl [--top K]
+                                   per-job wait deltas between a native-only
+                                   and a with-interstitial run (same seed)
 
 Machines: ross | bluemountain | bluepacific | CPUSxGHZ (custom).
 Shapes are CPUs × seconds-at-1GHz, e.g. 32x120.

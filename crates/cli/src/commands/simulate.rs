@@ -319,7 +319,13 @@ mod tests {
         assert!(out.contains("metrics snapshot"), "{out}");
         let jsonl = std::fs::read_to_string(&trace).unwrap();
         assert!(!jsonl.is_empty());
-        for line in jsonl.lines() {
+        let mut lines = jsonl.lines();
+        let header = lines.next().unwrap();
+        assert!(
+            header.starts_with("{\"schema\":1") && header.contains("\"cpus\":128"),
+            "{header}"
+        );
+        for line in lines {
             assert!(line.starts_with("{\"t\":") && line.ends_with('}'), "{line}");
         }
         // The stream must cover submits, starts, finishes and interstitial

@@ -1,0 +1,472 @@
+//! `interstitial trace <summarize|attribute|timeline|diff>` — analytics
+//! over JSONL trace files written by `simulate --trace` (schema in
+//! `crates/obs/SCHEMA.md`).
+//!
+//! All four analyzers stream events through `tracekit` folds; `summarize`
+//! in particular never buffers the stream, so it handles traces of any
+//! length in flat memory.
+
+use crate::args::{ArgError, Args};
+use analysis::metrics::WaitStats;
+use analysis::tables::fmt_k;
+use std::path::Path;
+use tracekit::reader::TraceReader;
+use tracekit::{
+    diff, AttributionReport, Attributor, OutcomeCollector, ReadStats, Summarizer, TimelineBuilder,
+    TraceDiff, TraceMeta, TraceSummary, CATEGORIES,
+};
+
+const USAGE: &str = "usage: interstitial trace <summarize|attribute|timeline|diff> \
+                     FILE.jsonl [FILE2.jsonl] [--cpus N] [--width W]";
+
+/// Dispatch the `trace` subcommand family.
+pub fn run(args: &Args) -> Result<String, ArgError> {
+    let sub = args.positional.first().ok_or(ArgError(USAGE.into()))?;
+    match sub.as_str() {
+        "summarize" => summarize(args),
+        "attribute" => attribute(args),
+        "timeline" => timeline(args),
+        "diff" => run_diff(args),
+        other => Err(ArgError(format!(
+            "unknown trace subcommand {other:?} ({USAGE})"
+        ))),
+    }
+}
+
+/// The trace path at `positional[idx]` (after the subcommand name).
+fn path_arg(args: &Args, idx: usize, what: &str) -> Result<String, ArgError> {
+    args.positional
+        .get(idx + 1)
+        .cloned()
+        .ok_or_else(|| ArgError(format!("missing {what} trace path ({USAGE})")))
+}
+
+/// Open a trace, mapping reader errors to CLI errors.
+fn open(path: &str) -> Result<TraceReader<std::io::BufReader<std::fs::File>>, ArgError> {
+    tracekit::open_path(Path::new(path)).map_err(|e| ArgError(format!("{path}: {e}")))
+}
+
+/// Machine size: `--cpus` wins, else the trace header.
+fn resolve_cpus(args: &Args, meta: &TraceMeta) -> Result<Option<u32>, ArgError> {
+    match args.get("cpus") {
+        Some(v) => v
+            .parse::<u32>()
+            .map(Some)
+            .map_err(|_| ArgError(format!("--cpus: cannot parse {v:?}"))),
+        None => Ok(meta.cpus),
+    }
+}
+
+/// Shared provenance lines: where the trace came from and how clean it was.
+fn provenance(path: &str, meta: &TraceMeta, stats: &ReadStats) -> String {
+    let mut out = format!("trace: {path}\n");
+    match (&meta.machine, meta.cpus) {
+        (Some(name), Some(cpus)) => out.push_str(&format!("machine: {name} ({cpus} cpus)\n")),
+        (Some(name), None) => out.push_str(&format!("machine: {name}\n")),
+        _ if meta.headerless => out.push_str("machine: unknown (headerless legacy trace)\n"),
+        _ => out.push_str("machine: unstamped header\n"),
+    }
+    out.push_str(&format!(
+        "events: {} parsed, {} corrupt line(s) skipped\n",
+        stats.events, stats.corrupt
+    ));
+    for (lineno, msg) in &stats.first_errors {
+        out.push_str(&format!("  line {lineno}: {msg}\n"));
+    }
+    out
+}
+
+fn summarize(args: &Args) -> Result<String, ArgError> {
+    args.check_flags(&["cpus"])?;
+    let path = path_arg(args, 0, "input")?;
+    let mut r = open(&path)?;
+    let cpus = resolve_cpus(args, r.meta())?;
+    let mut s = Summarizer::new(cpus);
+    r.for_each(|ev| s.observe(ev))
+        .map_err(|e| ArgError(format!("{path}: {e}")))?;
+    let meta = r.meta().clone();
+    let stats = r.stats().clone();
+    let sum = s.finish();
+    Ok(format!(
+        "{}{}",
+        provenance(&path, &meta, &stats),
+        render_summary(&sum)
+    ))
+}
+
+fn render_summary(s: &TraceSummary) -> String {
+    let mut out = format!(
+        "span: {:.1} h, {} events\n\
+         submits: {} native, {} interstitial\n\
+         starts: {} in-order, {} backfill, {} interstitial, {} resume\n\
+         finishes: {} native, {} interstitial\n\
+         preempts: {} kill, {} checkpoint; outages: {} ({} s down)\n",
+        s.span_s() as f64 / 3600.0,
+        s.events,
+        s.native_submits,
+        s.inter_submits,
+        s.starts_inorder,
+        s.starts_backfill,
+        s.starts_interstitial,
+        s.starts_resume,
+        s.native_finishes,
+        s.inter_finishes,
+        s.preempt_kills,
+        s.preempt_checkpoints,
+        s.outages,
+        s.downtime_s,
+    );
+    out.push_str(&format!(
+        "cpu·s delivered: {} native, {} interstitial\n",
+        fmt_k(s.native_cpu_s as f64),
+        fmt_k(s.inter_cpu_s as f64)
+    ));
+    match (s.native_utilization(), s.inter_utilization()) {
+        (Some(n), Some(i)) => out.push_str(&format!(
+            "utilization of {} cpus: {:.1}% native + {:.1}% interstitial = {:.1}%\n",
+            s.total_cpus.unwrap_or(0),
+            100.0 * n,
+            100.0 * i,
+            100.0 * (n + i)
+        )),
+        _ => out.push_str("utilization: machine size unknown (pass --cpus)\n"),
+    }
+    if let Some((min, p50, p90, p99, max)) = s.native_wait.snapshot() {
+        out.push_str(&format!(
+            "native wait s (P²): min {min:.0}, p50 {p50:.0}, p90 {p90:.0}, p99 {p99:.0}, max {max:.0}\n"
+        ));
+    }
+    if let Some((_, p50, p90, p99, _)) = s.native_ef.snapshot() {
+        out.push_str(&format!(
+            "native expansion factor (P²): p50 {p50:.2}, p90 {p90:.2}, p99 {p99:.2}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "peak live jobs: {} (streaming memory proxy); inconsistencies: {}\n",
+        s.peak_tracked_jobs, s.inconsistencies
+    ));
+    out
+}
+
+fn attribute(args: &Args) -> Result<String, ArgError> {
+    args.check_flags(&["cpus", "top"])?;
+    let path = path_arg(args, 0, "input")?;
+    let mut r = open(&path)?;
+    let cpus = resolve_cpus(args, r.meta())?.ok_or_else(|| {
+        ArgError(
+            "attribution needs the machine size: the trace header carries none, pass --cpus N"
+                .into(),
+        )
+    })?;
+    let top: usize = args.get_or("top", 5)?;
+    let mut a = Attributor::new(cpus);
+    r.for_each(|ev| a.observe(ev))
+        .map_err(|e| ArgError(format!("{path}: {e}")))?;
+    let meta = r.meta().clone();
+    let stats = r.stats().clone();
+    let report = a.finish();
+    Ok(format!(
+        "{}{}",
+        provenance(&path, &meta, &stats),
+        render_attribution(&report, top)
+    ))
+}
+
+fn render_attribution(r: &AttributionReport, top: usize) -> String {
+    let total = r.total_wait_s();
+    let mut out = format!(
+        "native jobs attributed: {} ({} start(s) lacked a submit)\n\
+         total queue wait: {} cpu-blind s\n",
+        r.jobs.len(),
+        r.unmatched_starts,
+        fmt_k(total as f64)
+    );
+    out.push_str("wait by cause:\n");
+    for cat in CATEGORIES {
+        let secs = r.totals[cat.index()];
+        out.push_str(&format!(
+            "  {:<26} {:>10} s  {:5.1}%\n",
+            cat.label(),
+            secs,
+            100.0 * r.fraction(cat)
+        ));
+    }
+    let mut worst: Vec<_> = r.jobs.iter().filter(|j| j.wait().as_secs() > 0).collect();
+    worst.sort_by(|a, b| b.wait().cmp(&a.wait()).then(a.id.cmp(&b.id)));
+    if !worst.is_empty() {
+        out.push_str(&format!("{} longest waits:\n", top.min(worst.len())));
+        for j in worst.iter().take(top) {
+            let dominant = CATEGORIES
+                .into_iter()
+                .max_by_key(|c| j.seconds[c.index()])
+                .map(|c| c.label())
+                .unwrap_or("-");
+            out.push_str(&format!(
+                "  job {:>6} ({:>5} cpus) waited {:>8} s — mostly {}\n",
+                j.id,
+                j.cpus,
+                j.wait().as_secs(),
+                dominant
+            ));
+        }
+    }
+    if r.inconsistencies > 0 {
+        out.push_str(&format!(
+            "warning: {} lifecycle inconsistencies in the stream\n",
+            r.inconsistencies
+        ));
+    }
+    out
+}
+
+fn timeline(args: &Args) -> Result<String, ArgError> {
+    args.check_flags(&["cpus", "width"])?;
+    let path = path_arg(args, 0, "input")?;
+    let mut r = open(&path)?;
+    let cpus = resolve_cpus(args, r.meta())?;
+    let width: usize = args.get_or("width", 72)?;
+    if width == 0 {
+        return Err(ArgError("--width must be positive".into()));
+    }
+    let mut b = TimelineBuilder::new();
+    r.for_each(|ev| b.observe(ev))
+        .map_err(|e| ArgError(format!("{path}: {e}")))?;
+    let meta = r.meta().clone();
+    let stats = r.stats().clone();
+    let tl = b.finish(cpus);
+    Ok(format!(
+        "{}{}",
+        provenance(&path, &meta, &stats),
+        tl.render(width)
+    ))
+}
+
+fn run_diff(args: &Args) -> Result<String, ArgError> {
+    args.check_flags(&["top"])?;
+    let base_path = path_arg(args, 0, "baseline")?;
+    let with_path = path_arg(args, 1, "comparison")?;
+    let top: usize = args.get_or("top", 5)?;
+    let collect = |path: &str| -> Result<(TraceMeta, ReadStats, tracekit::Outcomes), ArgError> {
+        let mut r = open(path)?;
+        let mut c = OutcomeCollector::new();
+        r.for_each(|ev| c.observe(ev))
+            .map_err(|e| ArgError(format!("{path}: {e}")))?;
+        Ok((r.meta().clone(), r.stats().clone(), c.finish()))
+    };
+    let (base_meta, base_stats, base) = collect(&base_path)?;
+    let (with_meta, with_stats, with) = collect(&with_path)?;
+    let d = diff(&base, &with);
+    Ok(format!(
+        "{}{}{}",
+        provenance(&base_path, &base_meta, &base_stats),
+        provenance(&with_path, &with_meta, &with_stats),
+        render_diff(&d, top)
+    ))
+}
+
+fn panel(label: &str, s: &WaitStats) -> String {
+    format!(
+        "  {label:<9} n={:<5} avg wait {:>9.1} s  median {:>8.1} s  avg EF {:>6.2}  median EF {:>6.2}\n",
+        s.count, s.avg_wait, s.median_wait, s.avg_ef, s.median_ef
+    )
+}
+
+fn render_diff(d: &TraceDiff, top: usize) -> String {
+    let mut out = format!(
+        "matched native jobs: {} ({} only in baseline, {} only in comparison)\n",
+        d.matched.len(),
+        d.only_base,
+        d.only_with
+    );
+    if d.runtime_mismatches > 0 {
+        out.push_str(&format!(
+            "warning: {} matched job(s) changed runtime — are these really the same \
+             seed/workload?\n",
+            d.runtime_mismatches
+        ));
+    }
+    out.push_str(&format!(
+        "delayed jobs: {} of {}; net added wait {} s (max single-job {} s)\n",
+        d.delayed_jobs(),
+        d.matched.len(),
+        d.total_delta_s(),
+        d.max_delta_s()
+    ));
+    out.push_str("baseline (native-only):\n");
+    out.push_str(&panel("all", &d.base_impact.all));
+    out.push_str(&panel("largest5%", &d.base_impact.largest));
+    out.push_str("comparison (with interstitial):\n");
+    out.push_str(&panel("all", &d.with_impact.all));
+    out.push_str(&panel("largest5%", &d.with_impact.largest));
+    let deltas = d.top_deltas(top);
+    let delayed: Vec<_> = deltas.iter().filter(|j| j.delta_s() != 0).collect();
+    if !delayed.is_empty() {
+        out.push_str(&format!("{} largest per-job deltas:\n", delayed.len()));
+        for j in delayed {
+            out.push_str(&format!(
+                "  job {:>6} ({:>5} cpus, {:>6} s run): wait {:>7} s → {:>7} s ({:+} s)\n",
+                j.id,
+                j.cpus,
+                j.runtime_s,
+                j.base_wait_s,
+                j.with_wait_s,
+                j.delta_s()
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interstitial::prelude::*;
+    use obs::Obs;
+    use simkit::time::SimTime;
+    use workload::traces::native_trace;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("interstitial-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    /// A small observed replay (optionally with interstitial load) whose
+    /// trace is written to a temp file.
+    fn write_trace(name: &str, with_interstitial: bool) -> std::path::PathBuf {
+        let cfg = machine::config::ross();
+        let mut natives = native_trace(&cfg, 3);
+        natives.truncate(60);
+        let horizon =
+            SimTime::from_secs(natives.iter().map(|j| j.submit.as_secs()).max().unwrap() + 86_400);
+        let mut b = SimBuilder::new(cfg.clone())
+            .natives(natives)
+            .horizon(horizon)
+            .observer(Obs::enabled());
+        if with_interstitial {
+            b = b.interstitial(
+                InterstitialProject::per_paper(u64::MAX / 2, (cfg.cpus / 8).max(1), 3_600.0),
+                InterstitialMode::Continual,
+                InterstitialPolicy::default(),
+            );
+        }
+        let out = b.build().run();
+        let path = tmp(name);
+        std::fs::write(&path, out.obs.trace.to_jsonl()).unwrap();
+        path
+    }
+
+    #[test]
+    fn summarize_reports_counts_and_utilization() {
+        let path = write_trace("sum.jsonl", true);
+        let out = run(&parse(&["trace", "summarize", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("machine: Ross (1436 cpus)"), "{out}");
+        assert!(out.contains("0 corrupt line(s)"), "{out}");
+        assert!(out.contains("native wait s (P²)"), "{out}");
+        assert!(out.contains("utilization of 1436 cpus"), "{out}");
+        assert!(out.contains("peak live jobs"), "{out}");
+    }
+
+    #[test]
+    fn attribute_reports_all_four_causes() {
+        let path = write_trace("attr.jsonl", true);
+        let out = run(&parse(&["trace", "attribute", path.to_str().unwrap()])).unwrap();
+        for label in [
+            "machine-saturated",
+            "interstitial-interference",
+            "fair-share-held",
+            "backfill-window",
+        ] {
+            assert!(out.contains(label), "missing {label}: {out}");
+        }
+        assert!(out.contains("native jobs attributed"), "{out}");
+    }
+
+    #[test]
+    fn attribute_without_machine_size_demands_cpus() {
+        // Strip the header so no size is known.
+        let path = write_trace("attr-nohdr.jsonl", false);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let body: String = text.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        let stripped = tmp("attr-nohdr-stripped.jsonl");
+        std::fs::write(&stripped, body).unwrap();
+        let err = run(&parse(&["trace", "attribute", stripped.to_str().unwrap()])).unwrap_err();
+        assert!(err.0.contains("--cpus"), "{err}");
+        // And --cpus unblocks it.
+        let out = run(&parse(&[
+            "trace",
+            "attribute",
+            stripped.to_str().unwrap(),
+            "--cpus",
+            "1436",
+        ]))
+        .unwrap();
+        assert!(out.contains("headerless legacy trace"), "{out}");
+        assert!(out.contains("wait by cause"), "{out}");
+    }
+
+    #[test]
+    fn timeline_renders_heatmap_and_census() {
+        let path = write_trace("tl.jsonl", true);
+        let out = run(&parse(&[
+            "trace",
+            "timeline",
+            path.to_str().unwrap(),
+            "--width",
+            "40",
+        ]))
+        .unwrap();
+        assert!(out.contains("occupancy heatmap: 40 bins"), "{out}");
+        assert!(out.contains("interstice census"), "{out}");
+    }
+
+    #[test]
+    fn diff_aligns_baseline_and_interstitial_runs() {
+        let base = write_trace("diff-base.jsonl", false);
+        let with = write_trace("diff-with.jsonl", true);
+        let out = run(&parse(&[
+            "trace",
+            "diff",
+            base.to_str().unwrap(),
+            with.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("matched native jobs: 60"), "{out}");
+        assert!(out.contains("baseline (native-only):"), "{out}");
+        assert!(out.contains("comparison (with interstitial):"), "{out}");
+        assert!(!out.contains("changed runtime"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_clean() {
+        assert!(run(&parse(&["trace"])).is_err());
+        assert!(run(&parse(&["trace", "dance", "x.jsonl"]))
+            .unwrap_err()
+            .0
+            .contains("unknown trace subcommand"));
+        assert!(run(&parse(&["trace", "summarize"]))
+            .unwrap_err()
+            .0
+            .contains("missing input"));
+        assert!(run(&parse(&["trace", "summarize", "/nonexistent.jsonl"])).is_err());
+        assert!(run(&parse(&["trace", "diff", "/nonexistent.jsonl"]))
+            .unwrap_err()
+            .0
+            .contains("missing comparison"));
+    }
+
+    #[test]
+    fn unsupported_schema_fails_with_guidance() {
+        let path = tmp("future.jsonl");
+        std::fs::write(&path, "{\"schema\":9}\n").unwrap();
+        let err = run(&parse(&["trace", "summarize", path.to_str().unwrap()])).unwrap_err();
+        assert!(
+            err.0.contains("unsupported trace schema version 9"),
+            "{err}"
+        );
+    }
+}

@@ -259,6 +259,9 @@ impl Simulator {
     /// Execute the simulation to completion (all submitted jobs finished)
     /// and return the job log.
     pub fn run(mut self) -> SimOutput {
+        self.obs
+            .trace
+            .set_machine(self.machine.name, self.machine.cpus);
         let mut q: EventQueue<Ev> = EventQueue::with_capacity(self.natives.len() * 2 + 16);
         let mut st = RunState {
             pool: CpuPool::new(self.machine.cpus),

@@ -5,10 +5,18 @@
 //! predictable branch and returns without touching memory — the driver can
 //! keep the calls inline unconditionally. When enabled, events accumulate
 //! in order into a `Vec` and serialize to deterministic JSONL via
-//! [`TraceSink::to_jsonl`].
+//! [`TraceSink::to_jsonl`], led by a one-line `{"schema":…}` header that
+//! versions the encoding (see `crates/obs/SCHEMA.md`).
 
 use crate::event::{EventKind, TraceEvent};
+use crate::json;
 use simkit::time::SimTime;
+
+/// Version of the JSONL trace encoding. Stamped on the header line of every
+/// enabled trace; readers (tracekit) reject other versions. Bump it on any
+/// change to the event field set, ordering or value encoding documented in
+/// `crates/obs/SCHEMA.md`.
+pub const SCHEMA_VERSION: u64 = 1;
 
 /// An append-only, cycle-stamped event log.
 #[derive(Clone, Debug, Default)]
@@ -17,6 +25,8 @@ pub struct TraceSink {
     events: Vec<TraceEvent>,
     cycle: u64,
     heap_allocations: u64,
+    /// Machine identity stamped on the header line (name, total CPUs).
+    machine: Option<(&'static str, u32)>,
 }
 
 impl TraceSink {
@@ -37,6 +47,20 @@ impl TraceSink {
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Stamp the machine identity onto the header line. No-op (and no
+    /// state change) when the sink is disabled, preserving the zero-cost
+    /// contract.
+    pub fn set_machine(&mut self, name: &'static str, cpus: u32) {
+        if self.enabled {
+            self.machine = Some((name, cpus));
+        }
+    }
+
+    /// The machine identity the header will carry, if stamped.
+    pub fn machine(&self) -> Option<(&'static str, u32)> {
+        self.machine
     }
 
     /// Mark the start of the next scheduling cycle; subsequent records are
@@ -87,11 +111,22 @@ impl TraceSink {
         &self.events
     }
 
-    /// Serialize the whole log as JSONL (one event per line, trailing
-    /// newline after the last line, empty string when nothing recorded).
+    /// Serialize the whole log as JSONL: a `{"schema":…}` header line, then
+    /// one event per line with a trailing newline after the last. A
+    /// disabled sink serializes to the empty string (no header).
     pub fn to_jsonl(&self) -> String {
+        if !self.enabled {
+            return String::new();
+        }
         // Rough per-line budget keeps reallocation out of serialization.
-        let mut out = String::with_capacity(self.events.len() * 96);
+        let mut out = String::with_capacity(self.events.len() * 96 + 64);
+        out.push('{');
+        let first = json::push_u64_field(&mut out, true, "schema", SCHEMA_VERSION);
+        if let Some((name, cpus)) = self.machine {
+            let first = json::push_str_field(&mut out, first, "machine", name);
+            let _ = json::push_u64_field(&mut out, first, "cpus", u64::from(cpus));
+        }
+        out.push_str("}\n");
         for ev in &self.events {
             ev.write_jsonl(&mut out);
             out.push('\n');
@@ -137,17 +172,35 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_has_one_line_per_event() {
+    fn jsonl_has_header_plus_one_line_per_event() {
         let mut sink = TraceSink::enabled();
         for i in 0..5 {
             sink.record(SimTime::from_secs(i), EventKind::Outage { up: i % 2 == 0 });
         }
         let text = sink.to_jsonl();
-        assert_eq!(text.lines().count(), 5);
+        assert_eq!(text.lines().count(), 6, "schema header + 5 events");
+        assert_eq!(text.lines().next(), Some("{\"schema\":1}"));
         assert!(text.ends_with('\n'));
         assert!(
             sink.heap_allocations() > 0,
             "growth from empty buffer counts"
         );
+    }
+
+    #[test]
+    fn header_carries_machine_identity_when_stamped() {
+        let mut sink = TraceSink::enabled();
+        sink.set_machine("Ross", 1436);
+        assert_eq!(sink.machine(), Some(("Ross", 1436)));
+        let text = sink.to_jsonl();
+        assert_eq!(
+            text.lines().next(),
+            Some("{\"schema\":1,\"machine\":\"Ross\",\"cpus\":1436}")
+        );
+        // Disabled sinks ignore the stamp and stay header-free.
+        let mut off = TraceSink::disabled();
+        off.set_machine("Ross", 1436);
+        assert_eq!(off.machine(), None);
+        assert_eq!(off.to_jsonl(), "");
     }
 }

@@ -7,7 +7,7 @@ use crate::lexer;
 /// Crates whose code is (or feeds) replayed simulation state. Names are
 /// the directory names under `crates/`.
 pub const DETERMINISM_CRATES: &[&str] = &[
-    "sched", "machine", "simkit", "core", "workload", "analysis", "obs",
+    "sched", "machine", "simkit", "core", "workload", "analysis", "obs", "tracekit",
 ];
 
 /// Crates allowed to read the wall clock: the benchmark harness times real

@@ -1,0 +1,376 @@
+//! Paired-trace comparison: native-only baseline vs with-interstitial.
+//!
+//! The paper's impact methodology is differential — run the same native
+//! workload with and without interstitial load and compare native waits
+//! (§4.3, Tables 5–8). [`diff`] reproduces that comparison from traces
+//! alone: align the two runs' native jobs by id (same seed ⇒ same ids),
+//! report per-job wait deltas, and compute each side's Table-5 panel via
+//! `analysis::metrics::NativeImpact` — the *same* code path the simulator
+//! uses, so a trace-derived aggregate is bit-identical to the in-process
+//! one (the `trace_analytics` integration test asserts exactly this).
+
+use crate::lifecycle::{Occupancy, Transition};
+use analysis::metrics::NativeImpact;
+use obs::TraceEvent;
+use simkit::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use workload::{CompletedJob, Job, JobClass};
+
+/// One native job's realized outcome, extracted from finish events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NativeOutcome {
+    /// CPUs held.
+    pub cpus: u32,
+    /// Queue wait as the writer measured it, seconds.
+    pub wait_s: u64,
+    /// Realized runtime (finish − start), seconds.
+    pub runtime_s: u64,
+}
+
+/// Streaming collector of one trace's native outcomes.
+#[derive(Clone, Debug, Default)]
+pub struct OutcomeCollector {
+    occ: Occupancy,
+    jobs: BTreeMap<u64, NativeOutcome>,
+    /// Ids in first-finish order — [`Outcomes::impact`] must aggregate in
+    /// the simulator's completion order for bit-identical float sums.
+    order: Vec<u64>,
+    duplicates: u64,
+}
+
+impl OutcomeCollector {
+    /// Empty collector.
+    pub fn new() -> Self {
+        OutcomeCollector {
+            occ: Occupancy::new(None),
+            ..OutcomeCollector::default()
+        }
+    }
+
+    /// Fold in the next event (nondecreasing time order).
+    pub fn observe(&mut self, ev: &TraceEvent) {
+        if let Transition::Finished {
+            id,
+            cpus,
+            interstitial: false,
+            wait_s,
+            start: Some(start),
+            finish,
+        } = self.occ.apply(ev)
+        {
+            let outcome = NativeOutcome {
+                cpus,
+                wait_s,
+                runtime_s: (finish - start).as_secs(),
+            };
+            if self.jobs.insert(id, outcome).is_some() {
+                self.duplicates += 1;
+            } else {
+                self.order.push(id);
+            }
+        }
+    }
+
+    /// Consume the collector.
+    pub fn finish(self) -> Outcomes {
+        Outcomes {
+            jobs: self.jobs,
+            order: self.order,
+            duplicates: self.duplicates,
+            dropped: self.occ.inconsistencies(),
+        }
+    }
+}
+
+/// All native outcomes of one trace, keyed by job id.
+#[derive(Clone, Debug, Default)]
+pub struct Outcomes {
+    /// Per-job outcomes.
+    pub jobs: BTreeMap<u64, NativeOutcome>,
+    /// Job ids in finish order (the simulator's completion order).
+    pub order: Vec<u64>,
+    /// Ids finished more than once (corrupt stream); last one wins.
+    pub duplicates: u64,
+    /// Finishes dropped for lacking a matching start (truncated stream).
+    pub dropped: u64,
+}
+
+impl Outcomes {
+    /// The Table-5 panel for this side, computed by the *simulator's own*
+    /// aggregation code over synthetic job logs reconstructed from the
+    /// trace — identical bits for identical runs.
+    pub fn impact(&self) -> NativeImpact {
+        // Finish order, not id order: float accumulation is order-
+        // sensitive in the last ulp, and bit-identity with the in-process
+        // `NativeImpact` requires summing in the same (finish) order.
+        let completed: Vec<CompletedJob> = self
+            .order
+            .iter()
+            .filter_map(|id| self.jobs.get(id).map(|o| (*id, *o)))
+            .map(|(id, o)| {
+                // Anchor submit at 0: only wait and runtime matter to the
+                // wait/EF statistics, and both are preserved exactly.
+                CompletedJob::new(
+                    Job {
+                        id,
+                        class: JobClass::Native,
+                        user: 0,
+                        group: 0,
+                        submit: SimTime::ZERO,
+                        cpus: o.cpus,
+                        runtime: SimDuration::from_secs(o.runtime_s),
+                        estimate: SimDuration::from_secs(o.runtime_s),
+                    },
+                    SimTime::from_secs(o.wait_s),
+                )
+            })
+            .collect();
+        NativeImpact::of(&completed)
+    }
+}
+
+/// One aligned job's wait on both sides.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobDelta {
+    /// Job id (same on both sides by seed determinism).
+    pub id: u64,
+    /// CPUs held.
+    pub cpus: u32,
+    /// Runtime on the baseline side, seconds.
+    pub runtime_s: u64,
+    /// Wait in the native-only baseline, seconds.
+    pub base_wait_s: u64,
+    /// Wait in the with-interstitial run, seconds.
+    pub with_wait_s: u64,
+}
+
+impl JobDelta {
+    /// Added wait (positive = interstitial load delayed this job).
+    pub fn delta_s(&self) -> i64 {
+        self.with_wait_s as i64 - self.base_wait_s as i64
+    }
+}
+
+/// The aligned comparison of two runs of the same native workload.
+#[derive(Clone, Debug)]
+pub struct TraceDiff {
+    /// Jobs present in both traces, ascending id.
+    pub matched: Vec<JobDelta>,
+    /// Native jobs only the baseline finished.
+    pub only_base: u64,
+    /// Native jobs only the with-interstitial run finished.
+    pub only_with: u64,
+    /// Matched jobs whose runtimes disagree — a sign the traces are not
+    /// the same seed/workload and the comparison is not differential.
+    pub runtime_mismatches: u64,
+    /// Baseline Table-5 panel.
+    pub base_impact: NativeImpact,
+    /// With-interstitial Table-5 panel.
+    pub with_impact: NativeImpact,
+}
+
+impl TraceDiff {
+    /// Matched jobs whose wait grew.
+    pub fn delayed_jobs(&self) -> u64 {
+        self.matched.iter().filter(|d| d.delta_s() > 0).count() as u64
+    }
+
+    /// Net added wait across all matched jobs, seconds.
+    pub fn total_delta_s(&self) -> i64 {
+        self.matched.iter().map(JobDelta::delta_s).sum()
+    }
+
+    /// Largest single-job added wait, seconds (0 when nothing matched).
+    pub fn max_delta_s(&self) -> i64 {
+        self.matched
+            .iter()
+            .map(JobDelta::delta_s)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The `n` most-delayed jobs, descending delta, ties by ascending id.
+    pub fn top_deltas(&self, n: usize) -> Vec<JobDelta> {
+        let mut v = self.matched.clone();
+        v.sort_by(|a, b| b.delta_s().cmp(&a.delta_s()).then(a.id.cmp(&b.id)));
+        v.truncate(n);
+        v
+    }
+}
+
+/// Align two sides by job id and compare.
+pub fn diff(base: &Outcomes, with: &Outcomes) -> TraceDiff {
+    let mut matched = Vec::new();
+    let mut only_base = 0;
+    let mut runtime_mismatches = 0;
+    for (&id, b) in &base.jobs {
+        match with.jobs.get(&id) {
+            Some(w) => {
+                if w.runtime_s != b.runtime_s {
+                    runtime_mismatches += 1;
+                }
+                matched.push(JobDelta {
+                    id,
+                    cpus: b.cpus,
+                    runtime_s: b.runtime_s,
+                    base_wait_s: b.wait_s,
+                    with_wait_s: w.wait_s,
+                });
+            }
+            None => only_base += 1,
+        }
+    }
+    let only_with = with
+        .jobs
+        .keys()
+        .filter(|id| !base.jobs.contains_key(id))
+        .count() as u64;
+    TraceDiff {
+        matched,
+        only_base,
+        only_with,
+        runtime_mismatches,
+        base_impact: base.impact(),
+        with_impact: with.impact(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::{EventKind, StartKind};
+
+    fn lifecycle(
+        c: &mut OutcomeCollector,
+        id: u64,
+        cpus: u32,
+        submit: u64,
+        start: u64,
+        finish: u64,
+    ) {
+        let evs = [
+            TraceEvent {
+                t: SimTime::from_secs(submit),
+                cycle: 0,
+                kind: EventKind::Submit {
+                    job: id,
+                    cpus,
+                    estimate_s: 100,
+                    interstitial: false,
+                },
+            },
+            TraceEvent {
+                t: SimTime::from_secs(start),
+                cycle: 0,
+                kind: EventKind::Start {
+                    job: id,
+                    cpus,
+                    kind: StartKind::InOrder,
+                },
+            },
+            TraceEvent {
+                t: SimTime::from_secs(finish),
+                cycle: 0,
+                kind: EventKind::Finish {
+                    job: id,
+                    cpus,
+                    wait_s: start - submit,
+                    interstitial: false,
+                },
+            },
+        ];
+        for e in &evs {
+            c.observe(e);
+        }
+    }
+
+    #[test]
+    fn aligned_jobs_report_deltas() {
+        let mut base = OutcomeCollector::new();
+        lifecycle(&mut base, 1, 4, 0, 0, 100); // wait 0
+        lifecycle(&mut base, 2, 8, 10, 20, 120); // wait 10
+        let mut with = OutcomeCollector::new();
+        lifecycle(&mut with, 1, 4, 0, 50, 150); // wait 50 (+50)
+        lifecycle(&mut with, 2, 8, 10, 20, 120); // wait 10 (+0)
+        let d = diff(&base.finish(), &with.finish());
+        assert_eq!(d.matched.len(), 2);
+        assert_eq!(d.matched[0].delta_s(), 50);
+        assert_eq!(d.matched[1].delta_s(), 0);
+        assert_eq!(d.delayed_jobs(), 1);
+        assert_eq!(d.total_delta_s(), 50);
+        assert_eq!(d.max_delta_s(), 50);
+        assert_eq!(d.top_deltas(1)[0].id, 1);
+        assert_eq!(d.runtime_mismatches, 0);
+        assert_eq!((d.only_base, d.only_with), (0, 0));
+    }
+
+    #[test]
+    fn unmatched_and_mismatched_jobs_are_counted() {
+        let mut base = OutcomeCollector::new();
+        lifecycle(&mut base, 1, 4, 0, 0, 100);
+        lifecycle(&mut base, 2, 4, 0, 0, 100);
+        let mut with = OutcomeCollector::new();
+        lifecycle(&mut with, 2, 4, 0, 0, 200); // runtime differs
+        lifecycle(&mut with, 3, 4, 0, 0, 100);
+        let d = diff(&base.finish(), &with.finish());
+        assert_eq!(d.matched.len(), 1);
+        assert_eq!(d.only_base, 1);
+        assert_eq!(d.only_with, 1);
+        assert_eq!(d.runtime_mismatches, 1);
+    }
+
+    #[test]
+    fn impact_matches_direct_native_impact() {
+        // Build outcomes and the equivalent CompletedJob log; the two
+        // aggregation paths must agree exactly.
+        let mut c = OutcomeCollector::new();
+        lifecycle(&mut c, 1, 2, 0, 30, 130); // wait 30, run 100
+        lifecycle(&mut c, 2, 16, 5, 5, 1_005); // wait 0, run 1000
+        let out = c.finish();
+        let direct = {
+            let jobs: Vec<CompletedJob> = [(1u64, 2u32, 30u64, 100u64), (2, 16, 0, 1_000)]
+                .iter()
+                .map(|&(id, cpus, wait, run)| {
+                    CompletedJob::new(
+                        Job {
+                            id,
+                            class: JobClass::Native,
+                            user: 0,
+                            group: 0,
+                            submit: SimTime::ZERO,
+                            cpus,
+                            runtime: SimDuration::from_secs(run),
+                            estimate: SimDuration::from_secs(run),
+                        },
+                        SimTime::from_secs(wait),
+                    )
+                })
+                .collect();
+            NativeImpact::of(&jobs)
+        };
+        let from_trace = out.impact();
+        assert_eq!(from_trace.all, direct.all);
+        assert_eq!(from_trace.largest, direct.largest);
+        assert_eq!(from_trace.largest.count, 1, "ceil(2 × 5%) = 1");
+    }
+
+    #[test]
+    fn interstitial_and_orphan_finishes_are_excluded() {
+        let mut c = OutcomeCollector::new();
+        // Orphan finish: no start observed.
+        c.observe(&TraceEvent {
+            t: SimTime::from_secs(10),
+            cycle: 0,
+            kind: EventKind::Finish {
+                job: 9,
+                cpus: 4,
+                wait_s: 0,
+                interstitial: false,
+            },
+        });
+        let out = c.finish();
+        assert!(out.jobs.is_empty());
+        assert_eq!(out.dropped, 1);
+        assert_eq!(out.impact().all.count, 0);
+    }
+}

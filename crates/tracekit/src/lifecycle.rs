@@ -1,0 +1,439 @@
+//! Per-job lifecycle reconstruction from the event stream.
+//!
+//! [`Occupancy`] is the shared state machine every analyzer builds on: it
+//! replays submit → start → finish/preempt transitions, tracking which
+//! jobs run, which natives wait, how many CPUs each class holds and
+//! whether the machine is up. State is proportional to the number of
+//! *live* jobs (running + waiting), never to trace length — the property
+//! that keeps `trace summarize` memory-flat on arbitrarily long streams.
+//!
+//! The stream is treated as untrusted input: transitions that make no
+//! sense (a finish without a start, a duplicate submit) are reported as
+//! [`Transition::Inconsistent`] and leave the counters unharmed, so a
+//! truncated or corrupt-recovered trace still yields best-effort
+//! analysis.
+
+use obs::{EventKind, StartKind, TraceEvent};
+use simkit::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Scheduling facts about one running job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Running {
+    /// CPUs held.
+    pub cpus: u32,
+    /// True for interstitial jobs.
+    pub interstitial: bool,
+    /// When this execution segment started.
+    pub start: SimTime,
+}
+
+/// A submitted native job that has not started yet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Waiting {
+    /// CPUs requested.
+    pub cpus: u32,
+    /// Submission instant.
+    pub submit: SimTime,
+}
+
+/// What applying one event did to the reconstructed state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transition {
+    /// A job entered the system (natives join the waiting set).
+    Submitted {
+        /// Job id.
+        id: u64,
+        /// True for interstitial jobs.
+        interstitial: bool,
+    },
+    /// A job began (or resumed) executing.
+    Started {
+        /// Job id.
+        id: u64,
+        /// CPUs allocated.
+        cpus: u32,
+        /// True for interstitial placements (incl. resumes).
+        interstitial: bool,
+        /// Submission instant, when the submit was observed (natives).
+        submit: Option<SimTime>,
+        /// Placement kind from the event.
+        kind: StartKind,
+    },
+    /// A job finished and released its CPUs.
+    Finished {
+        /// Job id.
+        id: u64,
+        /// CPUs released.
+        cpus: u32,
+        /// True for interstitial jobs.
+        interstitial: bool,
+        /// Queue wait the writer measured, seconds.
+        wait_s: u64,
+        /// Start of the final execution segment, when observed.
+        start: Option<SimTime>,
+        /// Finish instant.
+        finish: SimTime,
+    },
+    /// A running interstitial job was preempted.
+    Preempted {
+        /// Job id.
+        id: u64,
+        /// CPUs reclaimed.
+        cpus: u32,
+        /// Start of the interrupted segment, when observed.
+        start: Option<SimTime>,
+    },
+    /// The machine crossed an outage boundary.
+    OutageEdge {
+        /// Machine state after the event.
+        up: bool,
+    },
+    /// The event contradicts reconstructed state (duplicate submit,
+    /// finish without start, …); counters were left untouched where the
+    /// contradiction made them unknowable.
+    Inconsistent(&'static str),
+}
+
+/// Reconstructed machine occupancy at the current point of the stream.
+#[derive(Clone, Debug, Default)]
+pub struct Occupancy {
+    /// Total machine CPUs, when known (header or caller).
+    total: Option<u32>,
+    up: bool,
+    native_busy: u32,
+    inter_busy: u32,
+    running: BTreeMap<u64, Running>,
+    waiting: BTreeMap<u64, Waiting>,
+    peak_tracked: usize,
+    inconsistencies: u64,
+}
+
+impl Occupancy {
+    /// Fresh state; machine assumed up until an outage event says
+    /// otherwise (matching the driver's initial state for traces without
+    /// scheduled outages at t=0).
+    pub fn new(total: Option<u32>) -> Self {
+        Occupancy {
+            total,
+            up: true,
+            ..Occupancy::default()
+        }
+    }
+
+    /// Total machine CPUs, if known.
+    pub fn total(&self) -> Option<u32> {
+        self.total
+    }
+
+    /// Machine availability after the last applied event.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// CPUs held by native jobs.
+    pub fn native_busy(&self) -> u32 {
+        self.native_busy
+    }
+
+    /// CPUs held by interstitial jobs.
+    pub fn inter_busy(&self) -> u32 {
+        self.inter_busy
+    }
+
+    /// Free CPUs, when the machine size is known.
+    pub fn free(&self) -> Option<u32> {
+        self.total
+            .map(|t| t.saturating_sub(self.native_busy + self.inter_busy))
+    }
+
+    /// The waiting native set, keyed by job id.
+    pub fn waiting(&self) -> &BTreeMap<u64, Waiting> {
+        &self.waiting
+    }
+
+    /// The running set, keyed by job id.
+    pub fn running(&self) -> &BTreeMap<u64, Running> {
+        &self.running
+    }
+
+    /// The waiting native that holds the head claim: earliest submit,
+    /// ties broken by lower id (the scheduler's arrival order).
+    pub fn oldest_waiting(&self) -> Option<u64> {
+        self.waiting
+            .iter()
+            .min_by_key(|(id, w)| (w.submit, **id))
+            .map(|(id, _)| *id)
+    }
+
+    /// Jobs currently tracked (running + waiting) — the live-state size.
+    pub fn tracked_jobs(&self) -> usize {
+        self.running.len() + self.waiting.len()
+    }
+
+    /// High-water mark of [`Occupancy::tracked_jobs`] over the stream.
+    pub fn peak_tracked_jobs(&self) -> usize {
+        self.peak_tracked
+    }
+
+    /// Number of [`Transition::Inconsistent`] outcomes so far.
+    pub fn inconsistencies(&self) -> u64 {
+        self.inconsistencies
+    }
+
+    fn inconsistent(&mut self, what: &'static str) -> Transition {
+        self.inconsistencies += 1;
+        Transition::Inconsistent(what)
+    }
+
+    /// Apply one event, returning the resulting lifecycle transition.
+    pub fn apply(&mut self, ev: &TraceEvent) -> Transition {
+        let out = match ev.kind {
+            EventKind::Submit {
+                job,
+                cpus,
+                interstitial,
+                ..
+            } => {
+                if interstitial {
+                    // Interstitial submits are immediately followed by
+                    // their start; the waiting set tracks natives only.
+                    Transition::Submitted {
+                        id: job,
+                        interstitial,
+                    }
+                } else if self.waiting.contains_key(&job) || self.running.contains_key(&job) {
+                    self.inconsistent("duplicate submit")
+                } else {
+                    self.waiting.insert(job, Waiting { cpus, submit: ev.t });
+                    Transition::Submitted {
+                        id: job,
+                        interstitial,
+                    }
+                }
+            }
+            EventKind::Start { job, cpus, kind } => {
+                let interstitial = matches!(kind, StartKind::Interstitial | StartKind::Resume);
+                if self.running.contains_key(&job) {
+                    return self.inconsistent("start of an already-running job");
+                }
+                let submit = if interstitial {
+                    None
+                } else {
+                    self.waiting.remove(&job).map(|w| w.submit)
+                };
+                self.running.insert(
+                    job,
+                    Running {
+                        cpus,
+                        interstitial,
+                        start: ev.t,
+                    },
+                );
+                if interstitial {
+                    self.inter_busy += cpus;
+                } else {
+                    self.native_busy += cpus;
+                }
+                Transition::Started {
+                    id: job,
+                    cpus,
+                    interstitial,
+                    submit,
+                    kind,
+                }
+            }
+            EventKind::Finish {
+                job,
+                cpus,
+                wait_s,
+                interstitial,
+            } => {
+                let start = match self.running.remove(&job) {
+                    Some(r) => {
+                        if r.interstitial {
+                            self.inter_busy = self.inter_busy.saturating_sub(r.cpus);
+                        } else {
+                            self.native_busy = self.native_busy.saturating_sub(r.cpus);
+                        }
+                        Some(r.start)
+                    }
+                    None => return self.inconsistent("finish without a running start"),
+                };
+                Transition::Finished {
+                    id: job,
+                    cpus,
+                    interstitial,
+                    wait_s,
+                    start,
+                    finish: ev.t,
+                }
+            }
+            EventKind::Preempt { job, cpus, .. } => match self.running.remove(&job) {
+                Some(r) => {
+                    self.inter_busy = self.inter_busy.saturating_sub(r.cpus);
+                    Transition::Preempted {
+                        id: job,
+                        cpus,
+                        start: Some(r.start),
+                    }
+                }
+                None => self.inconsistent("preempt of a job that is not running"),
+            },
+            EventKind::Outage { up } => {
+                self.up = up;
+                Transition::OutageEdge { up }
+            }
+        };
+        self.peak_tracked = self.peak_tracked.max(self.tracked_jobs());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            t: SimTime::from_secs(t),
+            cycle: 0,
+            kind,
+        }
+    }
+
+    fn submit(t: u64, job: u64, cpus: u32, interstitial: bool) -> TraceEvent {
+        ev(
+            t,
+            EventKind::Submit {
+                job,
+                cpus,
+                estimate_s: 100,
+                interstitial,
+            },
+        )
+    }
+
+    fn start(t: u64, job: u64, cpus: u32, kind: StartKind) -> TraceEvent {
+        ev(t, EventKind::Start { job, cpus, kind })
+    }
+
+    fn finish(t: u64, job: u64, cpus: u32, wait_s: u64, interstitial: bool) -> TraceEvent {
+        ev(
+            t,
+            EventKind::Finish {
+                job,
+                cpus,
+                wait_s,
+                interstitial,
+            },
+        )
+    }
+
+    #[test]
+    fn native_lifecycle_round_trip() {
+        let mut occ = Occupancy::new(Some(64));
+        occ.apply(&submit(0, 1, 16, false));
+        assert_eq!(occ.waiting().len(), 1);
+        assert_eq!(occ.free(), Some(64));
+        let tr = occ.apply(&start(10, 1, 16, StartKind::InOrder));
+        assert_eq!(
+            tr,
+            Transition::Started {
+                id: 1,
+                cpus: 16,
+                interstitial: false,
+                submit: Some(SimTime::from_secs(0)),
+                kind: StartKind::InOrder,
+            }
+        );
+        assert_eq!(occ.native_busy(), 16);
+        assert_eq!(occ.free(), Some(48));
+        let tr = occ.apply(&finish(110, 1, 16, 10, false));
+        assert!(matches!(
+            tr,
+            Transition::Finished {
+                id: 1,
+                wait_s: 10,
+                start: Some(s),
+                ..
+            } if s == SimTime::from_secs(10)
+        ));
+        assert_eq!(occ.native_busy(), 0);
+        assert_eq!(occ.tracked_jobs(), 0);
+        assert_eq!(occ.peak_tracked_jobs(), 1);
+        assert_eq!(occ.inconsistencies(), 0);
+    }
+
+    #[test]
+    fn interstitial_preempt_and_resume() {
+        let mut occ = Occupancy::new(Some(64));
+        let id = 1 << 40;
+        occ.apply(&submit(0, id, 16, true));
+        occ.apply(&start(0, id, 16, StartKind::Interstitial));
+        assert_eq!(occ.inter_busy(), 16);
+        assert!(occ.waiting().is_empty(), "interstitials never wait");
+        let tr = occ.apply(&ev(
+            50,
+            EventKind::Preempt {
+                job: id,
+                cpus: 16,
+                kind: obs::PreemptKind::Checkpoint,
+            },
+        ));
+        assert!(matches!(tr, Transition::Preempted { id: j, .. } if j == id));
+        assert_eq!(occ.inter_busy(), 0);
+        let tr = occ.apply(&start(500, id, 16, StartKind::Resume));
+        assert!(matches!(
+            tr,
+            Transition::Started {
+                interstitial: true,
+                kind: StartKind::Resume,
+                ..
+            }
+        ));
+        assert_eq!(occ.inter_busy(), 16);
+    }
+
+    #[test]
+    fn oldest_waiting_breaks_ties_by_id() {
+        let mut occ = Occupancy::new(None);
+        occ.apply(&submit(5, 7, 1, false));
+        occ.apply(&submit(5, 3, 1, false));
+        occ.apply(&submit(2, 9, 1, false));
+        assert_eq!(occ.oldest_waiting(), Some(9), "earliest submit wins");
+        occ.apply(&start(6, 9, 1, StartKind::InOrder));
+        assert_eq!(occ.oldest_waiting(), Some(3), "tie broken by lower id");
+    }
+
+    #[test]
+    fn outage_edges_toggle_up() {
+        let mut occ = Occupancy::new(None);
+        assert!(occ.is_up());
+        occ.apply(&ev(10, EventKind::Outage { up: false }));
+        assert!(!occ.is_up());
+        occ.apply(&ev(20, EventKind::Outage { up: true }));
+        assert!(occ.is_up());
+    }
+
+    #[test]
+    fn malformed_transitions_are_contained() {
+        let mut occ = Occupancy::new(Some(8));
+        assert!(matches!(
+            occ.apply(&finish(5, 1, 4, 0, false)),
+            Transition::Inconsistent(_)
+        ));
+        occ.apply(&submit(0, 1, 4, false));
+        assert!(matches!(
+            occ.apply(&submit(1, 1, 4, false)),
+            Transition::Inconsistent(_)
+        ));
+        occ.apply(&start(2, 1, 4, StartKind::InOrder));
+        assert!(matches!(
+            occ.apply(&start(3, 1, 4, StartKind::InOrder)),
+            Transition::Inconsistent(_)
+        ));
+        assert_eq!(occ.inconsistencies(), 3);
+        assert_eq!(occ.native_busy(), 4, "counters survive bad events");
+    }
+}

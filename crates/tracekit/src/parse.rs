@@ -1,0 +1,401 @@
+//! Zero-copy scanner for one line of the JSONL trace schema.
+//!
+//! The writer (`obs::event::TraceEvent::write_jsonl`) emits flat objects
+//! whose values are only unsigned integers and plain strings, so a full
+//! JSON parser is unnecessary: this module walks the line's bytes once,
+//! borrows string values straight out of the input, and dispatches keys
+//! by name. Unknown keys are skipped (reserved for future schema-1 minor
+//! additions per `crates/obs/SCHEMA.md`); anything structurally
+//! unexpected is a [`ParseError`] so the reader can count and skip the
+//! line.
+
+use obs::{EventKind, PreemptKind, StartKind, TraceEvent};
+use simkit::time::SimTime;
+
+/// Why one line failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description, with a byte offset where relevant.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: String) -> Result<T, ParseError> {
+    Err(ParseError { msg })
+}
+
+/// The `{"schema":…}` line that leads every versioned trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header<'a> {
+    /// Declared schema version.
+    pub schema: u64,
+    /// Machine preset name, when the driver stamped it.
+    pub machine: Option<&'a str>,
+    /// Total CPUs of the traced machine, when stamped.
+    pub cpus: Option<u32>,
+}
+
+/// One successfully parsed line: the header or an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Line<'a> {
+    /// The version header (normally the first line of a trace).
+    Header(Header<'a>),
+    /// A trace event.
+    Event(TraceEvent),
+}
+
+/// A scanned value: the schema only ever carries unsigned integers and
+/// plain strings.
+#[derive(Clone, Copy)]
+enum Value<'a> {
+    Num(u64),
+    Str(&'a str),
+}
+
+/// Byte cursor over one line.
+struct Cursor<'a> {
+    s: &'a str,
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.s.as_bytes().get(self.i).copied()
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(c) if c == want => {
+                self.i += 1;
+                Ok(())
+            }
+            _ => err(format!(
+                "expected {:?} at byte {} of {:?}",
+                want as char, self.i, self.s
+            )),
+        }
+    }
+
+    /// A `"…"` literal with no escapes (the writer never emits any for
+    /// schema-1 values; a line that needs them is treated as corrupt).
+    fn string(&mut self) -> Result<&'a str, ParseError> {
+        self.eat(b'"')?;
+        let start = self.i;
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    let out = &self.s[start..self.i];
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    return err(format!(
+                        "escaped string at byte {} of {:?} (not used by schema 1)",
+                        self.i, self.s
+                    ))
+                }
+                Some(_) => self.i += 1,
+                None => return err(format!("unterminated string in {:?}", self.s)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, ParseError> {
+        let start = self.i;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return err(format!("expected digit at byte {} of {:?}", start, self.s));
+        }
+        match self.s[start..self.i].parse() {
+            Ok(n) => Ok(n),
+            Err(_) => err(format!("integer overflow in {:?}", &self.s[start..self.i])),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value<'a>, ParseError> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            _ => Ok(Value::Num(self.number()?)),
+        }
+    }
+}
+
+/// Every field schema 1 can carry, collected in one pass.
+#[derive(Default)]
+struct Fields<'a> {
+    t: Option<u64>,
+    cycle: Option<u64>,
+    job: Option<u64>,
+    cpus: Option<u64>,
+    estimate_s: Option<u64>,
+    wait_s: Option<u64>,
+    schema: Option<u64>,
+    ev: Option<&'a str>,
+    class: Option<&'a str>,
+    kind: Option<&'a str>,
+    up: Option<&'a str>,
+    machine: Option<&'a str>,
+}
+
+fn as_num(v: Value<'_>, key: &str) -> Result<u64, ParseError> {
+    match v {
+        Value::Num(n) => Ok(n),
+        Value::Str(_) => err(format!("field {key:?} must be a number")),
+    }
+}
+
+fn as_str<'a>(v: Value<'a>, key: &str) -> Result<&'a str, ParseError> {
+    match v {
+        Value::Str(s) => Ok(s),
+        Value::Num(_) => err(format!("field {key:?} must be a string")),
+    }
+}
+
+fn req<T>(v: Option<T>, key: &str) -> Result<T, ParseError> {
+    match v {
+        Some(x) => Ok(x),
+        None => err(format!("missing field {key:?}")),
+    }
+}
+
+fn cpus_u32(n: u64) -> Result<u32, ParseError> {
+    u32::try_from(n).or_else(|_| err(format!("cpus value {n} exceeds u32")))
+}
+
+fn interstitial_of(class: &str) -> Result<bool, ParseError> {
+    match class {
+        "native" => Ok(false),
+        "interstitial" => Ok(true),
+        other => err(format!("unknown class {other:?}")),
+    }
+}
+
+/// Parse one trimmed line into a [`Line`]. Borrowed string values point
+/// into `line` (zero-copy); errors allocate only their message.
+pub fn parse_line(line: &str) -> Result<Line<'_>, ParseError> {
+    let s = line.trim_end_matches(['\n', '\r']);
+    let mut c = Cursor { s, i: 0 };
+    let mut f = Fields::default();
+    c.eat(b'{')?;
+    if c.peek() != Some(b'}') {
+        loop {
+            let key = c.string()?;
+            c.eat(b':')?;
+            let v = c.value()?;
+            match key {
+                "t" => f.t = Some(as_num(v, key)?),
+                "cycle" => f.cycle = Some(as_num(v, key)?),
+                "job" => f.job = Some(as_num(v, key)?),
+                "cpus" => f.cpus = Some(as_num(v, key)?),
+                "estimate_s" => f.estimate_s = Some(as_num(v, key)?),
+                "wait_s" => f.wait_s = Some(as_num(v, key)?),
+                "schema" => f.schema = Some(as_num(v, key)?),
+                "ev" => f.ev = Some(as_str(v, key)?),
+                "class" => f.class = Some(as_str(v, key)?),
+                "kind" => f.kind = Some(as_str(v, key)?),
+                "up" => f.up = Some(as_str(v, key)?),
+                "machine" => f.machine = Some(as_str(v, key)?),
+                _ => {} // reserved for forward-compatible additions
+            }
+            match c.peek() {
+                Some(b',') => c.i += 1,
+                _ => break,
+            }
+        }
+    }
+    c.eat(b'}')?;
+    if c.i != s.len() {
+        return err(format!("trailing garbage after object in {s:?}"));
+    }
+
+    if let Some(schema) = f.schema {
+        return Ok(Line::Header(Header {
+            schema,
+            machine: f.machine,
+            cpus: f.cpus.map(cpus_u32).transpose()?,
+        }));
+    }
+
+    let t = SimTime::from_secs(req(f.t, "t")?);
+    let cycle = req(f.cycle, "cycle")?;
+    let kind = match req(f.ev, "ev")? {
+        "submit" => EventKind::Submit {
+            job: req(f.job, "job")?,
+            cpus: cpus_u32(req(f.cpus, "cpus")?)?,
+            estimate_s: req(f.estimate_s, "estimate_s")?,
+            interstitial: interstitial_of(req(f.class, "class")?)?,
+        },
+        "start" => EventKind::Start {
+            job: req(f.job, "job")?,
+            cpus: cpus_u32(req(f.cpus, "cpus")?)?,
+            kind: match req(f.kind, "kind")? {
+                "inorder" => StartKind::InOrder,
+                "backfill" => StartKind::Backfill,
+                "interstitial" => StartKind::Interstitial,
+                "resume" => StartKind::Resume,
+                other => return err(format!("unknown start kind {other:?}")),
+            },
+        },
+        "finish" => EventKind::Finish {
+            job: req(f.job, "job")?,
+            cpus: cpus_u32(req(f.cpus, "cpus")?)?,
+            wait_s: req(f.wait_s, "wait_s")?,
+            interstitial: interstitial_of(req(f.class, "class")?)?,
+        },
+        "preempt" => EventKind::Preempt {
+            job: req(f.job, "job")?,
+            cpus: cpus_u32(req(f.cpus, "cpus")?)?,
+            kind: match req(f.kind, "kind")? {
+                "kill" => PreemptKind::Kill,
+                "checkpoint" => PreemptKind::Checkpoint,
+                other => return err(format!("unknown preempt kind {other:?}")),
+            },
+        },
+        "outage" => EventKind::Outage {
+            up: match req(f.up, "up")? {
+                "true" => true,
+                "false" => false,
+                other => return err(format!("unknown outage state {other:?}")),
+            },
+        },
+        other => return err(format!("unknown event {other:?}")),
+    };
+    Ok(Line::Event(TraceEvent { t, cycle, kind }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event_of(line: &str) -> TraceEvent {
+        match parse_line(line).unwrap() {
+            Line::Event(ev) => ev,
+            Line::Header(h) => panic!("unexpected header {h:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trips_every_event_kind() {
+        let kinds = [
+            EventKind::Submit {
+                job: 3,
+                cpus: 32,
+                estimate_s: 7_200,
+                interstitial: false,
+            },
+            EventKind::Submit {
+                job: 1 << 40,
+                cpus: 8,
+                estimate_s: 0,
+                interstitial: true,
+            },
+            EventKind::Start {
+                job: 9,
+                cpus: 32,
+                kind: StartKind::Backfill,
+            },
+            EventKind::Start {
+                job: 9,
+                cpus: 32,
+                kind: StartKind::Resume,
+            },
+            EventKind::Finish {
+                job: 9,
+                cpus: 32,
+                wait_s: 40,
+                interstitial: true,
+            },
+            EventKind::Preempt {
+                job: 7,
+                cpus: 16,
+                kind: PreemptKind::Checkpoint,
+            },
+            EventKind::Outage { up: false },
+        ];
+        for kind in kinds {
+            let ev = TraceEvent {
+                t: SimTime::from_secs(42),
+                cycle: 7,
+                kind,
+            };
+            let mut s = String::new();
+            ev.write_jsonl(&mut s);
+            assert_eq!(event_of(&s), ev, "{s}");
+        }
+    }
+
+    #[test]
+    fn header_parses_with_and_without_machine() {
+        match parse_line("{\"schema\":1,\"machine\":\"Blue Mountain\",\"cpus\":6144}").unwrap() {
+            Line::Header(h) => {
+                assert_eq!(h.schema, 1);
+                assert_eq!(h.machine, Some("Blue Mountain"));
+                assert_eq!(h.cpus, Some(6144));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_line("{\"schema\":3}").unwrap() {
+            Line::Header(h) => {
+                assert_eq!(h.schema, 3);
+                assert_eq!(h.machine, None);
+                assert_eq!(h.cpus, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_keys_are_skipped() {
+        let ev = event_of(
+            "{\"t\":5,\"cycle\":1,\"future\":99,\"ev\":\"outage\",\"up\":\"true\",\"note\":\"x\"}",
+        );
+        assert_eq!(ev.t, SimTime::from_secs(5));
+        assert_eq!(ev.kind, EventKind::Outage { up: true });
+    }
+
+    #[test]
+    fn trailing_newline_is_tolerated() {
+        let ev = event_of("{\"t\":5,\"cycle\":1,\"ev\":\"outage\",\"up\":\"false\"}\n");
+        assert_eq!(ev.kind, EventKind::Outage { up: false });
+    }
+
+    #[test]
+    fn corrupt_lines_error_without_panicking() {
+        for bad in [
+            "",
+            "not json",
+            "{\"t\":5}",
+            "{\"t\":5,\"cycle\":1,\"ev\":\"start\",\"job\":1,\"cpus\":2}", // missing kind
+            "{\"t\":5,\"cycle\":1,\"ev\":\"dance\",\"job\":1}",
+            "{\"t\":\"five\",\"cycle\":1,\"ev\":\"outage\",\"up\":\"true\"}",
+            "{\"t\":5,\"cycle\":1,\"ev\":\"outage\",\"up\":\"maybe\"}",
+            "{\"t\":5,\"cycle\":1,\"ev\":\"submit\",\"job\":1,\"cpus\":99999999999,\"estimate_s\":1,\"class\":\"native\"}",
+            "{\"t\":5,\"cycle\":1,\"ev\":\"outage\",\"up\":\"true\"}garbage",
+            "{\"t\":5,\"cycle\":1,\"ev\":\"submit\",\"job\":1,\"cpus\":2,\"estimate_s\":1,\"class\":\"alien\"}",
+        ] {
+            assert!(parse_line(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn string_values_borrow_from_the_input() {
+        let line = "{\"schema\":1,\"machine\":\"Ross\",\"cpus\":1436}".to_string();
+        let parsed = parse_line(&line).unwrap();
+        if let Line::Header(h) = parsed {
+            let m = h.machine.unwrap();
+            let line_range = line.as_ptr() as usize..line.as_ptr() as usize + line.len();
+            assert!(line_range.contains(&(m.as_ptr() as usize)), "not zero-copy");
+        } else {
+            panic!("expected header");
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! Occupancy timeline and interstice census reconstruction.
+//!
+//! [`TimelineBuilder`] replays a trace into per-class occupancy
+//! [`StepFunction`]s — the same structure the simulator's packer
+//! interrogates — so the *analyzer* can ask the paper's questions of a
+//! finished run: how much capacity was free, in what gap widths, and how
+//! much of it a given job shape could have harvested
+//! (`analysis::interstices`). The ASCII heatmap renderer makes the shape
+//! visible straight from `interstitial trace timeline`.
+
+use crate::lifecycle::{Occupancy, Transition};
+use obs::TraceEvent;
+use simkit::series::{BinnedSeries, StepFunction};
+use simkit::time::{SimDuration, SimTime};
+
+/// One contiguous execution span of a job, reconstructed from the stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Span start.
+    pub start: SimTime,
+    /// Span end (finish, preempt, or end-of-trace for still-running jobs).
+    pub end: SimTime,
+    /// CPUs held over the span.
+    pub cpus: u32,
+    /// True for interstitial spans.
+    pub interstitial: bool,
+}
+
+/// Streaming collector of execution spans and outage windows.
+#[derive(Clone, Debug, Default)]
+pub struct TimelineBuilder {
+    occ: Occupancy,
+    spans: Vec<Span>,
+    down: Vec<(SimTime, SimTime)>,
+    down_since: Option<SimTime>,
+    last_t: SimTime,
+}
+
+impl TimelineBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        TimelineBuilder {
+            occ: Occupancy::new(None),
+            ..TimelineBuilder::default()
+        }
+    }
+
+    /// Fold in the next event (nondecreasing time order).
+    pub fn observe(&mut self, ev: &TraceEvent) {
+        self.last_t = self.last_t.max(ev.t);
+        match self.occ.apply(ev) {
+            Transition::Finished {
+                cpus,
+                interstitial,
+                start: Some(start),
+                finish,
+                ..
+            } => self.spans.push(Span {
+                start,
+                end: finish,
+                cpus,
+                interstitial,
+            }),
+            Transition::Preempted {
+                cpus,
+                start: Some(start),
+                ..
+            } => self.spans.push(Span {
+                start,
+                end: ev.t,
+                cpus,
+                interstitial: true,
+            }),
+            Transition::OutageEdge { up } => {
+                if up {
+                    if let Some(since) = self.down_since.take() {
+                        self.down.push((since, ev.t));
+                    }
+                } else if self.down_since.is_none() {
+                    self.down_since = Some(ev.t);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Close open spans at end-of-trace and build the profiles.
+    /// `total_cpus` (header or `--cpus`) enables the free profile and the
+    /// interstice census.
+    pub fn finish(mut self, total_cpus: Option<u32>) -> Timeline {
+        let end = self.last_t;
+        for r in self.occ.running().values() {
+            self.spans.push(Span {
+                start: r.start,
+                end,
+                cpus: r.cpus,
+                interstitial: r.interstitial,
+            });
+        }
+        if let Some(since) = self.down_since.take() {
+            self.down.push((since, end));
+        }
+        // StepFunction needs a positive domain even for empty traces.
+        let horizon = SimTime::from_secs(end.as_secs().max(1));
+        let mut native = StepFunction::constant(horizon, 0);
+        let mut inter = StepFunction::constant(horizon, 0);
+        for s in &self.spans {
+            let f = if s.interstitial {
+                &mut inter
+            } else {
+                &mut native
+            };
+            f.range_add(s.start, s.end, i64::from(s.cpus));
+        }
+        native.coalesce();
+        inter.coalesce();
+        Timeline {
+            horizon,
+            native,
+            inter,
+            total_cpus,
+            down: self.down,
+            spans: self.spans,
+        }
+    }
+}
+
+/// Reconstructed occupancy profiles over `[0, horizon)`.
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    /// End of the reconstructed domain (last event instant, min 1 s).
+    pub horizon: SimTime,
+    /// CPUs held by native jobs over time.
+    pub native: StepFunction,
+    /// CPUs held by interstitial jobs over time.
+    pub inter: StepFunction,
+    /// Machine size, when known.
+    pub total_cpus: Option<u32>,
+    /// Outage windows, in time order.
+    pub down: Vec<(SimTime, SimTime)>,
+    /// All reconstructed execution spans.
+    pub spans: Vec<Span>,
+}
+
+/// Five-level shade for heatmap cells, from empty to full.
+fn shade(frac: f64) -> char {
+    const RAMP: [char; 5] = [' ', '░', '▒', '▓', '█'];
+    let idx = (frac.clamp(0.0, 1.0) * 4.0).round() as usize;
+    RAMP[idx.min(4)]
+}
+
+impl Timeline {
+    /// Free-capacity profile `total − native − inter`, with outage
+    /// windows forced to zero (a down machine has no harvestable gaps).
+    /// `None` when the machine size is unknown.
+    pub fn free(&self) -> Option<StepFunction> {
+        let total = self.total_cpus?;
+        let mut f = StepFunction::constant(self.horizon, i64::from(total));
+        for s in &self.spans {
+            f.range_add(s.start, s.end, -i64::from(s.cpus));
+        }
+        for &(a, b) in &self.down {
+            f.range_add(a, b, -i64::from(total));
+        }
+        f.coalesce();
+        Some(f)
+    }
+
+    /// Bin a profile into `width` utilization fractions of `denom` CPUs.
+    fn binned(&self, profile: &StepFunction, width: usize, denom: f64) -> Vec<f64> {
+        let mut s = BinnedSeries::new(
+            self.horizon,
+            SimDuration::from_secs(self.horizon.as_secs().div_ceil(width as u64).max(1)),
+        );
+        for (a, b, v) in profile.iter_segments() {
+            s.add_span(a, b, v.max(0) as f64);
+        }
+        s.normalized(denom).into_iter().take(width).collect()
+    }
+
+    /// One shaded heatmap row for a profile.
+    fn heat_row(&self, label: &str, profile: &StepFunction, width: usize, denom: f64) -> String {
+        let cells: String = self
+            .binned(profile, width, denom)
+            .into_iter()
+            .map(shade)
+            .collect();
+        format!("{label:<7}|{cells}|\n")
+    }
+
+    /// ASCII heatmap of native / interstitial / free occupancy over
+    /// `width` time bins, plus an interstice census when the machine size
+    /// is known. Shade ramp: `' ░▒▓█'` = 0–100% of machine CPUs.
+    pub fn render(&self, width: usize) -> String {
+        let width = width.max(1);
+        // Without a machine size, normalize by the peak so shapes still
+        // show; fractions are then relative, which the caption states.
+        let denom = match self.total_cpus {
+            Some(c) => f64::from(c),
+            None => self
+                .native
+                .iter_segments()
+                .chain(self.inter.iter_segments())
+                .map(|(_, _, v)| v.max(1))
+                .max()
+                .unwrap_or(1) as f64,
+        };
+        let hours = self.horizon.as_secs() as f64 / 3600.0;
+        let mut out = match self.total_cpus {
+            Some(c) => format!(
+                "occupancy heatmap: {width} bins over {hours:.1} h, shade = fraction of {c} CPUs\n"
+            ),
+            None => format!(
+                "occupancy heatmap: {width} bins over {hours:.1} h, shade relative to peak \
+                 (machine size unknown; pass --cpus)\n"
+            ),
+        };
+        out.push_str(&self.heat_row("native", &self.native, width, denom));
+        out.push_str(&self.heat_row("inter", &self.inter, width, denom));
+        if let Some(free) = self.free() {
+            out.push_str(&self.heat_row("free", &free, width, denom));
+            out.push_str(&self.census(&free));
+        }
+        if !self.down.is_empty() {
+            out.push_str(&format!(
+                "outages: {} window(s), {} s down\n",
+                self.down.len(),
+                self.down
+                    .iter()
+                    .map(|&(a, b)| (b - a).as_secs())
+                    .sum::<u64>()
+            ));
+        }
+        out
+    }
+
+    /// Interstice census over the free profile: time spent at each
+    /// free-capacity band, and the harvestable fraction for
+    /// paper-representative job shapes (1 h long, widths 1/8 … 1/2 of the
+    /// machine).
+    fn census(&self, free: &StepFunction) -> String {
+        let total = match self.total_cpus {
+            Some(c) if c > 0 => c,
+            _ => return String::new(),
+        };
+        let bounds = [0, total / 8, total / 4, total / 2, total]
+            .windows(2)
+            .flat_map(|w| (w[0] < w[1]).then_some(w[1]))
+            .collect::<Vec<_>>();
+        let hist = analysis::interstices::free_capacity_histogram(free, &bounds);
+        let span = self.horizon.as_secs().max(1) as f64;
+        let mut out = String::from("interstice census (free CPUs, share of time):\n");
+        let mut lo = 0u32;
+        for (i, &secs) in hist.iter().enumerate() {
+            let label = match bounds.get(i) {
+                Some(&hi) => {
+                    let l = format!("  {lo:>5}..{hi:<5}");
+                    lo = hi;
+                    l
+                }
+                None => format!("  {:>5}..{:<5}", lo, "max"),
+            };
+            out.push_str(&format!("{label} {:5.1}%\n", 100.0 * secs / span));
+        }
+        out.push_str("harvestable by 1 h jobs (fraction of free CPU·s):\n");
+        for denom_w in [8u32, 4, 2] {
+            let cpus = (total / denom_w).max(1);
+            let frac =
+                analysis::interstices::harvestable_fraction(free, cpus, SimDuration::from_hours(1));
+            out.push_str(&format!("  {cpus:>6} cpus: {:5.1}%\n", 100.0 * frac));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::{EventKind, PreemptKind, StartKind};
+
+    fn ev(t: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            t: SimTime::from_secs(t),
+            cycle: 0,
+            kind,
+        }
+    }
+
+    fn build(evs: &[TraceEvent], total: Option<u32>) -> Timeline {
+        let mut b = TimelineBuilder::new();
+        for e in evs {
+            b.observe(e);
+        }
+        b.finish(total)
+    }
+
+    #[test]
+    fn profiles_reconstruct_occupancy() {
+        let ij = 1 << 40;
+        let tl = build(
+            &[
+                ev(
+                    0,
+                    EventKind::Start {
+                        job: 1,
+                        cpus: 32,
+                        kind: StartKind::InOrder,
+                    },
+                ),
+                ev(
+                    100,
+                    EventKind::Start {
+                        job: ij,
+                        cpus: 16,
+                        kind: StartKind::Interstitial,
+                    },
+                ),
+                ev(
+                    200,
+                    EventKind::Preempt {
+                        job: ij,
+                        cpus: 16,
+                        kind: PreemptKind::Kill,
+                    },
+                ),
+                ev(
+                    400,
+                    EventKind::Finish {
+                        job: 1,
+                        cpus: 32,
+                        wait_s: 0,
+                        interstitial: false,
+                    },
+                ),
+            ],
+            Some(64),
+        );
+        assert_eq!(tl.horizon, SimTime::from_secs(400));
+        assert_eq!(tl.native.value_at(SimTime::from_secs(50)), 32);
+        assert_eq!(tl.inter.value_at(SimTime::from_secs(150)), 16);
+        assert_eq!(tl.inter.value_at(SimTime::from_secs(250)), 0);
+        let free = tl.free().unwrap();
+        assert_eq!(free.value_at(SimTime::from_secs(150)), 16);
+        assert_eq!(free.value_at(SimTime::from_secs(399)), 32);
+        assert_eq!(
+            free.integral(SimTime::ZERO, tl.horizon),
+            64 * 400 - 32 * 400 - 16 * 100
+        );
+    }
+
+    #[test]
+    fn still_running_jobs_extend_to_trace_end() {
+        let tl = build(
+            &[
+                ev(
+                    0,
+                    EventKind::Start {
+                        job: 1,
+                        cpus: 8,
+                        kind: StartKind::InOrder,
+                    },
+                ),
+                ev(500, EventKind::Outage { up: false }),
+            ],
+            Some(16),
+        );
+        assert_eq!(tl.native.value_at(SimTime::from_secs(499)), 8);
+        assert_eq!(
+            tl.down,
+            vec![(SimTime::from_secs(500), SimTime::from_secs(500))]
+        );
+    }
+
+    #[test]
+    fn outage_zeroes_free_capacity() {
+        let tl = build(
+            &[
+                ev(100, EventKind::Outage { up: false }),
+                ev(300, EventKind::Outage { up: true }),
+                ev(
+                    400,
+                    EventKind::Finish {
+                        job: 1,
+                        cpus: 1,
+                        wait_s: 0,
+                        interstitial: false,
+                    },
+                ),
+            ],
+            Some(10),
+        );
+        let free = tl.free().unwrap();
+        assert_eq!(free.value_at(SimTime::from_secs(50)), 10);
+        assert_eq!(free.value_at(SimTime::from_secs(200)), 0);
+        assert_eq!(free.value_at(SimTime::from_secs(350)), 10);
+    }
+
+    #[test]
+    fn render_has_three_rows_and_census() {
+        let tl = build(
+            &[
+                ev(
+                    0,
+                    EventKind::Start {
+                        job: 1,
+                        cpus: 64,
+                        kind: StartKind::InOrder,
+                    },
+                ),
+                ev(
+                    7200,
+                    EventKind::Finish {
+                        job: 1,
+                        cpus: 64,
+                        wait_s: 0,
+                        interstitial: false,
+                    },
+                ),
+            ],
+            Some(64),
+        );
+        let r = tl.render(40);
+        assert!(r.contains("native |"));
+        assert!(r.contains("inter  |"));
+        assert!(r.contains("free   |"));
+        assert!(r.contains("interstice census"));
+        assert!(r.contains("harvestable"));
+        // Native row fully shaded: machine is 100% busy throughout.
+        let native_row = r.lines().find(|l| l.starts_with("native")).unwrap();
+        assert!(native_row.contains('█'));
+        assert!(!native_row.contains('░'));
+    }
+
+    #[test]
+    fn render_without_machine_size_degrades_gracefully() {
+        let tl = build(
+            &[ev(
+                10,
+                EventKind::Finish {
+                    job: 1,
+                    cpus: 4,
+                    wait_s: 0,
+                    interstitial: false,
+                },
+            )],
+            None,
+        );
+        let r = tl.render(10);
+        assert!(r.contains("machine size unknown"));
+        assert!(!r.contains("free   |"));
+    }
+
+    #[test]
+    fn empty_trace_renders_without_panic() {
+        let tl = build(&[], Some(8));
+        assert_eq!(tl.horizon, SimTime::from_secs(1));
+        let r = tl.render(10);
+        assert!(r.contains("occupancy heatmap"));
+    }
+}

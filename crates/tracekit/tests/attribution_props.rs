@@ -1,0 +1,264 @@
+//! Property tests for causal wait attribution.
+//!
+//! The load-bearing invariant: for every native job that starts, the four
+//! category accumulators partition the measured queue wait *exactly* —
+//! no gap, no overlap, integer seconds. Checked against (a) real
+//! simulator traces on a machine preset with interstitial load, and
+//! (b) randomized synthetic event streams that exercise interleavings the
+//! simulator never emits (bursty ties, outages mid-queue, preempt storms).
+
+use interstitial::prelude::*;
+use obs::{EventKind, Obs, StartKind, TraceEvent};
+use simkit::rng::Rng;
+use simkit::time::SimTime;
+use tracekit::{read_all, Attributor, WaitCategory};
+use workload::traces::native_trace;
+
+fn assert_partition(report: &tracekit::AttributionReport, label: &str) {
+    assert!(!report.jobs.is_empty(), "{label}: no jobs attributed");
+    for j in &report.jobs {
+        assert_eq!(
+            j.attributed(),
+            j.wait(),
+            "{label}: job {} attribution {:?} does not partition wait {} s",
+            j.id,
+            j.seconds,
+            j.wait().as_secs()
+        );
+    }
+    // Machine totals must equal the per-job sums exactly.
+    let mut totals = [0u64; 4];
+    for j in &report.jobs {
+        for (t, s) in totals.iter_mut().zip(j.seconds) {
+            *t += s;
+        }
+    }
+    assert_eq!(totals, report.totals, "{label}: totals drifted from jobs");
+}
+
+#[test]
+fn simulator_trace_waits_partition_exactly() {
+    let cfg = machine::config::ross();
+    let mut natives = native_trace(&cfg, 13);
+    natives.truncate(120);
+    let horizon =
+        SimTime::from_secs(natives.iter().map(|j| j.submit.as_secs()).max().unwrap() + 86_400);
+    let out = SimBuilder::new(cfg.clone())
+        .natives(natives)
+        .horizon(horizon)
+        .interstitial(
+            InterstitialProject::per_paper(u64::MAX / 2, (cfg.cpus / 8).max(1), 3_600.0),
+            InterstitialMode::Continual,
+            InterstitialPolicy::default(),
+        )
+        .observer(Obs::enabled())
+        .build()
+        .run();
+    let (meta, events, stats) = read_all(&out.obs.trace.to_jsonl()).unwrap();
+    assert_eq!(stats.corrupt, 0, "simulator wrote corrupt lines");
+    assert_eq!(meta.cpus, Some(cfg.cpus), "header must carry the size");
+    let mut a = Attributor::new(cfg.cpus);
+    for ev in &events {
+        a.observe(ev);
+    }
+    let report = a.finish();
+    assert_partition(&report, "ross+interstitial");
+    assert_eq!(report.inconsistencies, 0);
+    assert_eq!(report.unmatched_starts, 0);
+
+    // Cross-check against the writer's own wait measurements: the wait_s
+    // on each native finish equals the attributed job's start − submit.
+    let mut finish_waits = std::collections::BTreeMap::new();
+    for ev in &events {
+        if let EventKind::Finish {
+            job,
+            wait_s,
+            interstitial: false,
+            ..
+        } = ev.kind
+        {
+            finish_waits.insert(job, wait_s);
+        }
+    }
+    let mut checked = 0;
+    for j in &report.jobs {
+        if let Some(&w) = finish_waits.get(&j.id) {
+            assert_eq!(
+                j.wait().as_secs(),
+                w,
+                "job {}: trace wait_s disagrees with lifecycle wait",
+                j.id
+            );
+            checked += 1;
+        }
+    }
+    assert!(
+        checked > 50,
+        "too few finished jobs cross-checked: {checked}"
+    );
+}
+
+/// Generate a random but internally consistent native+interstitial event
+/// stream: jobs submit in time order, start after their submit, and the
+/// machine occasionally blinks through outages and preemptions.
+fn random_stream(seed: u64, total: u32) -> Vec<TraceEvent> {
+    let mut rng = Rng::new(seed);
+    let mut events = Vec::new();
+    let mut t = 0u64;
+    // Native jobs: (id, submit, start, finish) with start − submit random,
+    // several ties at identical instants to stress ordering.
+    for id in 1..=60u64 {
+        t += rng.below(300);
+        let submit = t;
+        let wait = if rng.chance(0.3) { 0 } else { rng.below(5_000) };
+        let start = submit + wait;
+        let run = 1 + rng.below(4_000);
+        let cpus = 1 + rng.below(u64::from(total)) as u32 / 4;
+        events.push((
+            submit,
+            0,
+            EventKind::Submit {
+                job: id,
+                cpus,
+                estimate_s: run * 2,
+                interstitial: false,
+            },
+        ));
+        events.push((
+            start,
+            1,
+            EventKind::Start {
+                job: id,
+                cpus,
+                kind: if rng.chance(0.5) {
+                    StartKind::InOrder
+                } else {
+                    StartKind::Backfill
+                },
+            },
+        ));
+        events.push((
+            start + run,
+            2,
+            EventKind::Finish {
+                job: id,
+                cpus,
+                wait_s: wait,
+                interstitial: false,
+            },
+        ));
+    }
+    // Interstitial churn: start → (preempt | finish).
+    for k in 0..30u64 {
+        let id = (1 << 40) + k;
+        let s = rng.below(20_000);
+        let cpus = 1 + rng.below(u64::from(total / 8).max(1)) as u32;
+        events.push((
+            s,
+            1,
+            EventKind::Start {
+                job: id,
+                cpus,
+                kind: StartKind::Interstitial,
+            },
+        ));
+        let end = s + 1 + rng.below(3_000);
+        if rng.chance(0.4) {
+            events.push((
+                end,
+                2,
+                EventKind::Preempt {
+                    job: id,
+                    cpus,
+                    kind: obs::PreemptKind::Kill,
+                },
+            ));
+        } else {
+            events.push((
+                end,
+                2,
+                EventKind::Finish {
+                    job: id,
+                    cpus,
+                    wait_s: 0,
+                    interstitial: true,
+                },
+            ));
+        }
+    }
+    // Outage blinks.
+    for _ in 0..5 {
+        let down = rng.below(20_000);
+        events.push((down, 3, EventKind::Outage { up: false }));
+        events.push((down + 1 + rng.below(500), 3, EventKind::Outage { up: true }));
+    }
+    // Stable order: time, then a phase key so submits precede starts at
+    // the same instant (as the real driver emits them).
+    events.sort_by_key(|&(t, phase, _)| (t, phase));
+    events
+        .into_iter()
+        .map(|(t, _, kind)| TraceEvent {
+            t: SimTime::from_secs(t),
+            cycle: 0,
+            kind,
+        })
+        .collect()
+}
+
+#[test]
+fn random_streams_partition_exactly() {
+    for seed in 0..25u64 {
+        let total = 64 + (seed as u32 % 5) * 100;
+        let events = random_stream(seed, total);
+        let mut a = Attributor::new(total);
+        for ev in &events {
+            a.observe(ev);
+        }
+        let report = a.finish();
+        assert_partition(&report, &format!("random seed {seed}"));
+        for j in &report.jobs {
+            // Each bucket individually can never exceed the whole wait.
+            for (i, &s) in j.seconds.iter().enumerate() {
+                assert!(
+                    s <= j.wait().as_secs(),
+                    "seed {seed} job {}: bucket {i} overflows wait",
+                    j.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn saturated_category_vanishes_on_an_infinite_machine() {
+    // With effectively unlimited CPUs and no interstitial load, waits can
+    // only be fair-share or window — never saturated/interference.
+    let events = random_stream(3, 64);
+    let natives: Vec<_> = events
+        .iter()
+        .filter(|e| {
+            !matches!(
+                e.kind,
+                EventKind::Start {
+                    kind: StartKind::Interstitial | StartKind::Resume,
+                    ..
+                } | EventKind::Preempt { .. }
+                    | EventKind::Outage { .. }
+            ) && match e.kind {
+                EventKind::Submit { interstitial, .. } => !interstitial,
+                EventKind::Finish { interstitial, .. } => !interstitial,
+                _ => true,
+            }
+        })
+        .cloned()
+        .collect();
+    let mut a = Attributor::new(u32::MAX);
+    for ev in &natives {
+        a.observe(ev);
+    }
+    let report = a.finish();
+    assert_partition(&report, "infinite machine");
+    assert_eq!(report.totals[WaitCategory::Saturated.index()], 0);
+    assert_eq!(report.totals[WaitCategory::Interference.index()], 0);
+    assert!(report.total_wait_s() > 0, "streams do contain waits");
+}

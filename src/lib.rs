@@ -11,6 +11,8 @@
 //! * [`analysis`] — metrics, tables, figures.
 //! * [`simkit`] — the discrete-event kernel underneath it all.
 //! * [`obs`] — run tracing, metrics and phase profiling.
+//! * [`tracekit`] — streaming trace analytics: schema-checked readers,
+//!   causal wait attribution, timelines, P² percentiles, paired diffs.
 //!
 //! See `examples/quickstart.rs` for a three-minute tour.
 
@@ -22,4 +24,5 @@ pub use machine;
 pub use obs;
 pub use sched;
 pub use simkit;
+pub use tracekit;
 pub use workload;

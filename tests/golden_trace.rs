@@ -149,9 +149,15 @@ fn golden_stream_covers_all_event_classes() {
     ] {
         assert!(metrics.contains(needle), "golden metrics lack {needle}");
     }
+    // The stream leads with the schema header, stamped with the machine.
+    let header = trace.lines().next().unwrap();
+    assert!(
+        header.starts_with("{\"schema\":1") && header.contains("\"machine\":\"Ross\""),
+        "bad header: {header}"
+    );
     // Sim-time must be nondecreasing down the stream.
     let mut last = 0u64;
-    for line in trace.lines() {
+    for line in trace.lines().skip(1) {
         let t: u64 = line
             .strip_prefix("{\"t\":")
             .and_then(|r| r.split(',').next())

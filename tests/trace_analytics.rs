@@ -1,0 +1,283 @@
+//! Integration suite for trace analytics (`tracekit`): the acceptance
+//! bars that tie trace-derived numbers back to the simulator's own.
+//!
+//! * `diff` aggregates must be **bit-identical** to `analysis::NativeImpact`
+//!   computed from the in-process job log of the same runs.
+//! * The wait-attribution partition invariant must hold on all three
+//!   machine golden traces, cross-checked against the writer's `wait_s`.
+//! * `summarize` must hold flat peak memory (live-state proxy) as traces
+//!   grow 10×.
+//! * A 10-job paired diff fixture is pinned under `tests/golden/`
+//!   (regenerate with `UPDATE_GOLDEN=1 cargo test --test trace_analytics`).
+
+use interstitial_computing::analysis::metrics::NativeImpact;
+use interstitial_computing::interstitial::prelude::*;
+use interstitial_computing::machine::{self, MachineConfig};
+use interstitial_computing::obs::{EventKind, Obs};
+use interstitial_computing::simkit::time::SimTime;
+use interstitial_computing::tracekit::{
+    self, read_all, Attributor, OutcomeCollector, Summarizer, TraceDiff,
+};
+use interstitial_computing::workload::traces::native_trace;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// A fixed-seed observed run: the first `jobs` natives of `seed`'s log,
+/// with or without the golden interstitial stream.
+fn observed_run(cfg: &MachineConfig, seed: u64, jobs: usize, with_interstitial: bool) -> SimOutput {
+    let mut natives = native_trace(cfg, seed);
+    natives.truncate(jobs);
+    let horizon =
+        SimTime::from_secs(natives.iter().map(|j| j.submit.as_secs()).max().unwrap() + 86_400);
+    let mut b = SimBuilder::new(cfg.clone())
+        .natives(natives)
+        .horizon(horizon)
+        .observer(Obs::enabled());
+    if with_interstitial {
+        b = b.interstitial(
+            InterstitialProject::per_paper(u64::MAX / 2, (cfg.cpus / 8).max(1), 3_600.0),
+            InterstitialMode::Continual,
+            InterstitialPolicy::default(),
+        );
+    }
+    b.build().run()
+}
+
+fn outcomes_of(trace: &str) -> tracekit::Outcomes {
+    let (_, events, stats) = read_all(trace).expect("readable trace");
+    assert_eq!(stats.corrupt, 0, "simulator wrote corrupt lines");
+    let mut c = OutcomeCollector::new();
+    for ev in &events {
+        c.observe(ev);
+    }
+    c.finish()
+}
+
+#[test]
+fn diff_aggregates_match_native_impact_bit_for_bit() {
+    let cfg = machine::config::ross();
+    let base = observed_run(&cfg, 11, 100, false);
+    let with = observed_run(&cfg, 11, 100, true);
+
+    // Trace-side: reconstruct both panels from JSONL alone.
+    let d = tracekit::diff(
+        &outcomes_of(&base.obs.trace.to_jsonl()),
+        &outcomes_of(&with.obs.trace.to_jsonl()),
+    );
+
+    // Simulator-side: the same panels from the in-process job logs.
+    let base_impact = NativeImpact::of(&base.completed);
+    let with_impact = NativeImpact::of(&with.completed);
+
+    // Bit-identical floats, not approximate: both paths must run the very
+    // same aggregation over the very same integers.
+    assert_eq!(d.base_impact.all, base_impact.all);
+    assert_eq!(d.base_impact.largest, base_impact.largest);
+    assert_eq!(d.with_impact.all, with_impact.all);
+    assert_eq!(d.with_impact.largest, with_impact.largest);
+    assert!(d.base_impact.all.count > 0);
+    assert_eq!(d.runtime_mismatches, 0, "same seed ⇒ same runtimes");
+}
+
+#[test]
+fn attribution_invariant_holds_on_all_machine_golden_traces() {
+    for (name, cfg) in [
+        ("ross", machine::config::ross()),
+        ("blue_mountain", machine::config::blue_mountain()),
+        ("blue_pacific", machine::config::blue_pacific()),
+    ] {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(format!("{name}.trace.jsonl"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden trace {}: {e}", path.display()));
+        let (meta, events, stats) = read_all(&text).unwrap();
+        assert_eq!(stats.corrupt, 0, "{name}: corrupt golden");
+        assert_eq!(meta.cpus, Some(cfg.cpus), "{name}: header size");
+
+        let mut a = Attributor::new(cfg.cpus);
+        let mut finish_waits = BTreeMap::new();
+        for ev in &events {
+            a.observe(ev);
+            if let EventKind::Finish {
+                job,
+                wait_s,
+                interstitial: false,
+                ..
+            } = ev.kind
+            {
+                finish_waits.insert(job, wait_s);
+            }
+        }
+        let report = a.finish();
+        assert!(!report.jobs.is_empty(), "{name}: nothing attributed");
+        assert_eq!(report.inconsistencies, 0, "{name}");
+        for j in &report.jobs {
+            // The partition invariant: buckets sum exactly to the wait…
+            assert_eq!(
+                j.attributed(),
+                j.wait(),
+                "{name}: job {} buckets {:?} ≠ wait {} s",
+                j.id,
+                j.seconds,
+                j.wait().as_secs()
+            );
+            // …and the wait agrees with what the writer measured.
+            if let Some(&w) = finish_waits.get(&j.id) {
+                assert_eq!(j.wait().as_secs(), w, "{name}: job {} wait_s", j.id);
+            }
+        }
+    }
+}
+
+/// A synthetic trace of `jobs` sequential native lifecycles with queue
+/// depth pinned at `depth`: job i submits while at most `depth − 1`
+/// predecessors are still live.
+fn bounded_depth_trace(jobs: u64, depth: u64) -> String {
+    let mut out = String::from("{\"schema\":1,\"machine\":\"synthetic\",\"cpus\":64}\n");
+    for i in 0..jobs {
+        let submit = i * 10;
+        let start = submit + 5;
+        let finish = submit + 10 * depth; // overlaps the next `depth` jobs
+        out.push_str(&format!(
+            "{{\"t\":{submit},\"cycle\":{i},\"ev\":\"submit\",\"job\":{i},\"cpus\":1,\
+             \"estimate_s\":60,\"class\":\"native\"}}\n"
+        ));
+        out.push_str(&format!(
+            "{{\"t\":{start},\"cycle\":{i},\"ev\":\"start\",\"job\":{i},\"cpus\":1,\
+             \"kind\":\"inorder\"}}\n"
+        ));
+        out.push_str(&format!(
+            "{{\"t\":{finish},\"cycle\":{i},\"ev\":\"finish\",\"job\":{i},\"cpus\":1,\
+             \"wait_s\":5,\"class\":\"native\"}}\n"
+        ));
+    }
+    out
+}
+
+#[test]
+fn summarize_memory_proxy_stays_flat_as_traces_grow() {
+    // Coarse stress test for the streaming contract: with queue depth
+    // held constant, 10× the trace must NOT move the live-state
+    // high-water mark (an event-buffering implementation would grow 10×).
+    let peak = |text: &str| {
+        // Events are interleaved across jobs; sort by time like the
+        // writer would. read_all keeps file order, which here is already
+        // time-sorted per event kind except finishes of overlapping jobs.
+        let (_, mut events, stats) = read_all(text).unwrap();
+        assert_eq!(stats.corrupt, 0);
+        events.sort_by_key(|e| e.t);
+        let mut s = Summarizer::new(Some(64));
+        for ev in &events {
+            s.observe(ev);
+        }
+        let sum = s.finish();
+        (sum.events, sum.peak_tracked_jobs)
+    };
+    let (short_events, short_peak) = peak(&bounded_depth_trace(500, 8));
+    let (long_events, long_peak) = peak(&bounded_depth_trace(5_000, 8));
+    assert_eq!(short_events * 10, long_events, "stress ratio is 10×");
+    assert_eq!(
+        short_peak, long_peak,
+        "peak live jobs moved with trace length"
+    );
+    assert!(long_peak <= 16, "live state exceeds the pinned queue depth");
+
+    // And on a real simulator trace the proxy stays far below the event
+    // count an event-buffering analyzer would hold.
+    let cfg = machine::config::ross();
+    let real = observed_run(&cfg, 5, 400, true);
+    let (_, events, _) = read_all(&real.obs.trace.to_jsonl()).unwrap();
+    let mut s = Summarizer::new(Some(cfg.cpus));
+    for ev in &events {
+        s.observe(ev);
+    }
+    let sum = s.finish();
+    assert!(
+        (sum.peak_tracked_jobs as u64) < sum.events / 10,
+        "peak {} vs {} events",
+        sum.peak_tracked_jobs,
+        sum.events
+    );
+}
+
+/// Deterministic text form of a diff — the pinned fixture's payload.
+fn render_fixture(d: &TraceDiff) -> String {
+    let mut out = String::from("job cpus runtime_s base_wait_s with_wait_s delta_s\n");
+    for j in &d.matched {
+        out.push_str(&format!(
+            "{} {} {} {} {} {}\n",
+            j.id,
+            j.cpus,
+            j.runtime_s,
+            j.base_wait_s,
+            j.with_wait_s,
+            j.delta_s()
+        ));
+    }
+    let w = |s: &interstitial_computing::analysis::WaitStats| {
+        format!(
+            "n={} avg_wait={:.3} median_wait={:.3} avg_ef={:.6} median_ef={:.6}",
+            s.count, s.avg_wait, s.median_wait, s.avg_ef, s.median_ef
+        )
+    };
+    out.push_str(&format!(
+        "only_base={} only_with={} runtime_mismatches={}\n",
+        d.only_base, d.only_with, d.runtime_mismatches
+    ));
+    out.push_str(&format!("base.all {}\n", w(&d.base_impact.all)));
+    out.push_str(&format!("base.largest {}\n", w(&d.base_impact.largest)));
+    out.push_str(&format!("with.all {}\n", w(&d.with_impact.all)));
+    out.push_str(&format!("with.largest {}\n", w(&d.with_impact.largest)));
+    out
+}
+
+#[test]
+fn paired_diff_fixture_matches_golden() {
+    // A 10-job paired run: small enough to review by eye, real enough to
+    // exercise the whole reader → lifecycle → diff pipeline.
+    let cfg = machine::config::ross();
+    let base = observed_run(&cfg, 7, 10, false);
+    let with = observed_run(&cfg, 7, 10, true);
+    let base_trace = base.obs.trace.to_jsonl();
+    let with_trace = with.obs.trace.to_jsonl();
+
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let base_path = dir.join("diff_base.trace.jsonl");
+    let with_path = dir.join("diff_with.trace.jsonl");
+    let report_path = dir.join("diff.report.txt");
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&base_path, &base_trace).unwrap();
+        std::fs::write(&with_path, &with_trace).unwrap();
+        let d = tracekit::diff(&outcomes_of(&base_trace), &outcomes_of(&with_trace));
+        std::fs::write(&report_path, render_fixture(&d)).unwrap();
+        return;
+    }
+
+    // The freshly generated traces must match the pinned pair…
+    let read = |p: &PathBuf| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); regenerate with \
+                 UPDATE_GOLDEN=1 cargo test --test trace_analytics",
+                p.display()
+            )
+        })
+    };
+    assert_eq!(base_trace, read(&base_path), "baseline trace drifted");
+    assert_eq!(with_trace, read(&with_path), "comparison trace drifted");
+
+    // …and diffing the *files* must reproduce the pinned report exactly.
+    let d = tracekit::diff(
+        &outcomes_of(&read(&base_path)),
+        &outcomes_of(&read(&with_path)),
+    );
+    assert_eq!(d.matched.len(), 10, "fixture is the 10-job pair");
+    assert_eq!(
+        render_fixture(&d),
+        read(&report_path),
+        "diff report drifted"
+    );
+}
