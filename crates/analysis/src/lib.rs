@@ -13,6 +13,9 @@
 //!   breakage).
 //! * [`fairness`] — per-user service shares, Gini and Jain indices: does
 //!   the interstitial delay cascade land evenly across users?
+//! * [`resilience`] — fault-run accounting: goodput vs CPU·seconds wasted
+//!   by node crashes, retry/requeue traffic, per-execution survival vs
+//!   runtime, and degraded-capacity windows.
 //!
 //! The crate is deliberately independent of the `interstitial` core: every
 //! function works on plain `&[CompletedJob]` slices, so it can analyze logs
@@ -33,7 +36,9 @@ pub mod fairness;
 pub mod figures;
 pub mod interstices;
 pub mod metrics;
+pub mod resilience;
 pub mod tables;
 
 pub use metrics::{largest_fraction, NativeImpact, WaitStats};
+pub use resilience::ResilienceReport;
 pub use tables::Table;

@@ -15,6 +15,7 @@ fn main() {
         bench::experiments::ablations::multi_project(&mut lab),
         bench::experiments::ablations::fairness(&mut lab),
         bench::experiments::ablations::open_vs_closed(&mut lab),
+        bench::experiments::ablations::resilience(),
     ] {
         println!("{}\n", e.body);
     }

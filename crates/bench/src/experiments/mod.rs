@@ -47,5 +47,6 @@ pub fn run_all(lab: &mut Lab, quick: bool) -> Vec<Experiment> {
         ablations::multi_project(lab),
         ablations::fairness(lab),
         ablations::open_vs_closed(lab),
+        ablations::resilience(),
     ]
 }

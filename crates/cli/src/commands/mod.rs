@@ -45,8 +45,11 @@ COMMANDS
   simulate  --machine M [FILE.swf | --seed N]
             [--shape CPUSxSECS] [--mode continual|project:SECS]
             [--cap F] [--preempt kill|checkpoint] [--seed N] [--out FILE]
+            [--faults mtbf=S,mttr=S,nodes=N[,seed=K]] [--resilience FILE]
                                    replay a log, optionally with an
-                                   interstitial stream; print the impact
+                                   interstitial stream and injected node
+                                   failures; print the impact (and, with
+                                   faults, the resilience panel)
   advise    --machine M --jobs N --shape CPUSxSECS [--tolerance MIN]
                                    pre-flight a project against the paper's
                                    §5 guidelines

@@ -4,9 +4,10 @@
 use crate::args::{machine_by_name, shape_spec, ArgError, Args};
 use analysis::metrics::NativeImpact;
 use analysis::tables::fmt_k;
-use analysis::Table;
+use analysis::{ResilienceReport, Table};
 use interstitial::policy::Preemption;
 use interstitial::prelude::*;
+use machine::{FaultModel, FaultSpec};
 use obs::Obs;
 use simkit::time::SimTime;
 use std::sync::Arc;
@@ -16,7 +17,17 @@ use workload::{swf, Job};
 /// Run the simulation described by the flags.
 pub fn run(args: &Args) -> Result<String, ArgError> {
     args.check_flags(&[
-        "machine", "seed", "shape", "mode", "cap", "preempt", "out", "trace", "metrics",
+        "machine",
+        "seed",
+        "shape",
+        "mode",
+        "cap",
+        "preempt",
+        "out",
+        "trace",
+        "metrics",
+        "faults",
+        "resilience",
     ])?;
 
     // Native log: an SWF positional, or a synthetic trace by seed. An SWF
@@ -56,6 +67,21 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         .unwrap()
         .max(SimTime::from_days(1));
 
+    // Fault injection: synthesize the per-node failure/repair timeline
+    // once and thread the same model through both runs, so the
+    // native-only and with-interstitial columns face identical faults.
+    let faults = match args.get("faults") {
+        None => None,
+        Some(spec) => {
+            let spec =
+                FaultSpec::parse(spec).map_err(|e| ArgError(format!("bad --faults: {e}")))?;
+            Some(FaultModel::synthesize(&spec, machine.cpus, horizon))
+        }
+    };
+    if args.get("resilience").is_some() && faults.is_none() {
+        return Err(ArgError("--resilience requires --faults".into()));
+    }
+
     // Observability rides on the interstitial run when a shape is given,
     // otherwise on the baseline.
     let observe = args.get("trace").is_some() || args.get("metrics").is_some();
@@ -65,6 +91,9 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
     let mut baseline_builder = SimBuilder::new(machine.clone())
         .natives_arc(Arc::clone(&natives))
         .horizon(horizon);
+    if let Some(model) = &faults {
+        baseline_builder = baseline_builder.faults(model.clone());
+    }
     if observe && !shape_given {
         baseline_builder = baseline_builder.observer(Obs::enabled());
     }
@@ -120,6 +149,9 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
                 .natives_arc(Arc::clone(&natives))
                 .horizon(horizon)
                 .interstitial(project, mode, policy);
+            if let Some(model) = &faults {
+                b = b.faults(model.clone());
+            }
             if observe {
                 b = b.observer(Obs::enabled());
             }
@@ -161,8 +193,52 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         };
         t.row(&[label.to_string(), base_cell, inter_cell]);
     }
+    if faults.is_some() {
+        let fault_rows: [(&str, Cell); 4] = [
+            ("node failures", &|o, _| o.faults.node_failures.to_string()),
+            ("fault kills", &|o, _| o.faults.total_kills().to_string()),
+            ("native requeues", &|o, _| {
+                o.faults.native_requeues.to_string()
+            }),
+            ("interstitial retries", &|o, _| {
+                o.faults.interstitial_retries.to_string()
+            }),
+        ];
+        for (label, f) in fault_rows {
+            let base_cell = cell(&baseline, f);
+            let inter_cell = match &inter {
+                Some(o) => cell(o, f),
+                None => "—".to_string(),
+            };
+            t.row(&[label.to_string(), base_cell, inter_cell]);
+        }
+    }
     let _ = base_impact;
     out.push_str(&t.to_text());
+
+    // The resilience panel describes the headline run (the interstitial
+    // run when a shape is given, else the baseline).
+    if faults.is_some() {
+        let o = inter.as_ref().unwrap_or(&baseline);
+        let report = ResilienceReport::from_run(
+            &o.completed,
+            &o.faults,
+            &o.fault_model,
+            machine.cpus,
+            horizon,
+        );
+        let text = format!(
+            "\n{}\n{}",
+            report.table().to_text(),
+            report.survival_table().to_text()
+        );
+        out.push_str(&text);
+        if let Some(path) = args.get("resilience") {
+            std::fs::write(path, text.trim_start())
+                .map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+            out.push_str(&format!("\nwrote resilience report to {path}\n"));
+        }
+    }
 
     if let (Some(o), Some(path)) = (&inter, args.get("out")) {
         let text = swf::emit_completed(&o.completed, "interstitial simulation output");
@@ -280,6 +356,81 @@ mod tests {
             "maybe"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn faulted_run_prints_the_resilience_panel() {
+        let dir = std::env::temp_dir().join("interstitial-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resilience.txt");
+        let out = run(&parse(&[
+            "simulate",
+            "--machine",
+            "128x1.0",
+            "--seed",
+            "2",
+            "--shape",
+            "16x120",
+            "--faults",
+            "mtbf=20000,mttr=2000,nodes=8,seed=7",
+            "--resilience",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("node failures"), "{out}");
+        assert!(out.contains("Resilience"), "{out}");
+        assert!(out.contains("wrote resilience report"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("goodput CPU·s"), "{text}");
+        assert!(text.contains("Execution survival vs runtime"), "{text}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn faulted_traces_stamp_schema_v2() {
+        let dir = std::env::temp_dir().join("interstitial-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("faulted.jsonl");
+        run(&parse(&[
+            "simulate",
+            "--machine",
+            "128x1.0",
+            "--seed",
+            "2",
+            "--faults",
+            "mtbf=20000,mttr=2000,nodes=8,seed=7",
+            "--trace",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let jsonl = std::fs::read_to_string(&trace).unwrap();
+        assert!(jsonl.starts_with("{\"schema\":2"), "{jsonl}");
+        assert!(jsonl.contains("\"ev\":\"node_down\""));
+        assert!(jsonl.contains("\"ev\":\"node_up\""));
+        let _ = std::fs::remove_file(trace);
+    }
+
+    #[test]
+    fn fault_flag_errors_are_clean() {
+        assert!(run(&parse(&[
+            "simulate",
+            "--machine",
+            "128x1.0",
+            "--faults",
+            "mtbf=banana"
+        ]))
+        .is_err());
+        assert!(
+            run(&parse(&[
+                "simulate",
+                "--machine",
+                "128x1.0",
+                "--resilience",
+                "/tmp/r.txt"
+            ]))
+            .is_err(),
+            "--resilience without --faults"
+        );
     }
 
     #[test]

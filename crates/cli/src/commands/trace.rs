@@ -116,6 +116,16 @@ fn render_summary(s: &TraceSummary) -> String {
         s.outages,
         s.downtime_s,
     );
+    if s.node_failures + s.node_repairs + s.fault_kills + s.fault_requeues > 0 {
+        out.push_str(&format!(
+            "faults: {} node down / {} up, {} jobs killed, {} requeues ({} cpu·s offline)\n",
+            s.node_failures,
+            s.node_repairs,
+            s.fault_kills,
+            s.fault_requeues,
+            fmt_k(s.offline_cpu_s as f64),
+        ));
+    }
     out.push_str(&format!(
         "cpu·s delivered: {} native, {} interstitial\n",
         fmt_k(s.native_cpu_s as f64),

@@ -21,10 +21,10 @@
 //! could take, and their (exactly known — zero variance) runtimes are used
 //! as their estimates.
 
-use crate::policy::{InterstitialMode, InterstitialPolicy, Preemption};
+use crate::policy::{InterstitialMode, InterstitialPolicy, Preemption, RetryPolicy};
 use crate::project::InterstitialProject;
 use crate::report::SimOutput;
-use machine::{CpuPool, MachineConfig, OutageSchedule, RunningJob, RunningSet};
+use machine::{CpuPool, FaultModel, MachineConfig, OutageSchedule, RunningJob, RunningSet};
 use obs::{EventKind, Obs, StartKind};
 use sched::Scheduler;
 use simkit::event::EventQueue;
@@ -48,6 +48,15 @@ enum Ev {
     /// Machine goes down / comes back. Payload: is the machine up after
     /// this event?
     Outage(bool),
+    /// A node (by index into the fault model) fails, removing its CPUs
+    /// from service and crashing tenants the remaining capacity cannot
+    /// hold.
+    NodeDown(u32),
+    /// A failed node (by index) is repaired and rejoins the pool.
+    NodeUp(u32),
+    /// A fault-killed interstitial job's retry backoff expired; the job
+    /// may restart at the next opportunity.
+    Retry(u64),
     /// Forces a scheduling cycle (simulation start, project start).
     Kick,
 }
@@ -62,7 +71,8 @@ pub struct SimBuilder {
     machine: MachineConfig,
     natives: Arc<Vec<Job>>,
     scheduler: Option<Scheduler>,
-    outages: OutageSchedule,
+    faults: FaultModel,
+    retry: RetryPolicy,
     streams: Vec<InterstitialStream>,
     horizon_override: Option<SimTime>,
     periodic_cycle: Option<SimDuration>,
@@ -77,7 +87,8 @@ impl SimBuilder {
             machine,
             natives: Arc::new(Vec::new()),
             scheduler: None,
-            outages: OutageSchedule::none(),
+            faults: FaultModel::none(),
+            retry: RetryPolicy::default(),
             streams: Vec::new(),
             horizon_override: None,
             periodic_cycle: None,
@@ -117,9 +128,27 @@ impl SimBuilder {
         self
     }
 
-    /// Add outage windows.
+    /// Add whole-machine outage windows (the paper's §2 model; shorthand
+    /// for a [`FaultModel`] with no node failures).
     pub fn outages(mut self, o: OutageSchedule) -> Self {
-        self.outages = o;
+        self.faults = self.faults.with_outages(o);
+        self
+    }
+
+    /// Attach a full fault model: whole-machine outages plus per-node
+    /// failure/repair schedules. Node failures remove their CPUs from
+    /// service and crash tenants the remaining capacity cannot hold; with
+    /// [`FaultModel::none`] the simulation is bit-for-bit the perfect
+    /// machine.
+    pub fn faults(mut self, f: FaultModel) -> Self {
+        self.faults = f;
+        self
+    }
+
+    /// Retry policy for fault-killed interstitial jobs (default: 60 s base
+    /// delay doubling to a 1 h cap, 5 attempts).
+    pub fn retry(mut self, r: RetryPolicy) -> Self {
+        self.retry = r;
         self
     }
 
@@ -192,7 +221,8 @@ impl SimBuilder {
             machine: self.machine,
             natives,
             scheduler,
-            outages: self.outages,
+            faults: self.faults,
+            retry: self.retry,
             streams: self.streams,
             horizon,
             periodic_cycle: self.periodic_cycle,
@@ -207,7 +237,8 @@ pub struct Simulator {
     machine: MachineConfig,
     natives: Arc<Vec<Job>>,
     scheduler: Scheduler,
-    outages: OutageSchedule,
+    faults: FaultModel,
+    retry: RetryPolicy,
     streams: Vec<InterstitialStream>,
     horizon: SimTime,
     periodic_cycle: Option<SimDuration>,
@@ -249,6 +280,15 @@ struct RunState {
     resume_meta: BTreeMap<u64, SimTime>,
     killed: u64,
     wasted_cpu_seconds: f64,
+    /// Fault/recovery accounting (node boundaries, kills, retries).
+    faults: machine::FaultStats,
+    /// Fault kills per job id — the `attempt` stamped on requeue/retry
+    /// events, and the counter the retry policy's give-up test reads.
+    retry_attempts: BTreeMap<u64, u32>,
+    /// Fault-killed interstitial jobs waiting out their backoff.
+    retry_pending: BTreeMap<u64, Job>,
+    /// Backoff expired; restart at the next opportunity.
+    retry_ready: Vec<Job>,
     /// Closed-loop mode: per-user queues of not-yet-submitted native trace
     /// indexes, and the think-time sampler.
     user_pending: BTreeMap<u32, std::collections::VecDeque<u32>>,
@@ -271,12 +311,16 @@ impl Simulator {
             ij_started: vec![0; self.streams.len()],
             rr_next: 0,
             next_ij_id: INTERSTITIAL_ID_BASE,
-            machine_up: !self.outages.is_down(SimTime::ZERO),
+            machine_up: !self.faults.machine_outages().is_down(SimTime::ZERO),
             void_events: BTreeMap::new(),
             suspended: Vec::new(),
             resume_meta: BTreeMap::new(),
             killed: 0,
             wasted_cpu_seconds: 0.0,
+            faults: machine::FaultStats::default(),
+            retry_attempts: BTreeMap::new(),
+            retry_pending: BTreeMap::new(),
+            retry_ready: Vec::new(),
             user_pending: BTreeMap::new(),
             think: self.feedback.map(|(mean, seed)| {
                 (
@@ -305,9 +349,15 @@ impl Simulator {
                 q.schedule(j.submit, Ev::Arrive(i as u32));
             }
         }
-        for &(down, up) in self.outages.windows() {
+        for &(down, up) in self.faults.machine_outages().windows() {
             q.schedule(down, Ev::Outage(false));
             q.schedule(up, Ev::Outage(true));
+        }
+        for (i, node) in self.faults.nodes().iter().enumerate() {
+            for &(down, up) in node.schedule.windows() {
+                q.schedule(down, Ev::NodeDown(i as u32));
+                q.schedule(up, Ev::NodeUp(i as u32));
+            }
         }
         for &(_, mode, _) in &self.streams {
             match mode {
@@ -342,6 +392,10 @@ impl Simulator {
         debug_assert!(st.running.is_empty(), "jobs still running at drain");
         debug_assert_eq!(st.pool.in_use(), 0);
         debug_assert!(st.void_events.is_empty(), "unconsumed tombstones");
+        debug_assert!(st.retry_pending.is_empty(), "unfired retry releases");
+        // Retries that never found room before the event queue ran dry are
+        // abandoned work.
+        st.faults.interstitial_given_up += st.retry_ready.len() as u64;
         st.completed.sort_by_key(|c| (c.finish, c.job.id));
         self.obs.metrics.inc("engine.events", steps);
         self.obs.metrics.gauge_set(
@@ -357,6 +411,8 @@ impl Simulator {
             interstitial_killed: st.killed,
             wasted_cpu_seconds: st.wasted_cpu_seconds,
             sim_end: q.now(),
+            fault_model: self.faults.clone(),
+            faults: st.faults,
             obs: self.obs,
         }
     }
@@ -437,7 +493,128 @@ impl Simulator {
                 self.obs.trace.record(now, EventKind::Outage { up });
                 self.obs.metrics.inc("outages.boundaries", 1);
             }
+            Ev::NodeDown(node) => self.fail_node(now, node, st, q),
+            Ev::NodeUp(node) => {
+                let cpus = self.faults.nodes()[node as usize].cpus;
+                st.faults.node_repairs += 1;
+                st.pool.bring_online(cpus);
+                self.obs.trace.record(now, EventKind::NodeUp { node, cpus });
+                self.obs.metrics.inc("faults.node_up", 1);
+            }
+            Ev::Retry(id) => {
+                if let Some(job) = st.retry_pending.remove(&id) {
+                    st.retry_ready.push(job);
+                }
+            }
             Ev::Kick => {}
+        }
+    }
+
+    /// A node failed: its CPUs leave service and, when occupancy exceeds
+    /// the remaining capacity, tenants are crashed to cover the shortfall.
+    /// The pool is liquid (jobs are not pinned to nodes), so a failing node
+    /// first claims idle CPUs; only the deficit kills jobs — youngest
+    /// interstitial first (the cheapest loss), then youngest native.
+    fn fail_node(&mut self, now: SimTime, node: u32, st: &mut RunState, q: &mut EventQueue<Ev>) {
+        let cpus = self.faults.nodes()[node as usize].cpus;
+        st.faults.node_failures += 1;
+        self.obs
+            .trace
+            .record(now, EventKind::NodeDown { node, cpus });
+        self.obs.metrics.inc("faults.node_down", 1);
+        let deficit = cpus.saturating_sub(st.pool.free());
+        if deficit > 0 {
+            let mut victims: Vec<(bool, SimTime, u64, u32)> = st
+                .running
+                .iter()
+                .map(|r| (!r.interstitial, r.start, r.id, r.cpus))
+                .collect();
+            victims.sort_by_key(|&(native, start, id, _)| (native, std::cmp::Reverse(start), id));
+            let mut reclaimed = 0u32;
+            for (_, _, id, jcpus) in victims {
+                if reclaimed >= deficit {
+                    break;
+                }
+                self.fault_kill(now, node, id, st, q);
+                reclaimed += jcpus;
+            }
+        }
+        let taken = st.pool.take_offline(cpus);
+        debug_assert_eq!(taken, cpus, "node capacity not reclaimed before offlining");
+    }
+
+    /// Crash one running job for `node`'s failure. Native victims are
+    /// requeued at the head of the native queue with their original submit
+    /// instant (the wait clock spans the failure). Interstitial victims
+    /// re-enter under the retry policy's capped exponential backoff, from
+    /// scratch — any checkpoint is assumed lost with the node — until the
+    /// attempt budget or the horizon gives out. Partial work is wasted
+    /// either way.
+    fn fault_kill(
+        &mut self,
+        now: SimTime,
+        node: u32,
+        id: u64,
+        st: &mut RunState,
+        q: &mut EventQueue<Ev>,
+    ) {
+        let rj = st.running.remove(id);
+        st.pool.release(rj.cpus);
+        *st.void_events.entry(id).or_insert(0) += 1;
+        let job = st.live.remove(&id).expect("live payload");
+        let interstitial = job.class.is_interstitial();
+        st.faults.fault_wasted_cpu_seconds += rj.cpus as f64 * (now - rj.start).as_secs_f64();
+        st.faults.kills.push(machine::KilledJob {
+            job: id,
+            cpus: rj.cpus,
+            runtime_s: job.runtime.as_secs(),
+            interstitial,
+        });
+        self.obs.trace.record(
+            now,
+            EventKind::JobFailed {
+                job: id,
+                cpus: rj.cpus,
+                node,
+                interstitial,
+            },
+        );
+        self.obs.metrics.inc("faults.job_killed", 1);
+        let attempts = {
+            let a = st.retry_attempts.entry(id).or_insert(0);
+            *a += 1;
+            *a
+        };
+        if interstitial {
+            st.resume_meta.remove(&id);
+            let release = now + self.retry.backoff(attempts);
+            if self.retry.gives_up_after(attempts) || release + job.runtime > self.horizon {
+                st.faults.interstitial_given_up += 1;
+                self.obs.metrics.inc("faults.retry_given_up", 1);
+            } else {
+                st.faults.interstitial_retries += 1;
+                st.retry_pending.insert(id, job);
+                q.schedule(release, Ev::Retry(id));
+                self.obs.trace.record(
+                    now,
+                    EventKind::JobRequeued {
+                        job: id,
+                        attempt: attempts,
+                    },
+                );
+                self.obs.metrics.inc("faults.retry_scheduled", 1);
+            }
+        } else {
+            st.faults.native_requeues += 1;
+            self.scheduler.requeue_front(job);
+            self.obs.trace.record(
+                now,
+                EventKind::JobRequeued {
+                    job: id,
+                    attempt: attempts,
+                },
+            );
+            self.obs.metrics.inc("faults.native_requeued", 1);
         }
     }
 
@@ -508,7 +685,10 @@ impl Simulator {
         self.obs.profiler.end("schedule-cycle", span);
     }
 
-    /// CPU-conservation invariant (no-op without `check-invariants`).
+    /// CPU-conservation and degraded-capacity invariants (no-ops without
+    /// `check-invariants`). Capacity is cross-checked against the fault
+    /// model's own timeline, not the pool's offline counter, so a missed
+    /// offline debit is caught rather than absorbed.
     fn check_conservation(&self, now: SimTime, st: &RunState) {
         sched::invariants::check_conservation(
             now,
@@ -517,6 +697,11 @@ impl Simulator {
             st.pool.free(),
             st.pool.offline(),
             st.pool.total(),
+        );
+        sched::invariants::check_capacity(
+            now,
+            st.pool.in_use(),
+            self.faults.available_cpus(now, st.pool.total()),
         );
     }
 
@@ -723,6 +908,37 @@ impl Simulator {
             self.obs.metrics.inc("jobs.started.resumed", 1);
             st.live.insert(id, susp.job);
             q.schedule(actual_end, Ev::Finish(id));
+        }
+
+        // Fault victims whose backoff expired restart before fresh
+        // submissions: their loss is sunk cost and they already hold stream
+        // budget. The Figure 1 guard still applies — a retry must not delay
+        // the native head any more than a fresh job may.
+        if !st.retry_ready.is_empty() {
+            let ready = std::mem::take(&mut st.retry_ready);
+            for job in ready {
+                let (_, _, policy) = self.streams[job.user as usize];
+                if now + job.runtime > self.horizon {
+                    st.faults.interstitial_given_up += 1;
+                    self.obs.metrics.inc("faults.retry_given_up", 1);
+                } else if st.pool.can_fit(job.cpus)
+                    && policy.cap_allowance(st.pool.in_use(), st.pool.total(), job.cpus) != 0
+                    && self.stream_guard_ok(now, &policy, job.runtime)
+                {
+                    self.obs.metrics.inc("faults.retry_started", 1);
+                    Self::start_job(
+                        now,
+                        job,
+                        st,
+                        q,
+                        true,
+                        StartKind::Interstitial,
+                        &mut self.obs,
+                    );
+                } else {
+                    st.retry_ready.push(job);
+                }
+            }
         }
 
         // Per-stream eligibility this cycle: (index, cpus, dur, budget).
@@ -1530,6 +1746,164 @@ mod tests {
             out.obs.run_report().to_json_deterministic(),
             again.obs.run_report().to_json_deterministic()
         );
+    }
+
+    #[test]
+    fn node_failure_kills_the_native_and_requeues_it_at_the_head() {
+        use machine::{FaultModel, NodeFaults, OutageSchedule};
+        // One node owns the whole 64-CPU machine and dies over [100, 200).
+        // The running native is crashed at t=100, requeued, and restarts
+        // the moment the node is repaired; its wait clock spans the outage.
+        let faults = FaultModel::none().with_nodes(vec![NodeFaults {
+            cpus: 64,
+            schedule: OutageSchedule::from_windows(vec![(
+                SimTime::from_secs(100),
+                SimTime::from_secs(200),
+            )]),
+        }]);
+        let out = SimBuilder::new(tiny_machine())
+            .natives(vec![native(1, 0, 64, 500, 600)])
+            .horizon(SimTime::from_secs(10_000))
+            .faults(faults)
+            .build()
+            .run();
+        let c = out.natives().next().unwrap();
+        assert_eq!(c.start, SimTime::from_secs(200), "restarts at repair");
+        assert_eq!(c.finish, SimTime::from_secs(700), "full rerun from scratch");
+        assert_eq!(
+            c.wait(),
+            SimDuration::from_secs(200),
+            "wait spans the failure"
+        );
+        assert_eq!(out.faults.node_failures, 1);
+        assert_eq!(out.faults.node_repairs, 1);
+        assert_eq!(out.faults.native_requeues, 1);
+        assert_eq!(out.faults.total_kills(), 1);
+        assert!(!out.faults.kills[0].interstitial);
+        // 64 CPUs × 100 s of progress discarded.
+        assert!((out.faults.fault_wasted_cpu_seconds - 6_400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_failure_sacrifices_interstitial_before_native() {
+        use machine::{FaultModel, NodeFaults, OutageSchedule};
+        // Native holds 32 CPUs [0,1000); two 16-CPU interstitial jobs fill
+        // the rest. A 16-CPU node dies at t=50 with zero idle CPUs: the
+        // youngest interstitial job is crashed, the native is untouched,
+        // and the victim retries (from scratch) once capacity frees up.
+        let faults = FaultModel::none().with_nodes(vec![NodeFaults {
+            cpus: 16,
+            schedule: OutageSchedule::from_windows(vec![(
+                SimTime::from_secs(50),
+                SimTime::from_secs(20_000),
+            )]),
+        }]);
+        let out = SimBuilder::new(tiny_machine())
+            .natives(vec![native(1, 0, 32, 1_000, 1_200)])
+            .horizon(SimTime::from_secs(20_000))
+            .faults(faults)
+            .interstitial(
+                InterstitialProject::per_paper(2, 16, 600.0),
+                InterstitialMode::Continual,
+                InterstitialPolicy::default(),
+            )
+            .build()
+            .run();
+        // The native never noticed the failure.
+        let n = out.natives().next().unwrap();
+        assert_eq!(n.start, SimTime::ZERO);
+        assert_eq!(n.finish, SimTime::from_secs(1_000));
+        assert_eq!(out.faults.total_kills(), 1);
+        assert!(out.faults.kills[0].interstitial);
+        assert_eq!(out.faults.native_requeues, 0);
+        assert_eq!(out.faults.interstitial_retries, 1);
+        // Both interstitial jobs still complete: the survivor finishes at
+        // t=600, freeing the CPUs the victim (backoff expired at t=110)
+        // restarts on — a fresh 600 s run ending at 1200.
+        assert_eq!(out.interstitial_completed(), 2);
+        let last = out.interstitials().map(|c| c.finish).max().unwrap();
+        assert_eq!(last, SimTime::from_secs(1_200));
+        assert!((out.faults.fault_wasted_cpu_seconds - 16.0 * 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retry_exhaustion_abandons_the_job() {
+        use crate::policy::RetryPolicy;
+        use machine::{FaultModel, NodeFaults, OutageSchedule};
+        // A node covering the whole machine fails twice; a 2-attempt budget
+        // means the second kill abandons the job for good.
+        let faults = FaultModel::none().with_nodes(vec![NodeFaults {
+            cpus: 64,
+            schedule: OutageSchedule::from_windows(vec![
+                (SimTime::from_secs(10), SimTime::from_secs(20)),
+                (SimTime::from_secs(100), SimTime::from_secs(110)),
+            ]),
+        }]);
+        let out = SimBuilder::new(tiny_machine())
+            .natives(vec![])
+            .horizon(SimTime::from_secs(5_000))
+            .faults(faults)
+            .retry(RetryPolicy {
+                base_delay: SimDuration::from_secs(5),
+                max_delay: SimDuration::from_secs(5),
+                max_attempts: 2,
+            })
+            .interstitial(
+                InterstitialProject::per_paper(1, 64, 1_000.0),
+                InterstitialMode::Continual,
+                InterstitialPolicy::default(),
+            )
+            .build()
+            .run();
+        assert_eq!(out.interstitial_started, 1);
+        assert_eq!(out.interstitial_completed(), 0, "both runs were crashed");
+        assert_eq!(out.faults.interstitial_retries, 1);
+        assert_eq!(out.faults.interstitial_given_up, 1);
+        assert_eq!(out.faults.total_kills(), 2);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_and_stamp_schema_v2() {
+        use machine::{FaultModel, FaultSpec};
+        use obs::Obs;
+        let spec = FaultSpec::parse("mtbf=2000,mttr=300,nodes=8,seed=11").unwrap();
+        let horizon = SimTime::from_secs(50_000);
+        let jobs: Arc<Vec<Job>> = Arc::new(
+            (0..40)
+                .map(|i| native(i + 1, i * 300, 1 << (i % 6), 400 + i * 11, 600 + i * 11))
+                .collect(),
+        );
+        let run = || {
+            SimBuilder::new(tiny_machine())
+                .natives_arc(Arc::clone(&jobs))
+                .horizon(horizon)
+                .faults(FaultModel::synthesize(&spec, 64, horizon))
+                .interstitial(
+                    InterstitialProject::per_paper(100_000, 8, 150.0),
+                    InterstitialMode::Continual,
+                    InterstitialPolicy::default(),
+                )
+                .observer(Obs::enabled())
+                .build()
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert!(a.faults.node_failures > 0, "spec should inject failures");
+        assert_eq!(a.obs.trace.to_jsonl(), b.obs.trace.to_jsonl());
+        assert_eq!(a.faults.native_requeues, b.faults.native_requeues);
+        assert_eq!(a.faults.interstitial_retries, b.faults.interstitial_retries);
+        assert_eq!(
+            a.faults.interstitial_given_up,
+            b.faults.interstitial_given_up
+        );
+        assert_eq!(a.faults.total_kills(), b.faults.total_kills());
+        assert!(
+            a.obs.trace.to_jsonl().starts_with("{\"schema\":2"),
+            "fault events upgrade the header"
+        );
+        // Every native still completes, however battered the machine.
+        assert_eq!(a.native_completed(), 40);
     }
 
     #[test]

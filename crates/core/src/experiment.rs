@@ -219,6 +219,8 @@ mod tests {
             interstitial_killed: 0,
             wasted_cpu_seconds: 0.0,
             sim_end: SimTime::from_secs(horizon_s),
+            fault_model: machine::FaultModel::none(),
+            faults: machine::FaultStats::default(),
             obs: obs::Obs::disabled(),
         }
     }

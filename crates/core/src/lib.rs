@@ -66,14 +66,14 @@ pub mod sweep;
 pub mod theory;
 
 pub use driver::{SimBuilder, Simulator};
-pub use policy::{InterstitialMode, InterstitialPolicy};
+pub use policy::{InterstitialMode, InterstitialPolicy, RetryPolicy};
 pub use project::InterstitialProject;
 pub use report::SimOutput;
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
     pub use crate::driver::{SimBuilder, Simulator};
-    pub use crate::policy::{InterstitialMode, InterstitialPolicy};
+    pub use crate::policy::{InterstitialMode, InterstitialPolicy, RetryPolicy};
     pub use crate::project::InterstitialProject;
     pub use crate::report::SimOutput;
 }

@@ -1,6 +1,6 @@
 //! Interstitial submission knobs.
 
-use simkit::time::SimTime;
+use simkit::time::{SimDuration, SimTime};
 
 /// When interstitial jobs flow.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -98,6 +98,53 @@ impl InterstitialPolicy {
     }
 }
 
+/// Retry handling for interstitial jobs killed by node failures.
+///
+/// Fault victims are retried with capped exponential backoff: attempt `k`
+/// (1-based) is released `min(base_delay × 2^(k−1), max_delay)` after the
+/// kill, until `max_attempts` kills exhaust the budget and the job is
+/// abandoned. The schedule is a pure function of the policy — no random
+/// jitter — so identical seeds replay identical retry timelines
+/// (Dubenskaya & Polyakov's cheap-retry premise for background streams).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub base_delay: SimDuration,
+    /// Ceiling on the backoff growth.
+    pub max_delay: SimDuration,
+    /// Fault kills a job may absorb before it is abandoned.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_delay: SimDuration::from_secs(60),
+            max_delay: SimDuration::from_secs(3600),
+            max_attempts: 5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry `attempt` (1-based): capped exponential,
+    /// saturating rather than overflowing for absurd attempt counts.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let base = self.base_delay.as_secs().max(1);
+        let factor = 1u64
+            .checked_shl(attempt.saturating_sub(1))
+            .unwrap_or(u64::MAX);
+        let delay = base.saturating_mul(factor);
+        SimDuration::from_secs(delay.min(self.max_delay.as_secs().max(base)))
+    }
+
+    /// True when a job killed `attempts` times should be abandoned instead
+    /// of retried.
+    pub fn gives_up_after(&self, attempts: u32) -> bool {
+        attempts >= self.max_attempts
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +181,49 @@ mod tests {
         let p = InterstitialPolicy::preempting(Preemption::Checkpoint);
         assert_eq!(p.preemption, Preemption::Checkpoint);
         assert_eq!(p.utilization_cap, None, "other knobs keep defaults");
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let r = RetryPolicy {
+            base_delay: SimDuration::from_secs(30),
+            max_delay: SimDuration::from_secs(200),
+            max_attempts: 4,
+        };
+        assert_eq!(r.backoff(1), SimDuration::from_secs(30));
+        assert_eq!(r.backoff(2), SimDuration::from_secs(60));
+        assert_eq!(r.backoff(3), SimDuration::from_secs(120));
+        assert_eq!(r.backoff(4), SimDuration::from_secs(200), "capped");
+        assert_eq!(r.backoff(100), SimDuration::from_secs(200), "no overflow");
+        assert!(!r.gives_up_after(3));
+        assert!(r.gives_up_after(4));
+        assert!(r.gives_up_after(5));
+    }
+
+    #[test]
+    fn backoff_is_a_pure_function() {
+        // No hidden state: every call with the same attempt yields the same
+        // delay, across policy copies.
+        let r = RetryPolicy::default();
+        let s = r;
+        for attempt in 1..50 {
+            assert_eq!(r.backoff(attempt), s.backoff(attempt));
+        }
+        // Monotone non-decreasing up to the cap.
+        for attempt in 1..49 {
+            assert!(r.backoff(attempt + 1) >= r.backoff(attempt));
+        }
+    }
+
+    #[test]
+    fn degenerate_backoff_stays_positive() {
+        let r = RetryPolicy {
+            base_delay: SimDuration::ZERO,
+            max_delay: SimDuration::ZERO,
+            max_attempts: 1,
+        };
+        // A zero-delay policy still schedules retries strictly later.
+        assert_eq!(r.backoff(1), SimDuration::from_secs(1));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! populations. The free-capacity profile built here feeds §4.1's
 //! omniscient packing.
 
-use machine::MachineConfig;
+use machine::{FaultModel, FaultStats, MachineConfig};
 use simkit::series::StepFunction;
 use simkit::time::SimTime;
 use workload::CompletedJob;
@@ -20,8 +20,9 @@ pub struct SimOutput {
     pub horizon: SimTime,
     /// Every job that completed, in finish order.
     pub completed: Vec<CompletedJob>,
-    /// Interstitial jobs started (equals completions: jobs are
-    /// non-preemptive and run to completion).
+    /// Distinct interstitial jobs started (equals completions under the
+    /// paper's fault-free non-preemptive model; with preemption or node
+    /// faults, killed-and-abandoned jobs make it an upper bound).
     pub interstitial_started: u64,
     /// Native jobs submitted into the simulation.
     pub native_submitted: u64,
@@ -33,6 +34,12 @@ pub struct SimOutput {
     pub wasted_cpu_seconds: f64,
     /// Instant the last event was processed.
     pub sim_end: SimTime,
+    /// The fault model the run was driven by ([`FaultModel::none`] unless
+    /// configured via [`crate::driver::SimBuilder::faults`]).
+    pub fault_model: FaultModel,
+    /// Fault/recovery accounting: node boundaries processed, jobs killed,
+    /// requeues/retries/give-ups and the CPU·seconds they wasted.
+    pub faults: FaultStats,
     /// The observability bundle that rode along (disabled and empty unless
     /// the run was built with [`crate::driver::SimBuilder::observer`]).
     pub obs: obs::Obs,
@@ -182,6 +189,8 @@ mod tests {
             interstitial_killed: 0,
             wasted_cpu_seconds: 0.0,
             sim_end: SimTime::from_secs(1_000),
+            fault_model: FaultModel::none(),
+            faults: FaultStats::default(),
             obs: obs::Obs::disabled(),
         }
     }

@@ -11,6 +11,8 @@
 //!   estimated completion times; computes backfill *shadow times* and
 //!   free-capacity profiles.
 //! * [`outage`] — [`OutageSchedule`], full-machine downtime windows.
+//! * [`fault`] — [`FaultModel`], outages plus per-node failure/repair
+//!   processes yielding a time-varying capacity timeline.
 
 //!
 //! ```
@@ -25,11 +27,13 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod fault;
 pub mod outage;
 pub mod pool;
 pub mod running;
 
 pub use config::{MachineConfig, QueueSystem};
+pub use fault::{FaultModel, FaultSpec, FaultStats, KilledJob, NodeFaults};
 pub use outage::OutageSchedule;
 pub use pool::CpuPool;
 pub use running::{RunningJob, RunningSet};

@@ -64,25 +64,42 @@ impl OutageSchedule {
         &self.windows
     }
 
+    /// Index of the last window starting at or before `t`, if any. Because
+    /// the windows are sorted and disjoint, this is the only candidate that
+    /// can contain `t` — every query below is one binary search.
+    #[inline]
+    fn candidate(&self, t: SimTime) -> Option<usize> {
+        self.windows
+            .partition_point(|&(a, _)| a <= t)
+            .checked_sub(1)
+    }
+
     /// True if the machine is down at `t`.
     pub fn is_down(&self, t: SimTime) -> bool {
-        self.windows.iter().any(|&(a, b)| a <= t && t < b)
+        self.candidate(t).is_some_and(|i| t < self.windows[i].1)
     }
 
     /// If `t` falls inside an outage, the instant it ends; otherwise `t`.
     pub fn next_up(&self, t: SimTime) -> SimTime {
-        for &(a, b) in &self.windows {
-            if a <= t && t < b {
-                return b;
-            }
+        match self.candidate(t) {
+            Some(i) if t < self.windows[i].1 => self.windows[i].1,
+            _ => t,
         }
-        t
     }
 
-    /// Start of the first outage at or after `t`, if any — schedulers use
-    /// this to avoid starting a job that an imminent outage would forbid.
+    /// Start of the outage covering `t`, or of the first one after it —
+    /// schedulers use this to avoid starting a job that an imminent outage
+    /// would forbid. When `t` is already inside a window the *enclosing*
+    /// window's start is returned (≤ `t`), so callers probing mid-outage see
+    /// the outage they are in rather than "nothing coming".
     pub fn next_down(&self, t: SimTime) -> Option<SimTime> {
-        self.windows.iter().map(|&(a, _)| a).find(|&a| a >= t)
+        let after = self.windows.partition_point(|&(a, _)| a <= t);
+        if let Some(i) = after.checked_sub(1) {
+            if t < self.windows[i].1 {
+                return Some(self.windows[i].0);
+            }
+        }
+        self.windows.get(after).map(|&(a, _)| a)
     }
 
     /// Total downtime seconds overlapping `[t0, t1)`.
@@ -128,9 +145,21 @@ mod tests {
         assert_eq!(o.next_down(t(10)), Some(t(10)));
         assert_eq!(
             o.next_down(t(11)),
-            None,
-            "inside the window, next start is past"
+            Some(t(10)),
+            "inside the window, the enclosing start is returned"
         );
+        assert_eq!(o.next_down(t(20)), None, "past the last window");
+    }
+
+    #[test]
+    fn next_down_between_windows() {
+        let o = OutageSchedule::from_windows(vec![(t(10), t(20)), (t(40), t(60))]);
+        assert_eq!(o.next_down(t(25)), Some(t(40)));
+        assert_eq!(o.next_down(t(45)), Some(t(40)), "enclosing second window");
+        assert_eq!(o.next_down(t(60)), None);
+        assert!(o.is_down(t(45)) && !o.is_down(t(25)));
+        assert_eq!(o.next_up(t(45)), t(60));
+        assert_eq!(o.next_up(t(25)), t(25));
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Property tests for `OutageSchedule::from_windows` and the binary-search
+//! query paths: merge idempotence, disjointness, `downtime_in` additivity,
+//! and agreement between the `partition_point` queries and a brute-force
+//! linear reference.
+
+use machine::OutageSchedule;
+use simkit::rng::Rng;
+use simkit::time::{SimDuration, SimTime};
+
+fn t(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+/// A random bag of possibly-overlapping, possibly-empty windows.
+fn random_windows(rng: &mut Rng, count: usize, span: u64) -> Vec<(SimTime, SimTime)> {
+    (0..count)
+        .map(|_| {
+            let a = rng.below(span);
+            let len = rng.below(span / 4 + 1);
+            (t(a), t(a + len))
+        })
+        .collect()
+}
+
+#[test]
+fn from_windows_is_idempotent() {
+    // Re-normalizing an already-normalized schedule is a fixpoint.
+    for seed in 0..50u64 {
+        let mut rng = Rng::new(seed);
+        let raw = random_windows(&mut rng, 40, 10_000);
+        let once = OutageSchedule::from_windows(raw);
+        let twice = OutageSchedule::from_windows(once.windows().to_vec());
+        assert_eq!(once.windows(), twice.windows(), "seed {seed}");
+    }
+}
+
+#[test]
+fn from_windows_yields_sorted_disjoint_nonempty_windows() {
+    for seed in 0..50u64 {
+        let mut rng = Rng::new(seed);
+        let o = OutageSchedule::from_windows(random_windows(&mut rng, 60, 50_000));
+        for &(a, b) in o.windows() {
+            assert!(a < b, "empty window survived (seed {seed})");
+        }
+        for w in o.windows().windows(2) {
+            // Strictly separated: touching windows must have been merged.
+            assert!(w[0].1 < w[1].0, "overlap or touch (seed {seed}): {w:?}");
+        }
+    }
+}
+
+#[test]
+fn membership_is_preserved_by_normalization() {
+    // A point is down in the normalized schedule iff it was inside any raw
+    // window.
+    for seed in 0..20u64 {
+        let mut rng = Rng::new(seed);
+        let raw = random_windows(&mut rng, 25, 2_000);
+        let o = OutageSchedule::from_windows(raw.clone());
+        for probe in 0..2_500u64 {
+            let p = t(probe);
+            let reference = raw.iter().any(|&(a, b)| a <= p && p < b);
+            assert_eq!(o.is_down(p), reference, "seed {seed}, t={probe}");
+        }
+    }
+}
+
+#[test]
+fn downtime_in_is_additive_over_a_partition() {
+    // Splitting [t0, t2) at any midpoint must not change total downtime.
+    for seed in 0..30u64 {
+        let mut rng = Rng::new(seed);
+        let o = OutageSchedule::from_windows(random_windows(&mut rng, 30, 10_000));
+        let whole = o.downtime_in(t(0), t(20_000));
+        for &mid in &[0u64, 1, 777, 5_000, 9_999, 12_345, 20_000] {
+            let left = o.downtime_in(t(0), t(mid));
+            let right = o.downtime_in(t(mid), t(20_000));
+            assert_eq!(left + right, whole, "seed {seed}, split at {mid}");
+        }
+        // Many-way partition.
+        let mut sum = SimDuration::ZERO;
+        for k in 0..40u64 {
+            sum += o.downtime_in(t(k * 500), t((k + 1) * 500));
+        }
+        assert_eq!(sum, whole, "seed {seed}, 40-way partition");
+    }
+}
+
+#[test]
+fn binary_search_queries_agree_with_linear_reference() {
+    for seed in 0..20u64 {
+        let mut rng = Rng::new(seed);
+        let o = OutageSchedule::from_windows(random_windows(&mut rng, 35, 5_000));
+        let windows = o.windows();
+        for probe in 0..6_500u64 {
+            let p = t(probe);
+            // Linear reference for next_up: end of the window containing p.
+            let ref_up = windows
+                .iter()
+                .find(|&&(a, b)| a <= p && p < b)
+                .map_or(p, |&(_, b)| b);
+            assert_eq!(o.next_up(p), ref_up, "next_up seed {seed} t={probe}");
+            // Linear reference for next_down (enclosing-window semantics):
+            // the start of the window containing p, else the first start at
+            // or after p.
+            let ref_down = windows
+                .iter()
+                .find(|&&(a, b)| a <= p && p < b)
+                .map(|&(a, _)| a)
+                .or_else(|| windows.iter().map(|&(a, _)| a).find(|&a| a >= p));
+            assert_eq!(o.next_down(p), ref_down, "next_down seed {seed} t={probe}");
+        }
+    }
+}
+
+#[test]
+fn next_down_mid_outage_reports_the_enclosing_window() {
+    // The regression the satellite fix targets: probing mid-outage must see
+    // the outage we are in, not "nothing coming".
+    let o = OutageSchedule::from_windows(vec![(t(100), t(200)), (t(500), t(600))]);
+    assert_eq!(o.next_down(t(150)), Some(t(100)));
+    assert_eq!(o.next_down(t(550)), Some(t(500)));
+    assert!(o.next_down(t(150)).is_some_and(|d| o.is_down(d)));
+}

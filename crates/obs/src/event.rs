@@ -103,6 +103,60 @@ pub enum EventKind {
         /// True when the machine is up after this event.
         up: bool,
     },
+    /// A node failed, taking its CPUs out of service (schema v2).
+    NodeDown {
+        /// Node index within the fault model.
+        node: u32,
+        /// CPUs the node removes from capacity.
+        cpus: u32,
+    },
+    /// A failed node was repaired and rejoined the pool (schema v2).
+    NodeUp {
+        /// Node index within the fault model.
+        node: u32,
+        /// CPUs returned to capacity.
+        cpus: u32,
+    },
+    /// A running job was killed by a node failure (schema v2).
+    JobFailed {
+        /// Job id.
+        job: u64,
+        /// CPUs the job held.
+        cpus: u32,
+        /// The failing node's index.
+        node: u32,
+        /// True for interstitial jobs.
+        interstitial: bool,
+    },
+    /// A fault victim re-entered the system: a native victim requeued at
+    /// the queue head, or an interstitial victim released for a backoff
+    /// retry (schema v2).
+    JobRequeued {
+        /// Job id.
+        job: u64,
+        /// How many times this job has been fault-killed so far.
+        attempt: u32,
+    },
+}
+
+impl EventKind {
+    /// The minimum trace-schema version able to encode this event: 1 for
+    /// the original alphabet, 2 for the fault/retry extension. The sink
+    /// stamps the maximum over all recorded events onto the header, so
+    /// fault-free traces keep their schema-1 encoding bit-for-bit.
+    pub fn schema_version(&self) -> u64 {
+        match self {
+            EventKind::Submit { .. }
+            | EventKind::Start { .. }
+            | EventKind::Finish { .. }
+            | EventKind::Preempt { .. }
+            | EventKind::Outage { .. } => 1,
+            EventKind::NodeDown { .. }
+            | EventKind::NodeUp { .. }
+            | EventKind::JobFailed { .. }
+            | EventKind::JobRequeued { .. } => 2,
+        }
+    }
 }
 
 /// A fully tagged trace record: when, in which scheduling cycle, and what.
@@ -181,6 +235,42 @@ impl TraceEvent {
                 let first = json::push_str_field(out, first, "ev", "outage");
                 let _ = json::push_str_field(out, first, "up", if up { "true" } else { "false" });
             }
+            EventKind::NodeDown { node, cpus } => {
+                let first = json::push_str_field(out, first, "ev", "node_down");
+                let first = json::push_u64_field(out, first, "node", u64::from(node));
+                let _ = json::push_u64_field(out, first, "cpus", u64::from(cpus));
+            }
+            EventKind::NodeUp { node, cpus } => {
+                let first = json::push_str_field(out, first, "ev", "node_up");
+                let first = json::push_u64_field(out, first, "node", u64::from(node));
+                let _ = json::push_u64_field(out, first, "cpus", u64::from(cpus));
+            }
+            EventKind::JobFailed {
+                job,
+                cpus,
+                node,
+                interstitial,
+            } => {
+                let first = json::push_str_field(out, first, "ev", "job_failed");
+                let first = json::push_u64_field(out, first, "job", job);
+                let first = json::push_u64_field(out, first, "cpus", u64::from(cpus));
+                let first = json::push_u64_field(out, first, "node", u64::from(node));
+                let _ = json::push_str_field(
+                    out,
+                    first,
+                    "class",
+                    if interstitial {
+                        "interstitial"
+                    } else {
+                        "native"
+                    },
+                );
+            }
+            EventKind::JobRequeued { job, attempt } => {
+                let first = json::push_str_field(out, first, "ev", "job_requeued");
+                let first = json::push_u64_field(out, first, "job", job);
+                let _ = json::push_u64_field(out, first, "attempt", u64::from(attempt));
+            }
         }
         out.push('}');
     }
@@ -230,6 +320,15 @@ mod tests {
                 kind: PreemptKind::Checkpoint,
             },
             EventKind::Outage { up: false },
+            EventKind::NodeDown { node: 3, cpus: 8 },
+            EventKind::NodeUp { node: 3, cpus: 8 },
+            EventKind::JobFailed {
+                job: 1,
+                cpus: 2,
+                node: 3,
+                interstitial: true,
+            },
+            EventKind::JobRequeued { job: 1, attempt: 2 },
         ];
         for k in kinds {
             let mut s = String::new();
@@ -242,5 +341,31 @@ mod tests {
             assert!(s.starts_with("{\"t\":0,\"cycle\":0,\"ev\":\""), "{s}");
             assert!(s.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn fault_events_need_schema_v2() {
+        assert_eq!(EventKind::Outage { up: true }.schema_version(), 1);
+        assert_eq!(EventKind::NodeDown { node: 0, cpus: 4 }.schema_version(), 2);
+        assert_eq!(
+            EventKind::JobRequeued { job: 1, attempt: 1 }.schema_version(),
+            2
+        );
+        let ev = TraceEvent {
+            t: SimTime::from_secs(9),
+            cycle: 2,
+            kind: EventKind::JobFailed {
+                job: 5,
+                cpus: 16,
+                node: 1,
+                interstitial: false,
+            },
+        };
+        let mut s = String::new();
+        ev.write_jsonl(&mut s);
+        assert_eq!(
+            s,
+            "{\"t\":9,\"cycle\":2,\"ev\":\"job_failed\",\"job\":5,\"cpus\":16,\"node\":1,\"class\":\"native\"}"
+        );
     }
 }

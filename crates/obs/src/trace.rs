@@ -12,11 +12,16 @@ use crate::event::{EventKind, TraceEvent};
 use crate::json;
 use simkit::time::SimTime;
 
-/// Version of the JSONL trace encoding. Stamped on the header line of every
-/// enabled trace; readers (tracekit) reject other versions. Bump it on any
-/// change to the event field set, ordering or value encoding documented in
-/// `crates/obs/SCHEMA.md`.
+/// Baseline version of the JSONL trace encoding: the original event
+/// alphabet (submit/start/finish/preempt/outage). Traces containing only
+/// these events stamp this version, keeping fault-free traces bit-for-bit
+/// stable across the v2 extension.
 pub const SCHEMA_VERSION: u64 = 1;
+
+/// Version stamped when a trace contains fault/retry events
+/// (`node_down`/`node_up`/`job_failed`/`job_requeued`). Readers (tracekit)
+/// accept both versions; see `crates/obs/SCHEMA.md`.
+pub const SCHEMA_VERSION_FAULTS: u64 = 2;
 
 /// An append-only, cycle-stamped event log.
 #[derive(Clone, Debug, Default)]
@@ -95,6 +100,16 @@ impl TraceSink {
         });
     }
 
+    /// The schema version the header will stamp: the maximum any recorded
+    /// event requires. Fault-free traces stay schema 1 bit-for-bit.
+    pub fn schema_version(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| e.kind.schema_version())
+            .max()
+            .unwrap_or(SCHEMA_VERSION)
+    }
+
     /// Number of events recorded so far.
     pub fn recorded(&self) -> u64 {
         self.events.len() as u64
@@ -121,7 +136,7 @@ impl TraceSink {
         // Rough per-line budget keeps reallocation out of serialization.
         let mut out = String::with_capacity(self.events.len() * 96 + 64);
         out.push('{');
-        let first = json::push_u64_field(&mut out, true, "schema", SCHEMA_VERSION);
+        let first = json::push_u64_field(&mut out, true, "schema", self.schema_version());
         if let Some((name, cpus)) = self.machine {
             let first = json::push_str_field(&mut out, first, "machine", name);
             let _ = json::push_u64_field(&mut out, first, "cpus", u64::from(cpus));
@@ -202,5 +217,19 @@ mod tests {
         off.set_machine("Ross", 1436);
         assert_eq!(off.machine(), None);
         assert_eq!(off.to_jsonl(), "");
+    }
+
+    #[test]
+    fn header_upgrades_to_v2_only_when_fault_events_present() {
+        let mut sink = TraceSink::enabled();
+        sink.record(SimTime::ZERO, EventKind::Outage { up: false });
+        assert_eq!(sink.schema_version(), SCHEMA_VERSION);
+        assert_eq!(sink.to_jsonl().lines().next(), Some("{\"schema\":1}"));
+        sink.record(
+            SimTime::from_secs(10),
+            EventKind::NodeDown { node: 2, cpus: 8 },
+        );
+        assert_eq!(sink.schema_version(), SCHEMA_VERSION_FAULTS);
+        assert_eq!(sink.to_jsonl().lines().next(), Some("{\"schema\":2}"));
     }
 }

@@ -69,6 +69,25 @@ pub fn check_conservation(
 ) {
 }
 
+/// Assert the degraded-capacity invariant: occupancy never exceeds the
+/// CPUs currently in service. `available` is the fault model's capacity at
+/// `now` (total minus failed-node CPUs); a violation means the scheduler
+/// planned jobs onto failed nodes, or a node failure did not evict its
+/// tenants before its CPUs went offline.
+#[cfg(feature = "check-invariants")]
+pub fn check_capacity(now: SimTime, in_use: u32, available: u32) {
+    assert!(
+        in_use <= available,
+        "invariant: {in_use} CPUs occupied but only {available} in service at {now:?} \
+         (jobs are running on failed nodes)"
+    );
+}
+
+/// No-op stand-in when the feature is off.
+#[cfg(not(feature = "check-invariants"))]
+#[inline(always)]
+pub fn check_capacity(_now: SimTime, _in_use: u32, _available: u32) {}
+
 /// Assert the meta-backfill no-delay guarantee: given the head native job's
 /// reservation captured *before* interstitial placement, recompute it
 /// against the post-placement running set and verify the projected start
@@ -182,6 +201,19 @@ mod tests {
         let mut rs = RunningSet::new();
         rs.insert(rj(1, 6, 100, false));
         check_conservation(t(0), &rs, 6, 3, 0, 10);
+    }
+
+    #[test]
+    fn capacity_accepts_occupancy_within_service() {
+        check_capacity(t(0), 0, 0);
+        check_capacity(t(5), 48, 48);
+        check_capacity(t(5), 10, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "running on failed nodes")]
+    fn capacity_catches_oversubscribed_service() {
+        check_capacity(t(9), 49, 48);
     }
 
     #[test]

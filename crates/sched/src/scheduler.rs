@@ -32,6 +32,10 @@ pub struct Scheduler {
     pub max_dispatchable_per_user: Option<u32>,
     fairshare: FairShare,
     queue: Vec<Job>,
+    /// Jobs requeued after a fault kill: they outrank every priority policy
+    /// until they restart (the work was already admitted once; a node crash
+    /// must not send its victim to the back of the line).
+    boosted: std::collections::BTreeSet<u64>,
     last_head_reservation: Option<Reservation>,
     counters: Counters,
 }
@@ -63,6 +67,7 @@ impl Scheduler {
             max_dispatchable_per_user: None,
             fairshare: FairShare::new(fairshare_half_life),
             queue: Vec::new(),
+            boosted: std::collections::BTreeSet::new(),
             last_head_reservation: None,
             counters: Counters::default(),
         }
@@ -118,6 +123,33 @@ impl Scheduler {
         self.queue.push(job);
     }
 
+    /// Requeue a fault-killed native job at the head of the queue: it keeps
+    /// its original submit instant and jumps every priority policy until it
+    /// starts again. Multiple boosted jobs keep their relative priority
+    /// order among themselves.
+    pub fn requeue_front(&mut self, job: Job) {
+        self.boosted.insert(job.id);
+        self.queue.push(job);
+    }
+
+    /// Number of jobs currently holding a requeue boost.
+    pub fn boosted_len(&self) -> usize {
+        self.boosted.len()
+    }
+
+    /// Priority-order the queue, then float requeued victims to the front
+    /// (stable: boosted jobs keep their policy order among themselves, as
+    /// do the rest). No-op beyond the policy sort when nothing is boosted —
+    /// the fault-free path is byte-identical to the pre-fault scheduler.
+    fn order_queue(&mut self, now: SimTime) {
+        self.priority
+            .order_aged(&mut self.queue, &self.fairshare, now, self.aging_weight);
+        if !self.boosted.is_empty() {
+            let boosted = &self.boosted;
+            self.queue.sort_by_key(|j| !boosted.contains(&j.id));
+        }
+    }
+
     /// Jobs waiting (not running).
     pub fn queue_len(&self) -> usize {
         self.queue.len()
@@ -150,8 +182,7 @@ impl Scheduler {
     /// The job currently at the head of the queue under this policy's
     /// priorities (sorts the queue as a side effect, as a cycle would).
     pub fn head_job(&mut self, now: SimTime) -> Option<Job> {
-        self.priority
-            .order_aged(&mut self.queue, &self.fairshare, now, self.aging_weight);
+        self.order_queue(now);
         self.queue.first().copied()
     }
 
@@ -209,8 +240,7 @@ impl Scheduler {
             self.last_head_reservation = None;
             return DispatchPlan::default();
         }
-        self.priority
-            .order_aged(&mut self.queue, &self.fairshare, now, self.aging_weight);
+        self.order_queue(now);
         let eligible = self.dispatchable();
         let plan = if eligible.is_empty() {
             DispatchPlan::default()
@@ -236,6 +266,9 @@ impl Scheduler {
             let started: std::collections::BTreeSet<u64> =
                 plan.starts.iter().map(|j| j.id).collect();
             self.queue.retain(|j| !started.contains(&j.id));
+            if !self.boosted.is_empty() {
+                self.boosted.retain(|id| !started.contains(id));
+            }
         }
         plan
     }
@@ -251,8 +284,7 @@ impl Scheduler {
         free: u32,
         running: &RunningSet,
     ) -> Option<Reservation> {
-        self.priority
-            .order_aged(&mut self.queue, &self.fairshare, now, self.aging_weight);
+        self.order_queue(now);
         let eligible = self.dispatchable();
         backfill::plan(self.backfill, &eligible, now, free, running, self.window).head_reservation
     }
@@ -441,6 +473,57 @@ mod tests {
         assert_eq!(c.cycles, 1);
         assert_eq!(c.backfill_starts, 1);
         assert_eq!(c.inorder_starts, 0);
+    }
+
+    #[test]
+    fn requeued_job_jumps_to_the_head() {
+        let mut s = Scheduler::pbs();
+        let mut rs = RunningSet::new();
+        // Machine busy so nothing dispatches while we inspect ordering.
+        rs.insert(RunningJob {
+            id: 99,
+            cpus: 10,
+            start: t(0),
+            actual_end: t(10_000),
+            estimated_end: t(10_000),
+            interstitial: false,
+        });
+        // User 1 is heavily charged → their fresh submission sorts last…
+        s.charge_finish(t(0), &job(50, 1, 10, 100_000));
+        s.submit(job(1, 2, 4, 100));
+        s.submit(job(2, 3, 4, 100));
+        // …but a requeued fault victim owned by user 1 still takes the head.
+        s.requeue_front(job(7, 1, 4, 100));
+        assert_eq!(s.boosted_len(), 1);
+        assert_eq!(s.head_job(t(10)).unwrap().id, 7);
+        // Once CPUs free up, the boosted job starts first and sheds its
+        // boost.
+        let rs = RunningSet::new();
+        let starts = s.cycle(t(20), 4, &rs, true);
+        assert_eq!(starts.first().map(|j| j.id), Some(7));
+        assert_eq!(s.boosted_len(), 0);
+    }
+
+    #[test]
+    fn boosted_jobs_keep_relative_order() {
+        let mut s = Scheduler::lsf();
+        let mut rs = RunningSet::new();
+        rs.insert(RunningJob {
+            id: 99,
+            cpus: 10,
+            start: t(0),
+            actual_end: t(10_000),
+            estimated_end: t(10_000),
+            interstitial: false,
+        });
+        s.submit(job(1, 1, 4, 100));
+        s.requeue_front(job(10, 2, 4, 100));
+        s.requeue_front(job(11, 3, 4, 100));
+        s.cycle(t(5), 0, &rs, true);
+        // Both boosted jobs precede the ordinary submission; the head
+        // reservation belongs to one of them.
+        let head = s.head_job(t(5)).unwrap();
+        assert!(head.id == 10 || head.id == 11);
     }
 
     #[test]

@@ -179,6 +179,21 @@ mod tests {
     }
 
     #[test]
+    fn determinism_rules_cover_the_fault_subsystem() {
+        // The fault-injection path runs through all of these crates
+        // (model synthesis, kill/requeue scheduling, event recording,
+        // trace parsing, resilience reporting). Same-seed replay of a
+        // faulted run is an acceptance criterion, so none of them may
+        // drop out of the determinism lint's scope.
+        for krate in ["machine", "sched", "core", "obs", "tracekit", "analysis"] {
+            assert!(
+                DETERMINISM_CRATES.contains(&krate),
+                "{krate} hosts fault-subsystem code and must stay determinism-linted"
+            );
+        }
+    }
+
+    #[test]
     fn r1_flags_hash_collections_in_sim_crates() {
         let src = "use std::collections::HashMap;\nstruct S { m: HashSet<u32> }\n";
         let v = lint_source("crates/sched/src/x.rs", src);

@@ -89,6 +89,36 @@ pub enum Transition {
         /// Machine state after the event.
         up: bool,
     },
+    /// A node failed or was repaired (schema v2), moving its CPUs out of
+    /// or back into service.
+    NodeEdge {
+        /// Node index.
+        node: u32,
+        /// CPUs the node holds.
+        cpus: u32,
+        /// True when the node is back in service after this event.
+        up: bool,
+    },
+    /// A running job was crashed by a node failure (schema v2). Native
+    /// victims rejoin the waiting set (the requeue-at-head recovery);
+    /// interstitial victims leave the live state until a later start.
+    Failed {
+        /// Job id.
+        id: u64,
+        /// CPUs the job held.
+        cpus: u32,
+        /// True for interstitial jobs.
+        interstitial: bool,
+        /// Start of the interrupted segment, when observed.
+        start: Option<SimTime>,
+    },
+    /// A fault victim re-entered the system (requeue or retry release).
+    Requeued {
+        /// Job id.
+        id: u64,
+        /// Fault kills absorbed so far.
+        attempt: u32,
+    },
     /// The event contradicts reconstructed state (duplicate submit,
     /// finish without start, …); counters were left untouched where the
     /// contradiction made them unknowable.
@@ -103,6 +133,8 @@ pub struct Occupancy {
     up: bool,
     native_busy: u32,
     inter_busy: u32,
+    /// CPUs on failed nodes (schema v2 traces; 0 otherwise).
+    offline: u32,
     running: BTreeMap<u64, Running>,
     waiting: BTreeMap<u64, Waiting>,
     peak_tracked: usize,
@@ -141,10 +173,17 @@ impl Occupancy {
         self.inter_busy
     }
 
-    /// Free CPUs, when the machine size is known.
+    /// CPUs out of service on failed nodes (nonzero only while a schema-v2
+    /// trace has nodes down).
+    pub fn offline(&self) -> u32 {
+        self.offline
+    }
+
+    /// Free CPUs, when the machine size is known: total minus busy minus
+    /// failed-node CPUs.
     pub fn free(&self) -> Option<u32> {
         self.total
-            .map(|t| t.saturating_sub(self.native_busy + self.inter_busy))
+            .map(|t| t.saturating_sub(self.native_busy + self.inter_busy + self.offline))
     }
 
     /// The waiting native set, keyed by job id.
@@ -284,6 +323,51 @@ impl Occupancy {
                 self.up = up;
                 Transition::OutageEdge { up }
             }
+            EventKind::NodeDown { node, cpus } => {
+                self.offline = self.offline.saturating_add(cpus);
+                Transition::NodeEdge {
+                    node,
+                    cpus,
+                    up: false,
+                }
+            }
+            EventKind::NodeUp { node, cpus } => {
+                self.offline = self.offline.saturating_sub(cpus);
+                Transition::NodeEdge {
+                    node,
+                    cpus,
+                    up: true,
+                }
+            }
+            EventKind::JobFailed {
+                job,
+                cpus,
+                interstitial,
+                ..
+            } => match self.running.remove(&job) {
+                Some(r) => {
+                    if r.interstitial {
+                        self.inter_busy = self.inter_busy.saturating_sub(r.cpus);
+                    } else {
+                        self.native_busy = self.native_busy.saturating_sub(r.cpus);
+                        // The requeue-at-head recovery: the victim is back
+                        // in the queue. Its original submit instant is long
+                        // gone from the live state, so the failure instant
+                        // stands in (waits measured from here understate
+                        // the victim's true wait; the Finish event carries
+                        // the writer's exact figure).
+                        self.waiting.insert(job, Waiting { cpus, submit: ev.t });
+                    }
+                    Transition::Failed {
+                        id: job,
+                        cpus,
+                        interstitial,
+                        start: Some(r.start),
+                    }
+                }
+                None => self.inconsistent("fault kill of a job that is not running"),
+            },
+            EventKind::JobRequeued { job, attempt } => Transition::Requeued { id: job, attempt },
         };
         self.peak_tracked = self.peak_tracked.max(self.tracked_jobs());
         out
@@ -435,5 +519,90 @@ mod tests {
         ));
         assert_eq!(occ.inconsistencies(), 3);
         assert_eq!(occ.native_busy(), 4, "counters survive bad events");
+    }
+
+    #[test]
+    fn node_edges_move_cpus_out_of_service() {
+        let mut occ = Occupancy::new(Some(64));
+        assert_eq!(occ.free(), Some(64));
+        let tr = occ.apply(&ev(10, EventKind::NodeDown { node: 3, cpus: 16 }));
+        assert_eq!(
+            tr,
+            Transition::NodeEdge {
+                node: 3,
+                cpus: 16,
+                up: false,
+            }
+        );
+        assert_eq!(occ.offline(), 16);
+        assert_eq!(occ.free(), Some(48));
+        occ.apply(&ev(20, EventKind::NodeUp { node: 3, cpus: 16 }));
+        assert_eq!(occ.offline(), 0);
+        assert_eq!(occ.free(), Some(64));
+    }
+
+    #[test]
+    fn fault_kill_requeues_the_native_victim() {
+        let mut occ = Occupancy::new(Some(64));
+        occ.apply(&submit(0, 1, 16, false));
+        occ.apply(&start(5, 1, 16, StartKind::InOrder));
+        let tr = occ.apply(&ev(
+            50,
+            EventKind::JobFailed {
+                job: 1,
+                cpus: 16,
+                node: 2,
+                interstitial: false,
+            },
+        ));
+        assert_eq!(
+            tr,
+            Transition::Failed {
+                id: 1,
+                cpus: 16,
+                interstitial: false,
+                start: Some(SimTime::from_secs(5)),
+            }
+        );
+        assert_eq!(occ.native_busy(), 0);
+        assert_eq!(occ.waiting().len(), 1, "native victim is waiting again");
+        let tr = occ.apply(&ev(50, EventKind::JobRequeued { job: 1, attempt: 1 }));
+        assert_eq!(tr, Transition::Requeued { id: 1, attempt: 1 });
+        occ.apply(&start(60, 1, 16, StartKind::InOrder));
+        assert_eq!(occ.native_busy(), 16);
+        assert_eq!(occ.inconsistencies(), 0);
+    }
+
+    #[test]
+    fn fault_kill_of_an_interstitial_leaves_no_residue() {
+        let mut occ = Occupancy::new(Some(64));
+        let id = 1 << 40;
+        occ.apply(&submit(0, id, 8, true));
+        occ.apply(&start(0, id, 8, StartKind::Interstitial));
+        occ.apply(&ev(
+            30,
+            EventKind::JobFailed {
+                job: id,
+                cpus: 8,
+                node: 0,
+                interstitial: true,
+            },
+        ));
+        assert_eq!(occ.inter_busy(), 0);
+        assert_eq!(occ.waiting().len(), 0, "retry is not a queue entry");
+        assert_eq!(occ.tracked_jobs(), 0);
+        // A fault kill of a job never seen running is a contradiction.
+        assert!(matches!(
+            occ.apply(&ev(
+                40,
+                EventKind::JobFailed {
+                    job: 99,
+                    cpus: 4,
+                    node: 0,
+                    interstitial: false,
+                },
+            )),
+            Transition::Inconsistent(_)
+        ));
     }
 }

@@ -129,7 +129,7 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Every field schema 1 can carry, collected in one pass.
+/// Every field schemas 1 and 2 can carry, collected in one pass.
 #[derive(Default)]
 struct Fields<'a> {
     t: Option<u64>,
@@ -139,6 +139,8 @@ struct Fields<'a> {
     estimate_s: Option<u64>,
     wait_s: Option<u64>,
     schema: Option<u64>,
+    node: Option<u64>,
+    attempt: Option<u64>,
     ev: Option<&'a str>,
     class: Option<&'a str>,
     kind: Option<&'a str>,
@@ -168,7 +170,7 @@ fn req<T>(v: Option<T>, key: &str) -> Result<T, ParseError> {
 }
 
 fn cpus_u32(n: u64) -> Result<u32, ParseError> {
-    u32::try_from(n).or_else(|_| err(format!("cpus value {n} exceeds u32")))
+    u32::try_from(n).or_else(|_| err(format!("field value {n} exceeds u32")))
 }
 
 fn interstitial_of(class: &str) -> Result<bool, ParseError> {
@@ -199,6 +201,8 @@ pub fn parse_line(line: &str) -> Result<Line<'_>, ParseError> {
                 "estimate_s" => f.estimate_s = Some(as_num(v, key)?),
                 "wait_s" => f.wait_s = Some(as_num(v, key)?),
                 "schema" => f.schema = Some(as_num(v, key)?),
+                "node" => f.node = Some(as_num(v, key)?),
+                "attempt" => f.attempt = Some(as_num(v, key)?),
                 "ev" => f.ev = Some(as_str(v, key)?),
                 "class" => f.class = Some(as_str(v, key)?),
                 "kind" => f.kind = Some(as_str(v, key)?),
@@ -267,6 +271,24 @@ pub fn parse_line(line: &str) -> Result<Line<'_>, ParseError> {
                 other => return err(format!("unknown outage state {other:?}")),
             },
         },
+        "node_down" => EventKind::NodeDown {
+            node: cpus_u32(req(f.node, "node")?)?,
+            cpus: cpus_u32(req(f.cpus, "cpus")?)?,
+        },
+        "node_up" => EventKind::NodeUp {
+            node: cpus_u32(req(f.node, "node")?)?,
+            cpus: cpus_u32(req(f.cpus, "cpus")?)?,
+        },
+        "job_failed" => EventKind::JobFailed {
+            job: req(f.job, "job")?,
+            cpus: cpus_u32(req(f.cpus, "cpus")?)?,
+            node: cpus_u32(req(f.node, "node")?)?,
+            interstitial: interstitial_of(req(f.class, "class")?)?,
+        },
+        "job_requeued" => EventKind::JobRequeued {
+            job: req(f.job, "job")?,
+            attempt: cpus_u32(req(f.attempt, "attempt")?)?,
+        },
         other => return err(format!("unknown event {other:?}")),
     };
     Ok(Line::Event(TraceEvent { t, cycle, kind }))
@@ -320,6 +342,18 @@ mod tests {
                 kind: PreemptKind::Checkpoint,
             },
             EventKind::Outage { up: false },
+            EventKind::NodeDown { node: 3, cpus: 8 },
+            EventKind::NodeUp { node: 3, cpus: 8 },
+            EventKind::JobFailed {
+                job: 11,
+                cpus: 16,
+                node: 2,
+                interstitial: true,
+            },
+            EventKind::JobRequeued {
+                job: 11,
+                attempt: 2,
+            },
         ];
         for kind in kinds {
             let ev = TraceEvent {
@@ -381,6 +415,8 @@ mod tests {
             "{\"t\":5,\"cycle\":1,\"ev\":\"submit\",\"job\":1,\"cpus\":99999999999,\"estimate_s\":1,\"class\":\"native\"}",
             "{\"t\":5,\"cycle\":1,\"ev\":\"outage\",\"up\":\"true\"}garbage",
             "{\"t\":5,\"cycle\":1,\"ev\":\"submit\",\"job\":1,\"cpus\":2,\"estimate_s\":1,\"class\":\"alien\"}",
+            "{\"t\":5,\"cycle\":1,\"ev\":\"node_down\",\"cpus\":8}", // missing node
+            "{\"t\":5,\"cycle\":1,\"ev\":\"job_requeued\",\"job\":1}", // missing attempt
         ] {
             assert!(parse_line(bad).is_err(), "accepted {bad:?}");
         }

@@ -11,7 +11,7 @@
 //! aborting a multi-million-line analysis.
 
 use crate::parse::{self, Line};
-use obs::trace::SCHEMA_VERSION;
+use obs::trace::{SCHEMA_VERSION, SCHEMA_VERSION_FAULTS};
 use obs::TraceEvent;
 use std::io::BufRead;
 
@@ -34,9 +34,9 @@ impl std::fmt::Display for TraceError {
             TraceError::Io(e) => write!(f, "reading trace: {e}"),
             TraceError::UnsupportedSchema { found } => write!(
                 f,
-                "unsupported trace schema version {found} (this tracekit reads schema \
-                 {SCHEMA_VERSION}); regenerate the trace with a matching simulator \
-                 or upgrade tracekit"
+                "unsupported trace schema version {found} (this tracekit reads schemas \
+                 {SCHEMA_VERSION}-{SCHEMA_VERSION_FAULTS}); regenerate the trace with a \
+                 matching simulator or upgrade tracekit"
             ),
         }
     }
@@ -53,8 +53,9 @@ impl From<std::io::Error> for TraceError {
 /// What the trace header declared (or failed to declare).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TraceMeta {
-    /// Declared schema version (equals [`SCHEMA_VERSION`] once validated;
-    /// 0 for a headerless legacy stream).
+    /// Declared schema version ([`SCHEMA_VERSION`] or
+    /// [`SCHEMA_VERSION_FAULTS`] once validated; 0 for a headerless legacy
+    /// stream).
     pub schema: u64,
     /// Machine name from the header, if stamped.
     pub machine: Option<String>,
@@ -107,7 +108,7 @@ impl<R: BufRead> TraceReader<R> {
             lineno = 1;
             match parse::parse_line(&buf) {
                 Ok(Line::Header(h)) => {
-                    if h.schema != SCHEMA_VERSION {
+                    if !(SCHEMA_VERSION..=SCHEMA_VERSION_FAULTS).contains(&h.schema) {
                         return Err(TraceError::UnsupportedSchema { found: h.schema });
                     }
                     meta.schema = h.schema;
@@ -244,7 +245,40 @@ mod tests {
             other => panic!("{other:?}"),
         }
         let msg = e.to_string();
-        assert!(msg.contains("99") && msg.contains("schema 1"), "{msg}");
+        assert!(msg.contains("99") && msg.contains("schemas 1-2"), "{msg}");
+    }
+
+    #[test]
+    fn schema_v2_fault_traces_are_accepted() {
+        let text = concat!(
+            "{\"schema\":2,\"machine\":\"Ross\",\"cpus\":1436}\n",
+            "{\"t\":3,\"cycle\":1,\"ev\":\"node_down\",\"node\":4,\"cpus\":16}\n",
+            "{\"t\":3,\"cycle\":1,\"ev\":\"job_failed\",\"job\":7,\"cpus\":16,\"node\":4,\
+             \"class\":\"interstitial\"}\n",
+            "{\"t\":3,\"cycle\":1,\"ev\":\"job_requeued\",\"job\":7,\"attempt\":1}\n",
+            "{\"t\":9,\"cycle\":2,\"ev\":\"node_up\",\"node\":4,\"cpus\":16}\n",
+        );
+        let (meta, evs, stats) = read_all(text).unwrap();
+        assert_eq!(meta.schema, 2);
+        assert_eq!(evs.len(), 4);
+        assert_eq!(stats.corrupt, 0);
+        assert!(matches!(
+            evs[0].kind,
+            EventKind::NodeDown { node: 4, cpus: 16 }
+        ));
+        assert!(matches!(
+            evs[1].kind,
+            EventKind::JobFailed {
+                job: 7,
+                interstitial: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            evs[2].kind,
+            EventKind::JobRequeued { job: 7, attempt: 1 }
+        ));
+        assert!(matches!(evs[3].kind, EventKind::NodeUp { .. }));
     }
 
     #[test]

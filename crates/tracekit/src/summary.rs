@@ -43,6 +43,16 @@ pub struct TraceSummary {
     pub outages: u64,
     /// Seconds the machine spent down within the span.
     pub downtime_s: u64,
+    /// Node failure edges (schema v2).
+    pub node_failures: u64,
+    /// Node repair edges (schema v2).
+    pub node_repairs: u64,
+    /// Jobs crashed by node failures (schema v2).
+    pub fault_kills: u64,
+    /// Requeue/retry announcements for fault victims (schema v2).
+    pub fault_requeues: u64,
+    /// CPU·seconds out of service on failed nodes (occupancy integral).
+    pub offline_cpu_s: u64,
     /// Native queue-wait percentiles, seconds (from finish events).
     pub native_wait: Quantiles,
     /// Native expansion-factor percentiles (1 + wait/runtime).
@@ -120,6 +130,7 @@ impl Summarizer {
             let dt = (ev.t - last).as_secs();
             self.out.native_cpu_s += u64::from(self.occ.native_busy()) * dt;
             self.out.inter_cpu_s += u64::from(self.occ.inter_busy()) * dt;
+            self.out.offline_cpu_s += u64::from(self.occ.offline()) * dt;
             if !self.occ.is_up() {
                 self.out.downtime_s += dt;
             }
@@ -179,6 +190,15 @@ impl Summarizer {
                     self.out.outages += 1;
                 }
             }
+            Transition::NodeEdge { up, .. } => {
+                if up {
+                    self.out.node_repairs += 1;
+                } else {
+                    self.out.node_failures += 1;
+                }
+            }
+            Transition::Failed { .. } => self.out.fault_kills += 1,
+            Transition::Requeued { .. } => self.out.fault_requeues += 1,
             Transition::Inconsistent(_) => {}
         }
     }
