@@ -1,0 +1,149 @@
+//! `perf` — record `BENCH_<machine>.json` perf baselines.
+//!
+//! For each calibrated machine preset, replays the native log (with the
+//! canonical interstitial workload) fault-free and faulted, measured by the
+//! criterion-lite harness in [`bench::perf`], and writes one baseline file
+//! per machine: deterministic work counters (compared exactly by
+//! `interstitial perf compare`), median/MAD wall time and derived
+//! throughput (compared within a tolerance).
+//!
+//! Environment knobs:
+//!
+//! * `PERF_JOBS` — native-log prefix per replay (default 2000; 0 = full log)
+//! * `PERF_REPS` — timed repetitions (default 3)
+//! * `PERF_WARMUP` — untimed warmup repetitions (default 1)
+//! * `PERF_OUT_DIR` — where `BENCH_*.json` land (default current directory)
+//!
+//! Counters depend on `PERF_JOBS` but not on the host, so CI can regenerate
+//! with the defaults and diff exactly against the committed baselines.
+
+use bench::lab::TRACE_SEED;
+use bench::perf::{measure, Measurement, PerfConfig};
+use interstitial::prelude::*;
+use machine::config::{blue_mountain, blue_pacific, ross};
+use machine::{FaultModel, FaultSpec};
+use obs::perf::{PerfBaseline, PERF_SCHEMA};
+use obs::Obs;
+use simkit::time::{SimDuration, SimTime};
+use workload::traces::native_trace;
+
+/// Default native-log prefix: long enough to exercise backfill, retries and
+/// profile scans, short enough for a CI smoke job.
+const DEFAULT_JOBS: usize = 2_000;
+
+/// The faulted scenario's injection parameters — the same node MTBF/MTTR
+/// shape the CI fault-replay job uses, so the two suites stress one model.
+fn fault_spec() -> FaultSpec {
+    FaultSpec {
+        mtbf: SimDuration::from_secs(172_800),
+        mttr: SimDuration::from_secs(7_200),
+        nodes: 16,
+        seed: 5,
+    }
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One observed replay: truncated native log plus the canonical continual
+/// interstitial project (an eighth of the machine per job, 1 h at 1 GHz —
+/// the golden suite's shape), optionally faulted. Only work counters are
+/// collected, so the timed loop carries no tracing or metrics cost.
+fn replay(cfg: &machine::MachineConfig, jobs_prefix: usize, faulted: bool) -> SimOutput {
+    let mut natives = native_trace(cfg, TRACE_SEED);
+    if jobs_prefix > 0 {
+        natives.truncate(jobs_prefix);
+    }
+    let horizon = SimTime::from_secs(
+        natives
+            .iter()
+            .map(|j| j.submit.as_secs())
+            .max()
+            .unwrap_or(0)
+            + 86_400,
+    );
+    let project = InterstitialProject::per_paper(u64::MAX / 2, (cfg.cpus / 8).max(1), 3_600.0);
+    let mut b = SimBuilder::new(cfg.clone())
+        .natives(natives)
+        .horizon(horizon)
+        .interstitial(
+            project,
+            InterstitialMode::Continual,
+            InterstitialPolicy::default(),
+        )
+        .observer(Obs::counting());
+    if faulted {
+        b = b.faults(FaultModel::synthesize(&fault_spec(), cfg.cpus, horizon));
+    }
+    b.build().run()
+}
+
+fn print_measurement(machine: &str, scenario: &str, m: &Measurement) {
+    println!(
+        "{machine:<14} {scenario:<11} wall {:>8.1} ms (MAD {:.1}) | {:>8.1} jobs/s {:>10.0} events/s | \
+         {} events, peak heap {}, {} cycles, {} candidates, {} segments",
+        m.wall_us_median as f64 / 1e3,
+        m.wall_us_mad as f64 / 1e3,
+        m.jobs_per_sec_milli() as f64 / 1e3,
+        m.events_per_sec_milli() as f64 / 1e3,
+        m.events,
+        m.work.heap_peak_depth,
+        m.work.sched_cycles,
+        m.work.backfill_candidates_scanned,
+        m.work.profile_segments_walked,
+    );
+}
+
+fn main() {
+    let cfg = PerfConfig::from_env();
+    let jobs_prefix = env_u64("PERF_JOBS", DEFAULT_JOBS as u64);
+    let out_dir = std::env::var("PERF_OUT_DIR").unwrap_or_else(|_| ".".to_string());
+    let rev = git_rev();
+    println!(
+        "# perf baselines (seed {TRACE_SEED}, {jobs_prefix}-job prefix, \
+         {} reps after {} warmup, rev {rev})",
+        cfg.reps, cfg.warmup
+    );
+    std::fs::create_dir_all(&out_dir).expect("create PERF_OUT_DIR");
+    for (key, machine) in [
+        ("ross", ross()),
+        ("blue_mountain", blue_mountain()),
+        ("blue_pacific", blue_pacific()),
+    ] {
+        let mut baseline = PerfBaseline {
+            schema: PERF_SCHEMA,
+            machine: key.to_string(),
+            git_rev: rev.clone(),
+            reps: u64::from(cfg.reps),
+            warmup: u64::from(cfg.warmup),
+            jobs_prefix,
+            scenarios: Default::default(),
+        };
+        for (scenario, faulted) in [("fault_free", false), ("faulted", true)] {
+            let m = measure(cfg, || replay(&machine, jobs_prefix as usize, faulted));
+            print_measurement(key, scenario, &m);
+            baseline
+                .scenarios
+                .insert(scenario.to_string(), m.to_scenario());
+        }
+        let path = format!("{out_dir}/BENCH_{key}.json");
+        std::fs::write(&path, baseline.to_json()).expect("write baseline");
+        println!("wrote {path}");
+    }
+}

@@ -11,26 +11,37 @@
 //! Wall-clock reads are fine in this crate (simlint R2 exempts `bench`).
 
 use bench::lab::TRACE_SEED;
+use bench::perf::per_sec_milli;
 use interstitial::prelude::*;
 use machine::config::{blue_mountain, blue_pacific, ross};
 use obs::Obs;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use workload::traces::native_trace;
 
-/// Native-log prefix used for the overhead A/B check (full logs would make
-/// the comparison needlessly slow without changing the verdict).
-const OVERHEAD_JOBS: usize = 2_000;
+/// Default native-log prefix for the overhead A/B check (full logs would
+/// make the comparison needlessly slow without changing the verdict).
+/// Override with `PROFILE_OVERHEAD_JOBS` (0 = full log).
+const DEFAULT_OVERHEAD_JOBS: usize = 2_000;
 
-fn observed_replay(cfg: &machine::MachineConfig) -> SimOutput {
+fn overhead_jobs() -> usize {
+    std::env::var("PROFILE_OVERHEAD_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_OVERHEAD_JOBS)
+}
+
+fn observed_replay(cfg: &machine::MachineConfig) -> (SimOutput, Duration) {
     let natives = native_trace(cfg, TRACE_SEED);
-    SimBuilder::new(cfg.clone())
+    let t = Instant::now();
+    let out = SimBuilder::new(cfg.clone())
         .natives(natives)
         .observer(Obs::with(false, true, true))
         .build()
-        .run()
+        .run();
+    (out, t.elapsed())
 }
 
-fn print_breakdown(cfg: &machine::MachineConfig, out: &SimOutput) {
+fn print_breakdown(cfg: &machine::MachineConfig, out: &SimOutput, wall: Duration) {
     let report = out.obs.run_report();
     println!("## {} ({} CPUs)", cfg.name, cfg.cpus);
     let total: u64 = report.profile.phases.values().map(|p| p.total_ns).sum();
@@ -58,13 +69,25 @@ fn print_breakdown(cfg: &machine::MachineConfig, out: &SimOutput) {
     ] {
         println!("{key:<28} {}", out.obs.metrics.counter(key));
     }
+    let jobs = out.native_completed() + out.interstitial_completed();
+    let wall_us = u64::try_from(wall.as_micros()).unwrap_or(u64::MAX);
+    println!(
+        "{:<28} {:.1} ({} jobs in {:.1} ms; {:.0} events/s)",
+        "throughput jobs/s",
+        per_sec_milli(jobs, wall_us) as f64 / 1e3,
+        jobs,
+        wall_us as f64 / 1e3,
+        per_sec_milli(out.obs.work.events_popped, wall_us) as f64 / 1e3,
+    );
     println!("{}", report.to_json());
     println!();
 }
 
-fn overhead_check(cfg: &machine::MachineConfig) {
+fn overhead_check(cfg: &machine::MachineConfig, jobs: usize) {
     let mut natives = native_trace(cfg, TRACE_SEED);
-    natives.truncate(OVERHEAD_JOBS);
+    if jobs > 0 {
+        natives.truncate(jobs);
+    }
     let time = |observer: Obs| {
         let jobs = natives.clone();
         let t = Instant::now();
@@ -93,11 +116,16 @@ fn overhead_check(cfg: &machine::MachineConfig) {
 fn main() {
     println!("# per-run phase profile (seed {TRACE_SEED})");
     for cfg in [ross(), blue_mountain(), blue_pacific()] {
-        let out = observed_replay(&cfg);
-        print_breakdown(&cfg, &out);
+        let (out, wall) = observed_replay(&cfg);
+        print_breakdown(&cfg, &out, wall);
     }
-    println!("# tracing overhead A/B ({OVERHEAD_JOBS}-job prefix)");
+    let jobs = overhead_jobs();
+    if jobs > 0 {
+        println!("# tracing overhead A/B ({jobs}-job prefix)");
+    } else {
+        println!("# tracing overhead A/B (full logs)");
+    }
     for cfg in [ross(), blue_mountain(), blue_pacific()] {
-        overhead_check(&cfg);
+        overhead_check(&cfg, jobs);
     }
 }

@@ -15,6 +15,7 @@ pub mod experiments;
 pub mod harness;
 pub mod lab;
 pub mod paper;
+pub mod perf;
 
 pub use lab::Lab;
 

@@ -5,6 +5,7 @@ pub mod advise;
 pub mod generate;
 pub mod machines;
 pub mod pack;
+pub mod perf;
 pub mod simulate;
 pub mod stats;
 pub mod sweep;
@@ -23,6 +24,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         "pack" => pack::run(args),
         "sweep" => sweep::run(args),
         "trace" => trace::run(args),
+        "perf" => perf::run(args),
         "help" | "--help" | "-h" => Ok(help()),
         other => Err(ArgError(format!(
             "unknown command {other:?} (try `interstitial help`)"
@@ -70,6 +72,11 @@ COMMANDS
   trace     diff BASE.jsonl WITH.jsonl [--top K]
                                    per-job wait deltas between a native-only
                                    and a with-interstitial run (same seed)
+  perf      compare OLD.json NEW.json [--wall-tol-pct P]
+                                   diff two `bench --bin perf` baselines:
+                                   counters exactly, wall within P% (default
+                                   25); exits nonzero on regression
+  perf      show FILE.json         pretty-print one perf baseline
 
 Machines: ross | bluemountain | bluepacific | CPUSxGHZ (custom).
 Shapes are CPUs × seconds-at-1GHz, e.g. 32x120.

@@ -1,0 +1,173 @@
+//! `perf` — the perf-regression gate over `BENCH_*.json` baselines.
+//!
+//! `perf compare OLD NEW` diffs two baselines written by `bench --bin
+//! perf`: deterministic work counters are compared *exactly* (any increase
+//! fails), wall-clock medians within `--wall-tol-pct` percent (default 25;
+//! CI passes a generous value because shared runners are noisy). A detected
+//! regression returns an error, so the process exits nonzero — that is the
+//! gate. `perf show FILE` pretty-prints one baseline.
+
+use crate::args::{ArgError, Args};
+use obs::perf::{compare, PerfBaseline};
+
+/// Default wall-clock tolerance, percent over the old median.
+const DEFAULT_WALL_TOL_PCT: u64 = 25;
+
+/// Dispatch `perf <verb>`.
+pub fn run(args: &Args) -> Result<String, ArgError> {
+    match args.positional.first().map(|s| s.as_str()) {
+        Some("compare") => run_compare(args),
+        Some("show") => run_show(args),
+        Some(other) => Err(ArgError(format!(
+            "unknown perf verb {other:?} (compare | show)"
+        ))),
+        None => Err(ArgError(
+            "usage: perf compare OLD.json NEW.json [--wall-tol-pct P] | perf show FILE.json".into(),
+        )),
+    }
+}
+
+fn load(path: &str) -> Result<PerfBaseline, ArgError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    PerfBaseline::from_json(&text).map_err(|e| ArgError(format!("{path}: {e}")))
+}
+
+fn run_compare(args: &Args) -> Result<String, ArgError> {
+    args.check_flags(&["wall-tol-pct"])?;
+    let [old_path, new_path] = match args.positional.get(1..3) {
+        Some([a, b]) => [a.as_str(), b.as_str()],
+        _ => {
+            return Err(ArgError(
+                "usage: perf compare OLD.json NEW.json [--wall-tol-pct P]".into(),
+            ))
+        }
+    };
+    let tol = args.get_or("wall-tol-pct", DEFAULT_WALL_TOL_PCT)?;
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+    let cmp = compare(&old, &new, tol);
+    let mut out = format!(
+        "comparing {} ({}, rev {}) -> ({}, rev {}), wall tolerance +{tol}%\n",
+        old.machine, old_path, old.git_rev, new_path, new.git_rev
+    );
+    out.push_str(&cmp.render());
+    if cmp.is_regression() {
+        // An Err exits nonzero: the report itself is the error message.
+        return Err(ArgError(format!(
+            "{out}perf regression: {} finding(s)",
+            cmp.regressions.len()
+        )));
+    }
+    Ok(out)
+}
+
+fn run_show(args: &Args) -> Result<String, ArgError> {
+    args.check_flags(&[])?;
+    let path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| ArgError("usage: perf show FILE.json".into()))?;
+    let b = load(path)?;
+    let mut out = format!(
+        "{} baseline (rev {}, {} reps after {} warmup, {}-job prefix)\n",
+        b.machine, b.git_rev, b.reps, b.warmup, b.jobs_prefix
+    );
+    for (name, s) in &b.scenarios {
+        out.push_str(&format!(
+            "  {name}: wall {:.1} ms (MAD {:.1}), {:.1} jobs/s, {:.0} events/s\n",
+            s.wall_us_median as f64 / 1e3,
+            s.wall_us_mad as f64 / 1e3,
+            s.jobs_per_sec_milli as f64 / 1e3,
+            s.events_per_sec_milli as f64 / 1e3,
+        ));
+        for (counter, value) in s.work.fields() {
+            out.push_str(&format!("    {counter:<28} {value}\n"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::perf::{ScenarioPerf, PERF_SCHEMA};
+    use obs::WorkCounters;
+    use std::collections::BTreeMap;
+
+    fn baseline(candidates: u64) -> PerfBaseline {
+        let mut work = WorkCounters::enabled();
+        work.record_engine(500, 600, 12);
+        work.record_sched(40, 20, 10, candidates, 200);
+        let mut scenarios = BTreeMap::new();
+        scenarios.insert(
+            "fault_free".to_string(),
+            ScenarioPerf {
+                wall_us_median: 9000,
+                wall_us_mad: 150,
+                jobs: 30,
+                events: 500,
+                jobs_per_sec_milli: 3_333_333,
+                events_per_sec_milli: 55_555_555,
+                work,
+            },
+        );
+        PerfBaseline {
+            schema: PERF_SCHEMA,
+            machine: "ross".to_string(),
+            git_rev: "testrev".to_string(),
+            reps: 3,
+            warmup: 1,
+            jobs_prefix: 2000,
+            scenarios,
+        }
+    }
+
+    fn write(dir: &std::path::Path, name: &str, b: &PerfBaseline) -> String {
+        let path = dir.join(name);
+        std::fs::write(&path, b.to_json()).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn compare_passes_on_identical_and_fails_on_counter_regression() {
+        let dir = std::env::temp_dir().join("interstitial-perf-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = write(&dir, "old.json", &baseline(700));
+        let same = write(&dir, "same.json", &baseline(700));
+        let worse = write(&dir, "worse.json", &baseline(701));
+
+        let ok = run(&args(&["perf", "compare", &old, &same])).unwrap();
+        assert!(ok.contains("no change"), "{ok}");
+
+        let err = run(&args(&["perf", "compare", &old, &worse])).unwrap_err();
+        assert!(err.0.contains("REGRESSION"), "{}", err.0);
+        assert!(err.0.contains("backfill_candidates_scanned"), "{}", err.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn show_renders_counters() {
+        let dir = std::env::temp_dir().join("interstitial-perf-show-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write(&dir, "b.json", &baseline(700));
+        let out = run(&args(&["perf", "show", &path])).unwrap();
+        assert!(out.contains("ross baseline"));
+        assert!(out.contains("backfill_candidates_scanned"));
+        assert!(out.contains("700"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn usage_errors_are_reported() {
+        assert!(run(&args(&["perf"])).is_err());
+        assert!(run(&args(&["perf", "frobnicate"])).is_err());
+        assert!(run(&args(&["perf", "compare", "only-one.json"])).is_err());
+        assert!(run(&args(&["perf", "compare", "a", "b", "--bogus", "1"])).is_err());
+        assert!(run(&args(&["perf", "show", "/no/such/file.json"])).is_err());
+    }
+}

@@ -96,13 +96,14 @@ fn summarize(args: &Args) -> Result<String, ArgError> {
 
 fn render_summary(s: &TraceSummary) -> String {
     let mut out = format!(
-        "span: {:.1} h, {} events\n\
+        "span: {:.1} h, {} events, {} scheduling cycles\n\
          submits: {} native, {} interstitial\n\
          starts: {} in-order, {} backfill, {} interstitial, {} resume\n\
          finishes: {} native, {} interstitial\n\
          preempts: {} kill, {} checkpoint; outages: {} ({} s down)\n",
         s.span_s() as f64 / 3600.0,
         s.events,
+        s.sched_cycles,
         s.native_submits,
         s.inter_submits,
         s.starts_inorder,

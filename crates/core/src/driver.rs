@@ -402,6 +402,24 @@ impl Simulator {
             "engine.end_time_s",
             i64::try_from(q.now().as_secs()).unwrap_or(i64::MAX),
         );
+        // Fold the always-on raw counts (event pump, queue high-water mark,
+        // scheduler scan work, fault churn) into the deterministic work
+        // counters. One-shot at end of run: the hot loop pays only the
+        // trivial integer adds the sources already perform.
+        self.obs
+            .work
+            .record_engine(steps, q.scheduled_total(), q.peak_len() as u64);
+        let sc = self.scheduler.counters();
+        self.obs.work.record_sched(
+            sc.cycles,
+            sc.inorder_starts,
+            sc.backfill_starts,
+            sc.backfill_candidates_scanned,
+            sc.profile_segments_walked,
+        );
+        self.obs
+            .work
+            .record_churn(st.faults.native_requeues, st.faults.interstitial_retries);
         SimOutput {
             machine: self.machine.clone(),
             horizon: self.horizon,
@@ -1746,6 +1764,53 @@ mod tests {
             out.obs.run_report().to_json_deterministic(),
             again.obs.run_report().to_json_deterministic()
         );
+    }
+
+    #[test]
+    fn work_counters_populate_and_replay_bitwise() {
+        use obs::Obs;
+        let jobs = Arc::new(vec![
+            native(1, 0, 64, 1000, 1000), // runs immediately
+            native(2, 10, 64, 500, 500),  // blocked head, reserved at 1000
+            native(3, 20, 16, 400, 400),  // backfill candidate
+        ]);
+        let run = || {
+            SimBuilder::new(tiny_machine())
+                .natives_arc(Arc::clone(&jobs))
+                .horizon(SimTime::from_secs(30_000))
+                .interstitial(
+                    InterstitialProject::per_paper(100, 16, 100.0),
+                    InterstitialMode::Continual,
+                    InterstitialPolicy::default(),
+                )
+                .observer(Obs::counting())
+                .build()
+                .run()
+        };
+        let out = run();
+        let w = out.obs.work;
+        assert!(w.is_enabled());
+        assert!(w.events_popped > 0);
+        assert!(
+            w.events_scheduled >= w.events_popped,
+            "every pop was scheduled"
+        );
+        assert!(w.heap_peak_depth > 0);
+        assert!(w.sched_cycles > 0);
+        // The scheduler counters cover native starts only; interstitial
+        // placement happens outside the queue planner.
+        assert_eq!(w.inorder_starts + w.backfill_starts, 3);
+        assert!(w.backfill_candidates_scanned >= w.sched_cycles.min(3));
+        assert!(w.profile_segments_walked > 0);
+        assert_eq!(w.requeues, 0, "fault-free run has no churn");
+        assert_eq!(w.retries, 0);
+        // The counting bundle stays out of the trace buffer entirely.
+        assert_eq!(out.obs.trace.recorded(), 0);
+        assert_eq!(out.obs.trace.heap_allocations(), 0);
+        // Same seed, second run: bitwise-identical counters.
+        let again = run();
+        assert_eq!(w, again.obs.work);
+        assert_eq!(w.to_json(), again.obs.work.to_json());
     }
 
     #[test]

@@ -30,16 +30,20 @@
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod perf;
 pub mod probe;
 pub mod profile;
 pub mod report;
 pub mod trace;
+pub mod work;
 
 pub use event::{EventKind, PreemptKind, StartKind, TraceEvent};
 pub use metrics::MetricsRegistry;
+pub use perf::{PerfBaseline, PerfComparison, ScenarioPerf};
 pub use profile::PhaseProfiler;
 pub use report::RunReport;
 pub use trace::TraceSink;
+pub use work::WorkCounters;
 
 /// The full observability bundle threaded through a simulation run.
 ///
@@ -54,6 +58,8 @@ pub struct Obs {
     pub metrics: MetricsRegistry,
     /// Wall-clock phase spans.
     pub profiler: PhaseProfiler,
+    /// Deterministic work counters (never written to the trace stream).
+    pub work: WorkCounters,
 }
 
 impl Obs {
@@ -62,16 +68,18 @@ impl Obs {
         Obs::default()
     }
 
-    /// Everything on: tracing, metrics and phase profiling.
+    /// Everything on: tracing, metrics, phase profiling and work counters.
     pub fn enabled() -> Self {
         Obs {
             trace: TraceSink::enabled(),
             metrics: MetricsRegistry::enabled(),
             profiler: PhaseProfiler::enabled(),
+            work: WorkCounters::enabled(),
         }
     }
 
-    /// Selectively enable instruments.
+    /// Selectively enable instruments. Work counters follow `metrics`: they
+    /// are counter-like data and share its cost profile (integer adds).
     pub fn with(trace: bool, metrics: bool, profile: bool) -> Self {
         Obs {
             trace: if trace {
@@ -89,17 +97,35 @@ impl Obs {
             } else {
                 PhaseProfiler::disabled()
             },
+            work: if metrics {
+                WorkCounters::enabled()
+            } else {
+                WorkCounters::disabled()
+            },
+        }
+    }
+
+    /// Work counters only: what the bench harness runs with, so timed
+    /// replays pay for integer adds but no tracing or metrics maps.
+    pub fn counting() -> Self {
+        Obs {
+            work: WorkCounters::enabled(),
+            ..Obs::disabled()
         }
     }
 
     /// True when at least one instrument is collecting.
     pub fn is_active(&self) -> bool {
-        self.trace.is_enabled() || self.metrics.is_enabled() || self.profiler.is_enabled()
+        self.trace.is_enabled()
+            || self.metrics.is_enabled()
+            || self.profiler.is_enabled()
+            || self.work.is_enabled()
     }
 
-    /// Snapshot the metrics registry and phase profile into a [`RunReport`].
+    /// Snapshot the metrics registry, phase profile and work counters into
+    /// a [`RunReport`].
     pub fn run_report(&self) -> RunReport {
-        RunReport::new(self.metrics.snapshot(), self.profiler.snapshot())
+        RunReport::new(self.metrics.snapshot(), self.profiler.snapshot(), self.work)
     }
 }
 
@@ -125,6 +151,24 @@ mod tests {
         assert!(o.trace.is_enabled());
         assert!(!o.metrics.is_enabled());
         assert!(!o.profiler.is_enabled());
+        assert!(
+            !o.work.is_enabled(),
+            "work counters follow the metrics switch"
+        );
         assert!(o.is_active());
+        let o = Obs::with(false, true, false);
+        assert!(o.work.is_enabled());
+    }
+
+    #[test]
+    fn counting_bundle_collects_only_work() {
+        let mut o = Obs::counting();
+        assert!(o.is_active());
+        assert!(!o.trace.is_enabled());
+        assert!(!o.metrics.is_enabled());
+        assert!(!o.profiler.is_enabled());
+        o.work.record_engine(3, 4, 2);
+        assert_eq!(o.run_report().work.events_popped, 3);
+        assert_eq!(o.trace.heap_allocations(), 0);
     }
 }

@@ -1,0 +1,574 @@
+//! Machine-readable perf baselines and the regression-compare rules.
+//!
+//! The bench harness (`bench --bin perf`) writes one `BENCH_<machine>.json`
+//! per calibrated machine; `interstitial perf compare <old> <new>` diffs two
+//! of them. Both sides of that contract live here so the writer, the parser
+//! and the diff can never drift apart.
+//!
+//! Two kinds of data share the file, with different comparison rules:
+//!
+//! * **Work counters** ([`crate::work::WorkCounters`]) — deterministic, so
+//!   they are compared *exactly*: any increase is a regression, any decrease
+//!   an improvement.
+//! * **Wall-clock** — noisy, so medians are compared within a caller-chosen
+//!   percentage tolerance (CI uses a generous one).
+//!
+//! All quantities are integers (simlint R3 discipline extends to the
+//! artifacts): wall time in microseconds, throughput in milli-jobs/sec and
+//! milli-events/sec. The emitted JSON is deterministic — BTreeMap scenario
+//! order, fixed field order — so baseline diffs in git history are readable.
+
+use crate::json;
+use crate::work::WorkCounters;
+use std::collections::BTreeMap;
+
+/// Current baseline schema version.
+pub const PERF_SCHEMA: u64 = 1;
+
+/// Measured results for one scenario (e.g. `fault_free` or `faulted`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScenarioPerf {
+    /// Median wall time over the repetitions, microseconds.
+    pub wall_us_median: u64,
+    /// Median absolute deviation of the wall times, microseconds.
+    pub wall_us_mad: u64,
+    /// Jobs completed per replay (native + interstitial).
+    pub jobs: u64,
+    /// Events processed per replay.
+    pub events: u64,
+    /// Throughput: jobs per second × 1000, from the median wall time.
+    pub jobs_per_sec_milli: u64,
+    /// Throughput: events per second × 1000, from the median wall time.
+    pub events_per_sec_milli: u64,
+    /// Deterministic work counters (identical across repetitions).
+    pub work: WorkCounters,
+}
+
+/// One machine's perf baseline: scenarios plus provenance.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PerfBaseline {
+    /// Baseline schema version ([`PERF_SCHEMA`]).
+    pub schema: u64,
+    /// Machine preset key (`ross`, `blue_mountain`, `blue_pacific`).
+    pub machine: String,
+    /// Git revision the baseline was recorded at (informational only).
+    pub git_rev: String,
+    /// Timed repetitions per scenario.
+    pub reps: u64,
+    /// Warmup repetitions (untimed).
+    pub warmup: u64,
+    /// Trace truncation: replay only the first N jobs (0 = full trace).
+    pub jobs_prefix: u64,
+    /// Scenario name → measurements, in BTreeMap (sorted) order.
+    pub scenarios: BTreeMap<String, ScenarioPerf>,
+}
+
+impl PerfBaseline {
+    /// Serialize as deterministic, pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        for (key, value) in [
+            ("schema", self.schema),
+            ("reps", self.reps),
+            ("warmup", self.warmup),
+            ("jobs_prefix", self.jobs_prefix),
+        ] {
+            out.push_str("  ");
+            json::push_key(&mut out, key);
+            out.push_str(&format!("{value},\n"));
+        }
+        out.push_str("  ");
+        let _ = json::push_str_field(&mut out, true, "machine", &self.machine);
+        out.push_str(",\n  ");
+        let _ = json::push_str_field(&mut out, true, "git_rev", &self.git_rev);
+        out.push_str(",\n  \"scenarios\":{");
+        let mut first_scn = true;
+        for (name, s) in &self.scenarios {
+            if !first_scn {
+                out.push(',');
+            }
+            first_scn = false;
+            out.push_str("\n    ");
+            json::push_key(&mut out, name);
+            out.push_str("{\n");
+            for (key, value) in [
+                ("wall_us_median", s.wall_us_median),
+                ("wall_us_mad", s.wall_us_mad),
+                ("jobs", s.jobs),
+                ("events", s.events),
+                ("jobs_per_sec_milli", s.jobs_per_sec_milli),
+                ("events_per_sec_milli", s.events_per_sec_milli),
+            ] {
+                out.push_str("      ");
+                json::push_key(&mut out, key);
+                out.push_str(&format!("{value},\n"));
+            }
+            out.push_str("      ");
+            json::push_key(&mut out, "work");
+            s.work.write_json(&mut out);
+            out.push_str("\n    }");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Parse a baseline written by [`PerfBaseline::to_json`].
+    ///
+    /// Accepts any whitespace layout; unknown keys are ignored so older
+    /// readers tolerate newer writers.
+    pub fn from_json(text: &str) -> Result<PerfBaseline, String> {
+        let root = match parse_value(text)? {
+            JsonValue::Object(map) => map,
+            _ => return Err("baseline root is not a JSON object".to_string()),
+        };
+        let mut b = PerfBaseline::default();
+        for (key, value) in &root {
+            match (key.as_str(), value) {
+                ("schema", JsonValue::Number(n)) => b.schema = *n,
+                ("reps", JsonValue::Number(n)) => b.reps = *n,
+                ("warmup", JsonValue::Number(n)) => b.warmup = *n,
+                ("jobs_prefix", JsonValue::Number(n)) => b.jobs_prefix = *n,
+                ("machine", JsonValue::String(s)) => b.machine = s.clone(),
+                ("git_rev", JsonValue::String(s)) => b.git_rev = s.clone(),
+                ("scenarios", JsonValue::Object(scns)) => {
+                    for (name, scn) in scns {
+                        b.scenarios
+                            .insert(name.clone(), scenario_from_value(name, scn)?);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if b.schema != PERF_SCHEMA {
+            return Err(format!(
+                "unsupported baseline schema {} (expected {PERF_SCHEMA})",
+                b.schema
+            ));
+        }
+        Ok(b)
+    }
+}
+
+fn scenario_from_value(name: &str, value: &JsonValue) -> Result<ScenarioPerf, String> {
+    let map = match value {
+        JsonValue::Object(map) => map,
+        _ => return Err(format!("scenario {name:?} is not a JSON object")),
+    };
+    let mut s = ScenarioPerf::default();
+    for (key, value) in map {
+        match (key.as_str(), value) {
+            ("wall_us_median", JsonValue::Number(n)) => s.wall_us_median = *n,
+            ("wall_us_mad", JsonValue::Number(n)) => s.wall_us_mad = *n,
+            ("jobs", JsonValue::Number(n)) => s.jobs = *n,
+            ("events", JsonValue::Number(n)) => s.events = *n,
+            ("jobs_per_sec_milli", JsonValue::Number(n)) => s.jobs_per_sec_milli = *n,
+            ("events_per_sec_milli", JsonValue::Number(n)) => s.events_per_sec_milli = *n,
+            ("work", JsonValue::Object(work)) => {
+                let mut w = WorkCounters::enabled();
+                for (counter, v) in work {
+                    if let JsonValue::Number(n) = v {
+                        // Unknown counters are ignored (forward compat).
+                        let _ = w.set_field(counter, *n);
+                    }
+                }
+                s.work = w;
+            }
+            _ => {}
+        }
+    }
+    Ok(s)
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+/// Outcome of diffing two baselines.
+#[derive(Clone, Debug, Default)]
+pub struct PerfComparison {
+    /// Hard failures: counter increases, wall blow-ups, shape mismatches.
+    pub regressions: Vec<String>,
+    /// Counter decreases and wall speed-ups (informational).
+    pub improvements: Vec<String>,
+    /// Neutral observations (provenance changes, new scenarios).
+    pub notes: Vec<String>,
+}
+
+impl PerfComparison {
+    /// True when the gate should fail.
+    pub fn is_regression(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// Human-readable report, one finding per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.regressions {
+            out.push_str("REGRESSION  ");
+            out.push_str(r);
+            out.push('\n');
+        }
+        for i in &self.improvements {
+            out.push_str("improvement ");
+            out.push_str(i);
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str("note        ");
+            out.push_str(n);
+            out.push('\n');
+        }
+        if self.regressions.is_empty() && self.improvements.is_empty() {
+            out.push_str("no change: counters identical, wall within tolerance\n");
+        }
+        out
+    }
+}
+
+/// Diff `new` against `old`: counters exactly, wall medians within
+/// `wall_tol_pct` percent. Provenance (`git_rev`, `reps`) never fails the
+/// gate; shape mismatches (machine, jobs_prefix, missing scenarios) do,
+/// because they make the counters incomparable.
+pub fn compare(old: &PerfBaseline, new: &PerfBaseline, wall_tol_pct: u64) -> PerfComparison {
+    let mut cmp = PerfComparison::default();
+    if old.machine != new.machine {
+        cmp.regressions.push(format!(
+            "machine mismatch: baseline is {:?}, candidate is {:?}",
+            old.machine, new.machine
+        ));
+        return cmp;
+    }
+    if old.jobs_prefix != new.jobs_prefix {
+        cmp.regressions.push(format!(
+            "jobs_prefix mismatch: {} vs {} — counters are incomparable",
+            old.jobs_prefix, new.jobs_prefix
+        ));
+        return cmp;
+    }
+    if old.git_rev != new.git_rev {
+        cmp.notes
+            .push(format!("git_rev {} -> {}", old.git_rev, new.git_rev));
+    }
+    for (name, old_s) in &old.scenarios {
+        let Some(new_s) = new.scenarios.get(name) else {
+            cmp.regressions
+                .push(format!("{name}: scenario missing from candidate"));
+            continue;
+        };
+        for ((counter, old_v), (_, new_v)) in
+            old_s.work.fields().iter().zip(new_s.work.fields().iter())
+        {
+            if new_v > old_v {
+                cmp.regressions.push(format!(
+                    "{name}: counter {counter} rose {old_v} -> {new_v} (+{})",
+                    new_v - old_v
+                ));
+            } else if new_v < old_v {
+                cmp.improvements.push(format!(
+                    "{name}: counter {counter} fell {old_v} -> {new_v} (-{})",
+                    old_v - new_v
+                ));
+            }
+        }
+        let ceiling = (old_s.wall_us_median as u128) * (100 + wall_tol_pct as u128) / 100;
+        if (new_s.wall_us_median as u128) > ceiling {
+            cmp.regressions.push(format!(
+                "{name}: wall median {}us -> {}us exceeds +{wall_tol_pct}% tolerance \
+                 (ceiling {ceiling}us)",
+                old_s.wall_us_median, new_s.wall_us_median
+            ));
+        } else if new_s.wall_us_median < old_s.wall_us_median {
+            cmp.improvements.push(format!(
+                "{name}: wall median {}us -> {}us",
+                old_s.wall_us_median, new_s.wall_us_median
+            ));
+        }
+    }
+    for name in new.scenarios.keys() {
+        if !old.scenarios.contains_key(name) {
+            cmp.notes
+                .push(format!("{name}: new scenario (no baseline)"));
+        }
+    }
+    cmp
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (objects, strings, unsigned integers)
+// ---------------------------------------------------------------------------
+
+/// The JSON subset baselines use. Arrays, floats, booleans and null do not
+/// appear in the format and are rejected by the parser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum JsonValue {
+    Number(u64),
+    String(String),
+    Object(BTreeMap<String, JsonValue>),
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), String> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                want as char,
+                self.pos,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        other => {
+                            return Err(format!(
+                                "unsupported escape {:?} at byte {}",
+                                other.map(|b| b as char),
+                                self.pos
+                            ))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through unchanged: we copy raw
+                    // bytes of one char at a time via str slicing.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    match s.chars().next() {
+                        Some(c) => {
+                            out.push(c);
+                            self.pos += c.len_utf8();
+                        }
+                        None => return Err("unterminated string".to_string()),
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected digits at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<u64>()
+            .map_err(|e| format!("bad integer at byte {start}: {e}"))
+    }
+
+    fn value(&mut self, depth: u32) -> Result<JsonValue, String> {
+        if depth > 16 {
+            return Err("JSON nesting too deep".to_string());
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    let value = self.value(depth + 1)?;
+                    map.insert(key, value);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(JsonValue::Object(map));
+                        }
+                        other => {
+                            return Err(format!(
+                                "expected ',' or '}}' at byte {}, found {:?}",
+                                self.pos,
+                                other.map(|b| b as char)
+                            ))
+                        }
+                    }
+                }
+            }
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b) if b.is_ascii_digit() => Ok(JsonValue::Number(self.number()?)),
+            other => Err(format!(
+                "unsupported JSON value at byte {} (found {:?}): baselines \
+                 contain only objects, strings and unsigned integers",
+                self.pos,
+                other.map(|b| b as char)
+            )),
+        }
+    }
+}
+
+fn parse_value(text: &str) -> Result<JsonValue, String> {
+    let mut r = Reader {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = r.value(0)?;
+    r.skip_ws();
+    if r.pos != r.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", r.pos));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline(wall: u64, candidates: u64) -> PerfBaseline {
+        let mut work = WorkCounters::enabled();
+        work.record_engine(100, 120, 8);
+        work.record_sched(10, 5, 3, candidates, 40);
+        work.record_churn(1, 2);
+        let scenario = ScenarioPerf {
+            wall_us_median: wall,
+            wall_us_mad: wall / 20,
+            jobs: 8,
+            events: 100,
+            jobs_per_sec_milli: 8_000_000_000u64.checked_div(wall).unwrap_or(0),
+            events_per_sec_milli: 100_000_000_000u64.checked_div(wall).unwrap_or(0),
+            work,
+        };
+        let mut scenarios = BTreeMap::new();
+        scenarios.insert("fault_free".to_string(), scenario.clone());
+        scenarios.insert("faulted".to_string(), scenario);
+        PerfBaseline {
+            schema: PERF_SCHEMA,
+            machine: "ross".to_string(),
+            git_rev: "abc1234".to_string(),
+            reps: 3,
+            warmup: 1,
+            jobs_prefix: 2000,
+            scenarios,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let b = baseline(5000, 77);
+        let text = b.to_json();
+        let parsed = PerfBaseline::from_json(&text).unwrap();
+        assert_eq!(parsed, b);
+        // Serialization is deterministic.
+        assert_eq!(parsed.to_json(), text);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(PerfBaseline::from_json("").is_err());
+        assert!(PerfBaseline::from_json("[1,2]").is_err());
+        assert!(PerfBaseline::from_json("{\"schema\":1").is_err());
+        assert!(
+            PerfBaseline::from_json("{\"schema\":2}").is_err(),
+            "wrong schema"
+        );
+        assert!(
+            PerfBaseline::from_json("{\"schema\":1}{}").is_err(),
+            "trailing"
+        );
+    }
+
+    #[test]
+    fn identical_baselines_compare_clean() {
+        let b = baseline(5000, 77);
+        let cmp = compare(&b, &b, 25);
+        assert!(!cmp.is_regression());
+        assert!(cmp.improvements.is_empty());
+        assert!(cmp.render().contains("no change"));
+    }
+
+    #[test]
+    fn counter_increase_is_a_regression_decrease_an_improvement() {
+        let old = baseline(5000, 77);
+        let worse = baseline(5000, 78);
+        let cmp = compare(&old, &worse, 25);
+        assert!(cmp.is_regression());
+        assert!(cmp.regressions[0].contains("backfill_candidates_scanned"));
+        let better = baseline(5000, 76);
+        let cmp = compare(&old, &better, 25);
+        assert!(!cmp.is_regression());
+        assert_eq!(cmp.improvements.len(), 2, "both scenarios improved");
+    }
+
+    #[test]
+    fn wall_clock_respects_tolerance() {
+        let old = baseline(1000, 77);
+        let slower = baseline(1200, 77);
+        assert!(!compare(&old, &slower, 25).is_regression(), "within +25%");
+        assert!(compare(&old, &slower, 10).is_regression(), "beyond +10%");
+        let faster = baseline(800, 77);
+        let cmp = compare(&old, &faster, 25);
+        assert!(!cmp.is_regression());
+        assert!(!cmp.improvements.is_empty());
+    }
+
+    #[test]
+    fn shape_mismatches_fail_the_gate() {
+        let old = baseline(1000, 77);
+        let mut other_machine = baseline(1000, 77);
+        other_machine.machine = "blue_mountain".to_string();
+        assert!(compare(&old, &other_machine, 25).is_regression());
+        let mut truncated_differently = baseline(1000, 77);
+        truncated_differently.jobs_prefix = 500;
+        assert!(compare(&old, &truncated_differently, 25).is_regression());
+        let mut missing = baseline(1000, 77);
+        missing.scenarios.remove("faulted");
+        assert!(compare(&old, &missing, 25).is_regression());
+        // Provenance changes are notes, not failures.
+        let mut new_rev = baseline(1000, 77);
+        new_rev.git_rev = "fff0000".to_string();
+        assert!(!compare(&old, &new_rev, 25).is_regression());
+    }
+}

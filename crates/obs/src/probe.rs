@@ -38,6 +38,9 @@ impl Probe for ObsProbe<'_> {
     }
 
     fn on_stop(&mut self, stats: &RunStats) {
+        self.obs
+            .work
+            .record_engine(stats.steps, stats.events_scheduled, stats.peak_queue_depth);
         let m = &mut self.obs.metrics;
         m.gauge_set(
             "engine.end_time_s",
@@ -93,6 +96,9 @@ mod tests {
         assert_eq!(obs.metrics.counter("engine.events"), 5);
         assert_eq!(obs.metrics.counter("engine.stop.drained"), 1);
         assert_eq!(obs.metrics.snapshot().gauges["engine.steps"], 5);
+        assert_eq!(obs.work.events_popped, 5);
+        assert_eq!(obs.work.events_scheduled, 5, "1 seed + 4 reschedules");
+        assert_eq!(obs.work.heap_peak_depth, 1);
     }
 
     #[test]

@@ -6,35 +6,45 @@
 //!
 //! * [`RunReport::to_json`] — everything, including wall-clock phase
 //!   timings. For humans, dashboards and bench trajectories.
-//! * [`RunReport::to_json_deterministic`] — metrics only. Byte-stable for
-//!   a fixed seed, which is what the golden-trace suite and CI diff.
+//! * [`RunReport::to_json_deterministic`] — metrics and work counters only.
+//!   Byte-stable for a fixed seed, which is what the golden-trace suite and
+//!   CI diff.
+//!
+//! Work counters appear in *both* forms (they are deterministic) but never
+//! in the trace stream — see `crates/obs/SCHEMA.md`.
 
 use crate::json;
 use crate::metrics::MetricsSnapshot;
 use crate::profile::ProfileSnapshot;
+use crate::work::WorkCounters;
 
-/// Snapshot of one run's metrics and phase profile.
+/// Snapshot of one run's metrics, work counters and phase profile.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
     /// Counters / gauges / histograms at end of run.
     pub metrics: MetricsSnapshot,
     /// Wall-clock phase timings (empty when profiling was disabled).
     pub profile: ProfileSnapshot,
+    /// Deterministic work counters (all zero when counting was disabled).
+    pub work: WorkCounters,
 }
 
 impl RunReport {
-    /// Bundle a metrics snapshot with a phase profile.
-    pub fn new(metrics: MetricsSnapshot, profile: ProfileSnapshot) -> Self {
-        RunReport { metrics, profile }
+    /// Bundle a metrics snapshot, a phase profile and the work counters.
+    pub fn new(metrics: MetricsSnapshot, profile: ProfileSnapshot, work: WorkCounters) -> Self {
+        RunReport {
+            metrics,
+            profile,
+            work,
+        }
     }
 
-    /// Full report: `{"metrics":{..},"profile":{..}}`. The profile section
-    /// contains wall-clock values and is NOT run-to-run stable.
+    /// Full report: `{"metrics":{..},"work":{..},"profile":{..}}`. The
+    /// profile section contains wall-clock values and is NOT run-to-run
+    /// stable.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
-        out.push('{');
-        json::push_key(&mut out, "metrics");
-        self.metrics.write_json(&mut out);
+        self.write_deterministic_sections(&mut out);
         out.push(',');
         json::push_key(&mut out, "profile");
         self.profile.write_json(&mut out);
@@ -42,15 +52,24 @@ impl RunReport {
         out
     }
 
-    /// Deterministic subset: `{"metrics":{..}}` only. Byte-identical across
-    /// same-seed runs; this is what golden files pin.
+    /// Deterministic subset: `{"metrics":{..},"work":{..}}`. Byte-identical
+    /// across same-seed runs; this is what golden files pin.
     pub fn to_json_deterministic(&self) -> String {
         let mut out = String::new();
-        out.push('{');
-        json::push_key(&mut out, "metrics");
-        self.metrics.write_json(&mut out);
+        self.write_deterministic_sections(&mut out);
         out.push('}');
         out
+    }
+
+    /// `{"metrics":{..},"work":{..}` — shared prefix of both forms, left
+    /// unterminated so callers can append or close.
+    fn write_deterministic_sections(&self, out: &mut String) {
+        out.push('{');
+        json::push_key(out, "metrics");
+        self.metrics.write_json(out);
+        out.push(',');
+        json::push_key(out, "work");
+        self.work.write_json(out);
     }
 }
 
@@ -61,22 +80,29 @@ mod tests {
     use crate::profile::PhaseProfiler;
 
     #[test]
-    fn deterministic_json_excludes_profile() {
+    fn deterministic_json_excludes_profile_but_keeps_work() {
         let mut m = MetricsRegistry::enabled();
         m.inc("jobs.finished.native", 2);
         let mut p = PhaseProfiler::enabled();
         let t = p.begin();
         p.end("schedule-cycle", t);
-        let report = RunReport::new(m.snapshot(), p.snapshot());
+        let mut w = WorkCounters::enabled();
+        w.record_engine(7, 9, 3);
+        let report = RunReport::new(m.snapshot(), p.snapshot(), w);
         let det = report.to_json_deterministic();
         assert_eq!(
             det,
             "{\"metrics\":{\"counters\":{\"jobs.finished.native\":2},\
-             \"gauges\":{},\"histograms\":{}}}"
+             \"gauges\":{},\"histograms\":{}},\
+             \"work\":{\"events_popped\":7,\"events_scheduled\":9,\
+             \"heap_peak_depth\":3,\"sched_cycles\":0,\"inorder_starts\":0,\
+             \"backfill_starts\":0,\"backfill_candidates_scanned\":0,\
+             \"profile_segments_walked\":0,\"requeues\":0,\"retries\":0}}"
         );
         let full = report.to_json();
         assert!(full.contains("\"profile\":{\"schedule-cycle\""));
-        assert!(!det.contains("profile"));
+        assert!(full.starts_with(&det[..det.len() - 1]), "shared prefix");
+        assert!(!det.contains("\"profile\":"), "no phase-timing section");
     }
 
     #[test]
@@ -84,7 +110,12 @@ mod tests {
         let r = RunReport::default();
         assert_eq!(
             r.to_json(),
-            "{\"metrics\":{\"counters\":{},\"gauges\":{},\"histograms\":{}},\"profile\":{}}"
+            "{\"metrics\":{\"counters\":{},\"gauges\":{},\"histograms\":{}},\
+             \"work\":{\"events_popped\":0,\"events_scheduled\":0,\
+             \"heap_peak_depth\":0,\"sched_cycles\":0,\"inorder_starts\":0,\
+             \"backfill_starts\":0,\"backfill_candidates_scanned\":0,\
+             \"profile_segments_walked\":0,\"requeues\":0,\"retries\":0},\
+             \"profile\":{}}"
         );
     }
 }

@@ -71,6 +71,11 @@ pub struct DispatchPlan {
     /// its `start` is the paper's `backFillWallTime`. `None` if everything
     /// started or the blocked job cannot be placed inside the lookahead.
     pub head_reservation: Option<Reservation>,
+    /// Queued jobs the planner examined this cycle — the scan work that
+    /// dominates backfill cost (Mu'alem & Feitelson). Less than the queue
+    /// length when a bounded scan or head-of-line blocking cut the pass
+    /// short. Deterministic; feeds `obs::WorkCounters`.
+    pub candidates_scanned: u32,
 }
 
 /// Compute one dispatch cycle.
@@ -116,6 +121,7 @@ pub fn plan_on_profile(
 
     let mut head_blocked = false;
     for (idx, job) in ordered_queue.iter().enumerate() {
+        out.candidates_scanned += 1;
         let cpus = i64::from(job.cpus);
         let dur = job.planning_estimate();
         let earliest = window.next_allowed(job, now);
@@ -526,6 +532,42 @@ mod tests {
             DispatchWindow::Always,
         );
         assert!(pr.starts.is_empty());
+    }
+
+    #[test]
+    fn candidates_scanned_counts_examined_jobs() {
+        let rs = busy_machine();
+        let q = [job(1, 8, 500), job(2, 10, 400), job(3, 2, 100)];
+        // EASY examines the whole queue.
+        let p = plan(
+            BackfillPolicy::Easy,
+            &q,
+            t(0),
+            4,
+            &rs,
+            DispatchWindow::Always,
+        );
+        assert_eq!(p.candidates_scanned, 3);
+        // No-backfill stops at the blocked head.
+        let p = plan(
+            BackfillPolicy::None,
+            &q,
+            t(0),
+            4,
+            &rs,
+            DispatchWindow::Always,
+        );
+        assert_eq!(p.candidates_scanned, 1);
+        // An empty queue scans nothing.
+        let p = plan(
+            BackfillPolicy::Easy,
+            &[],
+            t(0),
+            4,
+            &rs,
+            DispatchWindow::Always,
+        );
+        assert_eq!(p.candidates_scanned, 0);
     }
 
     #[test]

@@ -41,6 +41,10 @@ pub struct Scheduler {
 }
 
 /// Cumulative scheduler activity counters.
+///
+/// Always-on (plain integer adds) and deterministic: the driver folds them
+/// into `obs::WorkCounters` at end of run, where the perf-regression gate
+/// compares them exactly.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Counters {
     /// Scheduling cycles run.
@@ -49,6 +53,11 @@ pub struct Counters {
     pub inorder_starts: u64,
     /// Jobs started by jumping a blocked head (backfills).
     pub backfill_starts: u64,
+    /// Queued jobs examined by the backfill planner, summed over cycles.
+    pub backfill_candidates_scanned: u64,
+    /// Segments in the free-capacity profiles built for planning, summed
+    /// over cycles — the cost of walking the projected-capacity timeline.
+    pub profile_segments_walked: u64,
 }
 
 impl Scheduler {
@@ -248,6 +257,7 @@ impl Scheduler {
             let token = observer.profiler.begin();
             let mut profile = running.free_profile(now, free, now + backfill::LOOKAHEAD);
             observer.profiler.end("free-profile", token);
+            self.counters.profile_segments_walked += profile.segment_count() as u64;
             let token = observer.profiler.begin();
             let plan =
                 backfill::plan_on_profile(self.backfill, &eligible, now, &mut profile, self.window);
@@ -257,6 +267,7 @@ impl Scheduler {
         self.counters.cycles += 1;
         self.counters.backfill_starts += u64::from(plan.backfilled);
         self.counters.inorder_starts += plan.starts.len() as u64 - u64::from(plan.backfilled);
+        self.counters.backfill_candidates_scanned += u64::from(plan.candidates_scanned);
         observer.metrics.inc("sched.cycles", 1);
         observer
             .metrics
@@ -473,6 +484,28 @@ mod tests {
         assert_eq!(c.cycles, 1);
         assert_eq!(c.backfill_starts, 1);
         assert_eq!(c.inorder_starts, 0);
+        assert_eq!(c.backfill_candidates_scanned, 2, "head + candidate");
+        assert!(c.profile_segments_walked > 0, "a profile was built");
+    }
+
+    #[test]
+    fn counters_are_monotone_across_cycles() {
+        let mut s = Scheduler::lsf();
+        let rs = RunningSet::new();
+        for i in 0..20 {
+            s.submit(job(i + 1, (i % 4) as u32, 4, 100 + i));
+        }
+        let mut prev = s.counters();
+        for k in 0..10u64 {
+            s.cycle(t(k * 50), if k % 3 == 0 { 8 } else { 0 }, &rs, true);
+            let c = s.counters();
+            assert!(c.cycles > prev.cycles, "cycles strictly increase");
+            assert!(c.inorder_starts >= prev.inorder_starts);
+            assert!(c.backfill_starts >= prev.backfill_starts);
+            assert!(c.backfill_candidates_scanned >= prev.backfill_candidates_scanned);
+            assert!(c.profile_segments_walked >= prev.profile_segments_walked);
+            prev = c;
+        }
     }
 
     #[test]

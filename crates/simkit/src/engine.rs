@@ -58,6 +58,10 @@ pub struct RunStats {
     pub end_time: SimTime,
     /// Why the loop stopped.
     pub reason: StopReason,
+    /// Total events ever scheduled on the queue (including pre-run seeding).
+    pub events_scheduled: u64,
+    /// High-water mark of the future-event list.
+    pub peak_queue_depth: u64,
 }
 
 /// Drive `sim` until the queue drains, the next event would be at or after
@@ -81,30 +85,21 @@ pub fn run_probed<S: Simulation, P: Probe>(
     probe: &mut P,
 ) -> RunStats {
     let mut steps = 0u64;
+    let finish = |steps: u64, queue: &EventQueue<S::Event>, reason: StopReason| RunStats {
+        steps,
+        end_time: queue.now(),
+        reason,
+        events_scheduled: queue.scheduled_total(),
+        peak_queue_depth: queue.peak_len() as u64,
+    };
     let stats = loop {
         match queue.peek_time() {
-            None => {
-                break RunStats {
-                    steps,
-                    end_time: queue.now(),
-                    reason: StopReason::Drained,
-                }
-            }
-            Some(t) if t >= horizon => {
-                break RunStats {
-                    steps,
-                    end_time: queue.now(),
-                    reason: StopReason::Horizon,
-                }
-            }
+            None => break finish(steps, queue, StopReason::Drained),
+            Some(t) if t >= horizon => break finish(steps, queue, StopReason::Horizon),
             Some(_) => {}
         }
         if steps >= max_steps {
-            break RunStats {
-                steps,
-                end_time: queue.now(),
-                reason: StopReason::StepBudget,
-            };
+            break finish(steps, queue, StopReason::StepBudget);
         }
         let (now, ev) = queue.pop().expect("peeked event disappeared");
         sim.handle(now, ev, queue);
@@ -153,6 +148,11 @@ mod tests {
         assert_eq!(stats.steps, 4);
         assert_eq!(sim.fired, vec![0, 10, 20, 30]);
         assert_eq!(stats.end_time, SimTime::from_secs(30));
+        assert_eq!(stats.events_scheduled, 4, "1 seed + 3 reschedules");
+        assert_eq!(
+            stats.peak_queue_depth, 1,
+            "ticker keeps one event in flight"
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: SimTime,
+    peak_len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -59,6 +60,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            peak_len: 0,
         }
     }
 
@@ -68,6 +70,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
             now: SimTime::ZERO,
+            peak_len: 0,
         }
     }
 
@@ -93,6 +96,7 @@ impl<E> EventQueue<E> {
             event,
         });
         self.next_seq += 1;
+        self.peak_len = self.peak_len.max(self.heap.len());
     }
 
     /// Remove and return the earliest event, advancing the clock to it.
@@ -116,6 +120,19 @@ impl<E> EventQueue<E> {
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Largest number of events that were ever simultaneously pending.
+    ///
+    /// A deterministic work counter: it depends only on the schedule/pop
+    /// sequence, never on heap internals or wall time.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Total events ever scheduled on this queue (monotone; never reset).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
     }
 }
 
@@ -183,6 +200,23 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peak_len_and_scheduled_total_are_monotone() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        assert_eq!(q.scheduled_total(), 0);
+        q.schedule(t(1), ());
+        q.schedule(t(2), ());
+        assert_eq!(q.peak_len(), 2);
+        q.pop();
+        q.pop();
+        // Draining never lowers the peak.
+        assert_eq!(q.peak_len(), 2);
+        q.schedule(t(3), ());
+        assert_eq!(q.peak_len(), 2, "peak is a high-water mark");
+        assert_eq!(q.scheduled_total(), 3);
     }
 
     #[test]

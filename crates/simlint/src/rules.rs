@@ -194,6 +194,27 @@ mod tests {
     }
 
     #[test]
+    fn determinism_rules_cover_the_work_counter_path() {
+        // Work counters are an acceptance artifact: same-seed runs must
+        // produce bitwise-identical counters, and `perf compare` diffs
+        // them exactly. Every crate that increments or folds them must
+        // therefore stay inside the determinism lint's scope — and only
+        // `bench` may read the wall clock (the harness times replays; the
+        // counted code itself must not).
+        for krate in ["simkit", "sched", "core", "obs", "tracekit"] {
+            assert!(
+                DETERMINISM_CRATES.contains(&krate),
+                "{krate} hosts work-counter code and must stay determinism-linted"
+            );
+        }
+        assert_eq!(
+            WALLCLOCK_EXEMPT_CRATES,
+            ["bench"],
+            "R2's wall-clock exemption must stay scoped to the bench harness"
+        );
+    }
+
+    #[test]
     fn r1_flags_hash_collections_in_sim_crates() {
         let src = "use std::collections::HashMap;\nstruct S { m: HashSet<u32> }\n";
         let v = lint_source("crates/sched/src/x.rs", src);

@@ -68,6 +68,11 @@ pub struct TraceSummary {
     pub peak_tracked_jobs: usize,
     /// Lifecycle contradictions encountered in the stream.
     pub inconsistencies: u64,
+    /// Highest scheduling-cycle id tagged on any event — the scan work the
+    /// trace can attest to. The full work counters (candidate scans,
+    /// profile segments, heap depth) live in the run's `RunReport`, not in
+    /// trace bytes; this is the trace-derivable slice.
+    pub sched_cycles: u64,
 }
 
 impl TraceSummary {
@@ -141,6 +146,7 @@ impl Summarizer {
             None => (ev.t, ev.t),
         });
         self.out.events += 1;
+        self.out.sched_cycles = self.out.sched_cycles.max(ev.cycle);
 
         match self.occ.apply(ev) {
             Transition::Submitted { interstitial, .. } => {
@@ -329,5 +335,19 @@ mod tests {
         assert_eq!(out.span_s(), 0);
         assert_eq!(out.capacity_cpu_s(), Some(0));
         assert_eq!(out.native_utilization(), None);
+        assert_eq!(out.sched_cycles, 0);
+    }
+
+    #[test]
+    fn sched_cycles_is_the_highest_cycle_tag() {
+        let mut s = Summarizer::new(None);
+        for (t, cycle) in [(0u64, 1u64), (10, 7), (20, 4)] {
+            s.observe(&TraceEvent {
+                t: SimTime::from_secs(t),
+                cycle,
+                kind: EventKind::Outage { up: true },
+            });
+        }
+        assert_eq!(s.finish().sched_cycles, 7);
     }
 }

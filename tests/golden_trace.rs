@@ -130,6 +130,47 @@ fn same_seed_replays_are_byte_identical() {
 }
 
 #[test]
+fn work_counters_do_not_perturb_the_trace_stream() {
+    // Work counters live in the RunReport, never in the trace bytes:
+    // enabling them must leave the golden JSONL byte-identical, or every
+    // pinned trace would churn whenever a counter is added.
+    let cfg = machine::config::ross();
+    let run_with = |observer: Obs| {
+        let mut natives = native_trace(&cfg, GOLDEN_SEED);
+        natives.truncate(GOLDEN_JOBS);
+        let horizon =
+            SimTime::from_secs(natives.iter().map(|j| j.submit.as_secs()).max().unwrap() + 86_400);
+        let project = InterstitialProject::per_paper(u64::MAX / 2, (cfg.cpus / 8).max(1), 3_600.0);
+        SimBuilder::new(cfg.clone())
+            .natives(natives)
+            .horizon(horizon)
+            .interstitial(
+                project,
+                InterstitialMode::Continual,
+                InterstitialPolicy::default(),
+            )
+            .observer(observer)
+            .build()
+            .run()
+    };
+    // Trace on, work counters off vs trace on, everything on.
+    let trace_only = run_with(Obs::with(true, false, false));
+    let all_on = run_with(Obs::enabled());
+    assert!(!trace_only.obs.work.is_enabled());
+    assert!(all_on.obs.work.is_enabled());
+    let (a, b) = (trace_only.obs.trace.to_jsonl(), all_on.obs.trace.to_jsonl());
+    assert_eq!(a, b, "enabling work counters changed the trace bytes");
+    assert!(
+        !b.contains("\"work\""),
+        "counters leaked into the trace stream"
+    );
+    assert!(
+        all_on.obs.work.events_popped > 0,
+        "the all-on run should still have collected counters"
+    );
+}
+
+#[test]
 fn golden_stream_covers_all_event_classes() {
     let (trace, metrics) = artifacts(&machine::config::ross());
     for needle in [

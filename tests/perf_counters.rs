@@ -1,0 +1,101 @@
+//! Work-counter determinism suite.
+//!
+//! `perf compare` diffs counters *exactly*, so the whole perf-regression
+//! gate rests on one property: a same-seed replay produces bitwise-identical
+//! `WorkCounters` on every machine preset, fault-free and faulted. This
+//! suite pins that property at the integration level (the unit-level pieces
+//! — monotone scheduler counters, merge algebra — live in `sched` and
+//! `obs`).
+
+use interstitial_computing::interstitial::prelude::*;
+use interstitial_computing::machine::{self, FaultModel, FaultSpec, MachineConfig};
+use interstitial_computing::obs::Obs;
+use interstitial_computing::simkit::time::{SimDuration, SimTime};
+use interstitial_computing::workload::traces::native_trace;
+
+const SEED: u64 = 7;
+const JOBS: usize = 150;
+
+fn counting_run(cfg: &MachineConfig, faulted: bool) -> SimOutput {
+    let mut natives = native_trace(cfg, SEED);
+    natives.truncate(JOBS);
+    let horizon =
+        SimTime::from_secs(natives.iter().map(|j| j.submit.as_secs()).max().unwrap() + 86_400);
+    let project = InterstitialProject::per_paper(u64::MAX / 2, (cfg.cpus / 8).max(1), 3_600.0);
+    let mut b = SimBuilder::new(cfg.clone())
+        .natives(natives)
+        .horizon(horizon)
+        .interstitial(
+            project,
+            InterstitialMode::Continual,
+            InterstitialPolicy::default(),
+        )
+        .observer(Obs::counting());
+    if faulted {
+        let spec = FaultSpec {
+            mtbf: SimDuration::from_secs(172_800),
+            mttr: SimDuration::from_secs(7_200),
+            nodes: 16,
+            seed: 5,
+        };
+        b = b.faults(FaultModel::synthesize(&spec, cfg.cpus, horizon));
+    }
+    b.build().run()
+}
+
+fn presets() -> [(&'static str, MachineConfig); 3] {
+    [
+        ("ross", machine::config::ross()),
+        ("blue_mountain", machine::config::blue_mountain()),
+        ("blue_pacific", machine::config::blue_pacific()),
+    ]
+}
+
+#[test]
+fn same_seed_counters_are_bitwise_identical_on_every_preset() {
+    for (name, cfg) in presets() {
+        for faulted in [false, true] {
+            let a = counting_run(&cfg, faulted);
+            let b = counting_run(&cfg, faulted);
+            assert_eq!(
+                a.obs.work, b.obs.work,
+                "{name} (faulted={faulted}): counters differ between same-seed runs"
+            );
+            assert_eq!(
+                a.obs.work.to_json(),
+                b.obs.work.to_json(),
+                "{name} (faulted={faulted}): counter JSON differs"
+            );
+            assert!(
+                a.obs.work.events_popped > 0 && a.obs.work.sched_cycles > 0,
+                "{name} (faulted={faulted}): counters did not populate"
+            );
+        }
+    }
+}
+
+#[test]
+fn presets_do_distinct_amounts_of_work() {
+    // The three machines have different shapes, so their counter vectors
+    // must differ — a gate that compared identical vectors everywhere
+    // would be vacuous.
+    let runs: Vec<String> = presets()
+        .iter()
+        .map(|(_, cfg)| counting_run(cfg, false).obs.work.to_json())
+        .collect();
+    assert_ne!(runs[0], runs[1]);
+    assert_ne!(runs[1], runs[2]);
+}
+
+#[test]
+fn faults_add_counter_churn() {
+    // The faulted ross replay must record requeues or retries; otherwise
+    // the faulted scenario in the baselines is not exercising the fault
+    // path at all.
+    let out = counting_run(&machine::config::ross(), true);
+    assert!(
+        out.obs.work.requeues + out.obs.work.retries > 0,
+        "faulted replay recorded no churn: {}",
+        out.obs.work.to_json()
+    );
+}
