@@ -244,6 +244,9 @@ pub struct Alias {
 impl Alias {
     /// Build an alias table from non-negative weights (at least one must be
     /// positive).
+    // R7 audit (simlint.toml): the weight normalization below folds the
+    // caller's slice once, sequentially, at table-build time — the same
+    // input always yields the same table bit-for-bit.
     pub fn new(weights: &[f64]) -> Self {
         let n = weights.len();
         assert!(n > 0, "Alias needs at least one weight");

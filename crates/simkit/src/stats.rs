@@ -309,6 +309,10 @@ impl LinearFit {
 
 /// Ordinary least squares of `y` on `x` (with intercept). Returns `None` if
 /// fewer than two distinct x values.
+// R7 audit (simlint.toml): the fit reductions here and in
+// `mean_relative_error` run sequentially over one fixed-order point slice
+// past the report boundary; fit outputs are figures of merit, never fed
+// back into simulation state.
 pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
     let n = points.len();
     if n < 2 {

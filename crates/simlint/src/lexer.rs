@@ -280,6 +280,87 @@ mod tests {
         assert!(c.contains("let s = 3;"));
     }
 
+    // ---- false-negative regression suite: each construct below once let
+    // ---- a forbidden token hide (or leak) past the cleaner in some draft
+    // ---- of this lexer; one test per construct keeps them pinned.
+
+    #[test]
+    fn byte_strings_are_blanked() {
+        let src = r#"let b = b"Instant::now()"; let k = 1;"#;
+        let c = clean(src);
+        assert!(!c.contains("Instant::now"), "{c}");
+        assert!(c.contains("let k = 1;"), "{c}");
+    }
+
+    #[test]
+    fn raw_byte_strings_are_blanked() {
+        let src = r##"let b = br#"thread_rng()"#; let k = 2;"##;
+        let c = clean(src);
+        assert!(!c.contains("thread_rng"), "{c}");
+        assert!(c.contains("let k = 2;"), "{c}");
+    }
+
+    #[test]
+    fn raw_string_with_fewer_hashes_inside_does_not_close_early() {
+        // `"#` inside an `r##"…"##` literal is content, not a terminator; a
+        // lexer that closed there would leak `not yet` into scanned text.
+        let src = r###"let s = r##"end "# not yet"##; let k = 6;"###;
+        let c = clean(src);
+        assert!(!c.contains("not yet"), "{c}");
+        assert!(c.contains("let k = 6;"), "{c}");
+    }
+
+    #[test]
+    fn nested_block_comment_hides_tokens_at_every_depth() {
+        let src = "/* a /* HashMap */ thread_rng */ let k = 5;";
+        let c = clean(src);
+        assert!(!c.contains("HashMap"), "{c}");
+        assert!(!c.contains("thread_rng"), "{c}");
+        assert!(c.contains("let k = 5;"), "{c}");
+    }
+
+    #[test]
+    fn double_quote_char_literal_does_not_open_a_string() {
+        // If '"' were read as a string opener, everything to the next quote
+        // (including real code) would be blanked — a mass false negative.
+        let src = r#"let c = '"'; let x = opened(); let k = 3;"#;
+        let c = clean(src);
+        assert!(c.contains("let x = opened(); let k = 3;"), "{c}");
+    }
+
+    #[test]
+    fn byte_char_literal_double_quote_does_not_open_a_string() {
+        let src = r#"let c = b'"'; let x = opened(); let k = 4;"#;
+        let c = clean(src);
+        assert!(c.contains("let x = opened(); let k = 4;"), "{c}");
+    }
+
+    #[test]
+    fn brace_char_literals_do_not_skew_brace_matching() {
+        // '{' as a char must not look like a block opener, or every brace
+        // count downstream (test mask, item parser) shifts by one.
+        let src = "let c = '{'; fn f() { let k = 7; }";
+        let c = clean(src);
+        assert_eq!(c, "let c = ' '; fn f() { let k = 7; }");
+    }
+
+    #[test]
+    fn double_slash_inside_string_is_not_a_comment() {
+        // "http://x" must not swallow the rest of the line as a comment.
+        let src = r#"let u = "http://x"; let k = later();"#;
+        let c = clean(src);
+        assert!(c.contains("let k = later();"), "{c}");
+    }
+
+    #[test]
+    fn multiline_string_preserves_line_structure() {
+        let src = "let s = \"a\nHashMap\nb\";\nlet k = 8;";
+        let c = clean(src);
+        assert!(!c.contains("HashMap"), "{c}");
+        assert_eq!(c.lines().count(), src.lines().count());
+        assert!(c.lines().last().unwrap().contains("let k = 8;"), "{c}");
+    }
+
     #[test]
     fn cfg_test_mod_is_masked() {
         let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn tail() {}\n";

@@ -1,8 +1,8 @@
 //! simlint — workspace-wide static analysis enforcing the determinism and
 //! scheduler invariants this simulator depends on.
 //!
-//! Four rules (see DESIGN.md "Determinism & invariants" for the full
-//! rationale):
+//! Eight rule families (see DESIGN.md "Determinism & invariants" for the
+//! full rationale):
 //!
 //! * **R1** — no `HashMap`/`HashSet` in simulation crates: random iteration
 //!   order breaks bit-for-bit replay.
@@ -10,19 +10,47 @@
 //!   `thread_rng`) outside `crates/bench`.
 //! * **R3** — no `from_secs_f64` time conversion outside `simkit::time`.
 //! * **R4** — no `unwrap()`/`expect()` in library-crate non-test code.
+//! * **R5** — no shared-mutable-state hazards (`static mut`, `RefCell`/
+//!   `Cell`/`Rc`, `unsafe`) in simulation crates: `!Send`/`!Sync` state
+//!   blocks the parallel fleet fan-out.
+//! * **R6** — RNG discipline: no entropy-seeded generator construction
+//!   (`from_entropy`, `OsRng`, `RandomState`, …) anywhere; entropy enters
+//!   only as the explicit `u64` seed.
+//! * **R7** — no order-sensitive f64 accumulation (`.sum::<f64>()`,
+//!   `fold(0.0`) in sim crates: parallel ensemble merges reorder partial
+//!   sums.
+//! * **R8** — semantic purity: every function reachable from
+//!   `Scheduler::cycle` or the simkit engine loop (over an approximate
+//!   item-level call graph, see [`graph`]) must be free of wall-clock, IO
+//!   and entropy calls.
 //!
-//! Audited exceptions live in `simlint.toml` at the repo root; every entry
-//! must state a reason. Run as `cargo run -p simlint` (or `cargo xtask
-//! lint` via the cargo alias).
+//! Binaries (`crates/*/src/bin`) and the `examples/` tree are scanned
+//! under a relaxed rule set (R1/R5 only). Audited exceptions live in
+//! `simlint.toml` at the repo root; every entry must state a reason. Run
+//! as `cargo run -p simlint` (or `cargo xtask lint`); add `--format json`
+//! for machine-readable diagnostics, `--deny-stale` to fail on unused
+//! allowlist entries, and `--emit-graph PATH` for the call-graph artifact.
 
 pub mod allow;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 
 pub use allow::Allow;
-pub use rules::{lint_source, Violation};
+pub use rules::{classify, lint_source, FileClass, Violation};
 
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+
+/// One workspace source file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceFile {
+    /// Repo-relative forward-slash path.
+    pub path: String,
+    /// How the rules treat it.
+    pub class: FileClass,
+}
 
 /// The outcome of linting a workspace.
 pub struct Report {
@@ -32,6 +60,12 @@ pub struct Report {
     pub unused_allows: Vec<Allow>,
     /// Number of source files scanned.
     pub files_scanned: usize,
+    /// The workspace call graph over determinism-crate library code.
+    pub graph: graph::CallGraph,
+    /// Node indices of the R8 purity roots found in the graph.
+    pub roots: Vec<usize>,
+    /// Node indices reachable from the roots.
+    pub reachable: BTreeSet<usize>,
 }
 
 /// Locate the workspace root from the simlint crate's own manifest dir.
@@ -44,11 +78,12 @@ pub fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-/// All `.rs` files under `crates/*/src` and the root `src/`, sorted, as
-/// repo-relative forward-slash paths. `tests/`, `benches/` and `examples/`
-/// directories are intentionally out of scope: they are test code.
-pub fn collect_sources(root: &Path) -> std::io::Result<Vec<String>> {
-    let mut files = Vec::new();
+/// All `.rs` files under `crates/*/src` (including `src/bin`), the root
+/// `src/`, and the root `examples/` tree, sorted by path, each classified
+/// per [`rules::classify`]. `tests/` and `benches/` directories remain out
+/// of scope: they are test code.
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
         let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
@@ -57,12 +92,19 @@ pub fn collect_sources(root: &Path) -> std::io::Result<Vec<String>> {
             .collect();
         members.sort();
         for member in members {
-            walk_rs(&member.join("src"), root, &mut files)?;
+            walk_rs(&member.join("src"), root, &mut paths)?;
         }
     }
-    walk_rs(&root.join("src"), root, &mut files)?;
-    files.sort();
-    Ok(files)
+    walk_rs(&root.join("src"), root, &mut paths)?;
+    walk_rs(&root.join("examples"), root, &mut paths)?;
+    paths.sort();
+    Ok(paths
+        .into_iter()
+        .map(|path| {
+            let class = rules::classify(&path);
+            SourceFile { path, class }
+        })
+        .collect())
 }
 
 fn walk_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
@@ -91,7 +133,8 @@ fn walk_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> std::io::Result<()
 }
 
 /// Lint every workspace source file, applying the `simlint.toml` allowlist
-/// if present at `root`.
+/// if present at `root`. Runs the per-line rules (R1–R7) per file, then
+/// the R8 purity pass over the cross-crate call graph.
 pub fn lint_workspace(root: &Path) -> Result<Report, String> {
     let allow_path = root.join("simlint.toml");
     let allows = if allow_path.is_file() {
@@ -103,22 +146,70 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
     };
 
     let files = collect_sources(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut raw_violations = Vec::new();
+    let mut graph_sources = Vec::new();
+    // Original source lines of graph files, for R8 excerpts.
+    let mut source_lines: std::collections::BTreeMap<String, Vec<String>> =
+        std::collections::BTreeMap::new();
+    for f in &files {
+        let src = std::fs::read_to_string(root.join(&f.path))
+            .map_err(|e| format!("reading {}: {e}", f.path))?;
+        raw_violations.extend(rules::lint_source(&f.path, &src));
+        // The purity graph covers determinism-crate library code only:
+        // that is where the engine/scheduler hot path lives.
+        let krate = rules::crate_of(&f.path);
+        if f.class == FileClass::Lib && rules::DETERMINISM_CRATES.contains(&krate) {
+            let cleaned = lexer::analyze(&src);
+            graph_sources.push(graph::GraphSource {
+                path: f.path.clone(),
+                krate: krate.to_string(),
+                functions: items::parse(&cleaned).functions,
+            });
+            source_lines.insert(f.path.clone(), src.lines().map(str::to_string).collect());
+        }
+    }
+
+    // R8 — semantic purity over the call graph.
+    let g = graph::CallGraph::build(&graph_sources);
+    let roots = g.find_roots(graph::PURITY_ROOTS);
+    let (parent, reachable) = g.reach(&roots);
+    for &i in &reachable {
+        let nd = &g.nodes[i];
+        for (token, line, category) in &nd.impure {
+            let excerpt = source_lines
+                .get(&nd.file)
+                .and_then(|lines| lines.get(line.saturating_sub(1)))
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default();
+            raw_violations.push(Violation {
+                rule: "R8",
+                path: nd.file.clone(),
+                line: *line,
+                message: format!(
+                    "impure {category} call ({token}) on the deterministic hot path: \
+                     {} — every function reachable from the engine/scheduler loop \
+                     must be a pure function of simulation state",
+                    g.chain(&parent, i)
+                ),
+                excerpt,
+            });
+        }
+    }
+    raw_violations
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+
     let mut violations = Vec::new();
     let mut used = vec![false; allows.len()];
-    for rel in &files {
-        let src =
-            std::fs::read_to_string(root.join(rel)).map_err(|e| format!("reading {rel}: {e}"))?;
-        for v in rules::lint_source(rel, &src) {
-            let suppressed = allows.iter().enumerate().any(|(i, a)| {
-                let hit = a.rule == v.rule && a.path == v.path && v.excerpt.contains(&a.contains);
-                if hit {
-                    used[i] = true;
-                }
-                hit
-            });
-            if !suppressed {
-                violations.push(v);
+    for v in raw_violations {
+        let suppressed = allows.iter().enumerate().any(|(i, a)| {
+            let hit = a.rule == v.rule && a.path == v.path && v.excerpt.contains(&a.contains);
+            if hit {
+                used[i] = true;
             }
+            hit
+        });
+        if !suppressed {
+            violations.push(v);
         }
     }
     let unused_allows = allows
@@ -131,6 +222,9 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
         violations,
         unused_allows,
         files_scanned: files.len(),
+        graph: g,
+        roots,
+        reachable,
     })
 }
 
@@ -149,14 +243,36 @@ mod tests {
     fn collects_own_sources() {
         let root = workspace_root();
         let files = collect_sources(&root).unwrap();
-        assert!(files.iter().any(|f| f == "crates/simlint/src/lib.rs"));
-        assert!(files.iter().any(|f| f == "crates/sched/src/scheduler.rs"));
+        let path_of = |p: &str| files.iter().find(|f| f.path == p);
+        assert!(path_of("crates/simlint/src/lib.rs").is_some());
+        assert!(path_of("crates/sched/src/scheduler.rs").is_some());
         // Integration tests are out of scope.
-        assert!(files.iter().all(|f| !f.contains("/tests/")));
+        assert!(files.iter().all(|f| !f.path.contains("/tests/")));
         // Deterministic order.
         let mut sorted = files.clone();
-        sorted.sort();
+        sorted.sort_by(|a, b| a.path.cmp(&b.path));
         assert_eq!(files, sorted);
+    }
+
+    #[test]
+    fn binaries_and_examples_are_scanned_with_relaxed_class() {
+        let root = workspace_root();
+        let files = collect_sources(&root).unwrap();
+        let perf = files
+            .iter()
+            .find(|f| f.path == "crates/bench/src/bin/perf.rs")
+            .expect("bench binaries are in scope");
+        assert_eq!(perf.class, FileClass::Bin);
+        let ex = files
+            .iter()
+            .find(|f| f.path == "examples/quickstart.rs")
+            .expect("examples are in scope");
+        assert_eq!(ex.class, FileClass::Example);
+        let lib = files
+            .iter()
+            .find(|f| f.path == "crates/sched/src/scheduler.rs")
+            .unwrap();
+        assert_eq!(lib.class, FileClass::Lib);
     }
 
     /// The tentpole acceptance check: the real workspace lints clean with
@@ -180,5 +296,39 @@ mod tests {
             report.unused_allows
         );
         assert!(report.files_scanned > 50, "suspiciously few files scanned");
+    }
+
+    /// The R8 pass is only meaningful if the roots actually resolve and
+    /// pull in a substantial slice of the engine/scheduler hot path.
+    #[test]
+    fn purity_roots_resolve_and_reach_the_hot_path() {
+        let report = lint_workspace(&workspace_root()).unwrap();
+        assert!(
+            report.roots.len() >= 4,
+            "expected Scheduler::cycle/cycle_observed + engine run/run_probed, got {:?}",
+            report
+                .roots
+                .iter()
+                .map(|&r| report.graph.nodes[r].id.clone())
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            report.reachable.len() >= 20,
+            "suspiciously small reachable set ({}): did call resolution break?",
+            report.reachable.len()
+        );
+        // The hot path crosses crates: sched planning and machine state
+        // must both be in the reachable set.
+        let crates_reached: std::collections::BTreeSet<&str> = report
+            .reachable
+            .iter()
+            .map(|&i| report.graph.nodes[i].krate.as_str())
+            .collect();
+        for k in ["sched", "machine", "simkit"] {
+            assert!(
+                crates_reached.contains(k),
+                "{k} not reached: {crates_reached:?}"
+            );
+        }
     }
 }

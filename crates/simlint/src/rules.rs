@@ -17,10 +17,40 @@ pub const WALLCLOCK_EXEMPT_CRATES: &[&str] = &["bench"];
 /// The single file allowed to convert between `f64` seconds and sim time.
 pub const TIME_MODULE: &str = "crates/simkit/src/time.rs";
 
+/// Crates whose f64 accumulations must be order-audited (R7): the sim
+/// crates whose numbers a parallel fleet runner will fold across threads.
+/// `analysis` and `tracekit` sit past the report boundary — their floats
+/// are derived from already-final per-run state in a pinned order.
+pub const FLOAT_ORDER_CRATES: &[&str] = &["sched", "machine", "simkit", "core", "workload", "obs"];
+
+/// How a source file participates in the rule set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library code under `crates/*/src` (minus `src/bin`): full rules.
+    Lib,
+    /// `crates/*/src/bin/*`: binaries get the relaxed set — R1 and R5
+    /// stay (shared-state/ordering bugs in drivers still corrupt runs),
+    /// R2/R4 are waived (binaries time and panic freely).
+    Bin,
+    /// The root `examples/` tree: same relaxed set as binaries.
+    Example,
+}
+
+/// Classify a repo-relative path.
+pub fn classify(rel_path: &str) -> FileClass {
+    if rel_path.starts_with("examples/") {
+        FileClass::Example
+    } else if rel_path.contains("/src/bin/") {
+        FileClass::Bin
+    } else {
+        FileClass::Lib
+    }
+}
+
 /// One diagnostic.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id: "R1" … "R4".
+    /// Rule id: "R1" … "R8".
     pub rule: &'static str,
     /// Repo-relative path.
     pub path: String,
@@ -43,7 +73,7 @@ impl std::fmt::Display for Violation {
 }
 
 /// Is `needle` present in `hay` as a whole token (not an identifier infix)?
-fn token_match(hay: &str, needle: &str) -> bool {
+pub fn token_match(hay: &str, needle: &str) -> bool {
     let mut from = 0;
     while let Some(k) = hay[from..].find(needle) {
         let at = from + k;
@@ -73,16 +103,31 @@ pub fn crate_of(rel_path: &str) -> &str {
 }
 
 /// Lint one source file. `rel_path` uses forward slashes from the repo
-/// root; test regions and literal/comment contents are exempt by
-/// construction (see [`crate::lexer`]).
+/// root and determines the crate and [`FileClass`]; test regions and
+/// literal/comment contents are exempt by construction (see
+/// [`crate::lexer`]).
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
     let krate = crate_of(rel_path);
+    let class = classify(rel_path);
     let cleaned = lexer::analyze(src);
     let mut out = Vec::new();
 
+    let relaxed = matches!(class, FileClass::Bin | FileClass::Example);
     let det = DETERMINISM_CRATES.contains(&krate);
     let wallclock_ok = WALLCLOCK_EXEMPT_CRATES.contains(&krate);
     let is_time_module = rel_path == TIME_MODULE;
+
+    // Which rules apply here. Binaries and examples get the relaxed set:
+    // R1 and R5 only — they feed data into replays and fan work out, so
+    // ordering and shared-state hazards still matter, but they may time,
+    // print and panic freely.
+    let r1 = det || relaxed;
+    let r2 = !relaxed && !wallclock_ok;
+    let r3 = !relaxed && det && !is_time_module;
+    let r4 = !relaxed && det;
+    let r5 = det || relaxed;
+    let r6 = !relaxed;
+    let r7 = !relaxed && FLOAT_ORDER_CRATES.contains(&krate);
 
     for (idx, (line, orig)) in cleaned.text.lines().zip(src.lines()).enumerate() {
         if cleaned.test_mask.get(idx).copied().unwrap_or(false) {
@@ -100,7 +145,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
         };
 
         // R1 — nondeterministic iteration order in simulation state.
-        if det {
+        if r1 {
             for ty in ["HashMap", "HashSet"] {
                 if token_match(line, ty) {
                     push(
@@ -116,7 +161,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
         }
 
         // R2 — wall-clock leakage into simulated time.
-        if !wallclock_ok {
+        if r2 {
             for pat in [
                 "SystemTime::now",
                 "Instant::now",
@@ -136,7 +181,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
         }
 
         // R3 — f64→time conversion outside simkit::time.
-        if det && !is_time_module && token_match(line, "from_secs_f64") {
+        if r3 && token_match(line, "from_secs_f64") {
             push(
                 "R3",
                 "f64→time conversion outside simkit::time: float time arithmetic \
@@ -147,7 +192,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
         }
 
         // R4 — unchecked panics in library code.
-        if det {
+        if r4 {
             if line.contains(".unwrap()") {
                 push(
                     "R4",
@@ -162,6 +207,86 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
                     "R4",
                     "expect() in library code: allowed only for documented invariants \
                      — add a simlint.toml entry stating why it cannot fire"
+                        .to_string(),
+                );
+            }
+        }
+
+        // R5 — shared-mutable-state hazards: anything that would make sim
+        // state non-Send/Sync (or let two fleet threads alias it) when the
+        // ensemble runner fans replays out across cores.
+        if r5 {
+            if line.contains("static mut") {
+                push(
+                    "R5",
+                    "static mut in simulation code: ambient mutable state is shared \
+                     by every fleet thread and breaks replay isolation — thread the \
+                     state through explicitly"
+                        .to_string(),
+                );
+            }
+            for ty in ["RefCell", "Cell", "UnsafeCell", "Rc"] {
+                if token_match(line, ty) {
+                    push(
+                        "R5",
+                        format!(
+                            "{ty} in simulation code: !Send/!Sync interior mutability \
+                             blocks the parallel fleet fan-out — use plain &mut \
+                             threading, or Arc over immutable data"
+                        ),
+                    );
+                }
+            }
+            if token_match(line, "unsafe") {
+                push(
+                    "R5",
+                    "unsafe in simulation code: manual aliasing/Send/Sync claims are \
+                     exactly what the determinism audit cannot check — justify in \
+                     simlint.toml or restructure"
+                        .to_string(),
+                );
+            }
+        }
+
+        // R6 — RNG discipline: entropy may enter only as the explicit u64
+        // seed at the CLI boundary; any in-process entropy source makes a
+        // run irreproducible (and RandomState additionally randomizes hash
+        // iteration order).
+        if r6 {
+            for pat in [
+                "from_entropy",
+                "from_os_rng",
+                "OsRng",
+                "getrandom",
+                "RandomState",
+            ] {
+                if token_match(line, pat) {
+                    push(
+                        "R6",
+                        format!(
+                            "{pat}: entropy-seeded RNG construction outside the seed \
+                             boundary — every generator must derive from the run's \
+                             explicit u64 seed (simkit::Rng::new/split)"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // R7 — float accumulation order: parallel ensembles merge partial
+        // results, and f64 addition does not commute with reordering. Sum
+        // integers (exact at any order) or record the fixed-order argument
+        // in simlint.toml.
+        if r7 {
+            let sum_f64 = token_match(line, "sum::<f64>")
+                || (line.contains(".sum()") && line.contains("f64"));
+            let fold_f64 = line.contains("fold(0.0") || line.contains("fold(0f64");
+            if sum_f64 || fold_f64 {
+                push(
+                    "R7",
+                    "f64 accumulation in a sim crate: result depends on summation \
+                     order, which a parallel ensemble merge will vary — accumulate \
+                     in integer units, or audit the fixed order in simlint.toml"
                         .to_string(),
                 );
             }
@@ -257,6 +382,89 @@ mod tests {
         // Binary/bench crates may panic freely.
         assert!(lint_source("crates/cli/src/x.rs", src).is_empty());
         assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r5_flags_shared_mutable_state_in_sim_crates() {
+        let src = "static mut COUNT: u32 = 0;\nlet c = RefCell::new(0);\nlet r = Rc::new(1);\nunsafe { x() }\n";
+        let v = lint_source("crates/machine/src/x.rs", src);
+        assert_eq!(rules_of(&v), ["R5", "R5", "R5", "R5"]);
+        // Non-sim library crates (cli) are outside R5's scope.
+        assert!(lint_source("crates/cli/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r5_negative_arc_and_lookalike_identifiers() {
+        // Arc is the sanctioned sharing primitive; names merely containing
+        // Cell/Rc are not hits.
+        let src = "let a = Arc::new(1);\nstruct Cellar { rc_count: u32 }\n";
+        assert!(lint_source("crates/sched/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r6_flags_entropy_seeded_rng_everywhere() {
+        let src = "let r = StdRng::from_entropy();\nlet o = OsRng;\nlet h: RandomState = Default::default();\n";
+        let v = lint_source("crates/cli/src/x.rs", src);
+        assert_eq!(rules_of(&v), ["R6", "R6", "R6"]);
+        // Even the bench harness: its wall-clock exemption (R2) does not
+        // extend to entropy — timed replays must still be reproducible.
+        let v = lint_source("crates/bench/src/x.rs", src);
+        assert_eq!(rules_of(&v), ["R6", "R6", "R6"]);
+        // Seed-derived construction is the sanctioned path.
+        let ok = "let r = Rng::new(seed);\nlet s = rng.split(7);\n";
+        assert!(lint_source("crates/simkit/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn r7_flags_float_accumulation_in_float_order_crates() {
+        let src = "let s: f64 = xs.iter().sum();\nlet t = xs.iter().sum::<f64>();\nlet u = xs.iter().fold(0.0, |a, b| a + b);\n";
+        let v = lint_source("crates/workload/src/x.rs", src);
+        assert_eq!(rules_of(&v), ["R7", "R7", "R7"]);
+        // Integer sums are exact at any merge order: clean.
+        let ok = "let n: u64 = xs.iter().sum();\nlet m = xs.iter().sum::<u64>();\n";
+        assert!(lint_source("crates/workload/src/x.rs", ok).is_empty());
+        // analysis/tracekit sit past the report boundary.
+        assert!(lint_source("crates/analysis/src/x.rs", src).is_empty());
+        assert!(lint_source("crates/tracekit/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn binaries_and_examples_get_the_relaxed_rule_set() {
+        let src = "let m = HashMap::new();\nlet c = RefCell::new(0);\nlet t = Instant::now();\nlet v = x.unwrap();\nlet s: f64 = xs.iter().sum();\n";
+        // R1 and R5 still fire in drivers; R2/R4/R7 are waived there.
+        assert_eq!(
+            rules_of(&lint_source("crates/sched/src/bin/tool.rs", src)),
+            ["R1", "R5"]
+        );
+        assert_eq!(
+            rules_of(&lint_source("examples/demo.rs", src)),
+            ["R1", "R5"]
+        );
+        // The same source as determinism-crate library code: full set.
+        assert_eq!(
+            rules_of(&lint_source("crates/sched/src/x.rs", src)),
+            ["R1", "R5", "R2", "R4", "R7"]
+        );
+    }
+
+    #[test]
+    fn float_order_scope_is_nested_in_determinism_scope() {
+        // R7 is a refinement of the determinism audit: every float-order
+        // crate must also be determinism-linted, and the two crates past
+        // the report boundary are excluded deliberately, not forgotten.
+        for krate in FLOAT_ORDER_CRATES {
+            assert!(
+                DETERMINISM_CRATES.contains(krate),
+                "{krate} is R7-scoped but not determinism-linted"
+            );
+        }
+        for krate in ["analysis", "tracekit"] {
+            assert!(
+                !FLOAT_ORDER_CRATES.contains(&krate),
+                "{krate} sits past the report boundary and is exempt from R7"
+            );
+            assert!(DETERMINISM_CRATES.contains(&krate));
+        }
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! End-to-end tests of the simlint binary: exit codes, the JSON
+//! diagnostics surface and the call-graph artifact — the exact interface
+//! the CI lint step depends on.
+
+use std::process::Command;
+
+fn simlint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .args(args)
+        .output()
+        .expect("spawn simlint")
+}
+
+#[test]
+fn workspace_is_clean_under_deny_stale() {
+    let out = simlint(&["--deny-stale"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "simlint failed:\n{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no violations"), "{stdout}");
+    assert!(stdout.contains("proven pure"), "{stdout}");
+}
+
+#[test]
+fn json_mode_emits_schema_one() {
+    let out = simlint(&["--format", "json", "--deny-stale"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.starts_with("{\"schema\":1,\"files_scanned\":"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"violations\":[]"), "{stdout}");
+    assert!(stdout.contains("\"unused_allows\":[]"), "{stdout}");
+    assert!(stdout.contains("\"graph\":{\"functions\":"), "{stdout}");
+}
+
+#[test]
+fn emit_graph_writes_the_artifact() {
+    let path = std::env::temp_dir().join(format!("simlint-cg-{}.json", std::process::id()));
+    let out = simlint(&["--emit-graph", path.to_str().expect("utf8 temp path")]);
+    assert!(out.status.success());
+    let graph = std::fs::read_to_string(&path).expect("artifact written");
+    let _ = std::fs::remove_file(&path);
+    assert!(graph.starts_with("{\"schema\":1,\"roots\":["), "{graph}");
+    assert!(graph.contains("sched::Scheduler::cycle"), "{graph}");
+    assert!(graph.contains("\"reachable\":true"), "{graph}");
+}
+
+#[test]
+fn unknown_flags_and_bad_roots_exit_two() {
+    let out = simlint(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = simlint(&["--root", "/nonexistent/simlint-test-root"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -105,8 +105,14 @@ impl TraceGenerator {
     /// generator horizon: `Σ cpus·runtime / (N·T)`. Delivered utilization is
     /// bounded above by this (scheduling losses only subtract).
     pub fn offered_load(jobs: &[Job], total_cpus: u32, horizon: SimTime) -> f64 {
-        let work: f64 = jobs.iter().map(|j| j.cpu_seconds()).sum();
-        work / (total_cpus as f64 * horizon.as_secs() as f64)
+        // Integer accumulation: cpus·runtime is exact in u64, so the sum is
+        // independent of job order (R7) and identical to the old f64 sum for
+        // any total below 2^53 CPU·seconds.
+        let work: u64 = jobs
+            .iter()
+            .map(|j| j.cpus as u64 * j.runtime.as_secs())
+            .sum();
+        work as f64 / (total_cpus as f64 * horizon.as_secs() as f64)
     }
 }
 

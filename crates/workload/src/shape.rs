@@ -83,6 +83,9 @@ impl SizeModel {
     }
 
     /// Exact mean of the distribution.
+    // R7 audit (simlint.toml): the weight vector is fixed at construction
+    // and folded sequentially in that one order; the mean feeds validation
+    // and reports, never replayed simulation state.
     pub fn mean(&self) -> f64 {
         let total: f64 = self.weights.iter().sum();
         self.sizes

@@ -144,6 +144,9 @@ pub fn arrival_dispersion(jobs: &[Job]) -> f64 {
 /// autocorrelation — is the §1 driver of persistent high-load episodes
 /// (Figure 3's long tail "is a result of projects that run during
 /// persistently high utilizations").
+// R7 audit (simlint.toml): the f64 reductions below run sequentially over
+// one fixed-order slice on the report side; nothing here is sharded across
+// ensemble threads, so summation order is pinned.
 pub fn autocorrelation(series: &[f64], lag: usize) -> Option<f64> {
     let n = series.len();
     if lag >= n || n < 2 {
