@@ -121,6 +121,11 @@ fn main() {
         cfg.reps, cfg.warmup
     );
     std::fs::create_dir_all(&out_dir).expect("create PERF_OUT_DIR");
+    // Measure everything first, write nothing until every scenario has
+    // succeeded: a panic mid-rep must not leave a half-updated baseline set
+    // on disk for `perf compare` to silently bless.
+    let mut baselines = Vec::new();
+    let mut failures = Vec::new();
     for (key, machine) in [
         ("ross", ross()),
         ("blue_mountain", blue_mountain()),
@@ -136,12 +141,38 @@ fn main() {
             scenarios: Default::default(),
         };
         for (scenario, faulted) in [("fault_free", false), ("faulted", true)] {
-            let m = measure(cfg, || replay(&machine, jobs_prefix as usize, faulted));
-            print_measurement(key, scenario, &m);
-            baseline
-                .scenarios
-                .insert(scenario.to_string(), m.to_scenario());
+            let measured = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                measure(cfg, || replay(&machine, jobs_prefix as usize, faulted))
+            }));
+            match measured {
+                Ok(m) => {
+                    print_measurement(key, scenario, &m);
+                    baseline
+                        .scenarios
+                        .insert(scenario.to_string(), m.to_scenario());
+                }
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    eprintln!("error: {key}/{scenario} panicked mid-measurement: {msg}");
+                    failures.push(format!("{key}/{scenario}"));
+                }
+            }
         }
+        baselines.push((key, baseline));
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "error: {} scenario(s) failed ({}); no baseline files were written",
+            failures.len(),
+            failures.join(", ")
+        );
+        std::process::exit(1);
+    }
+    for (key, baseline) in baselines {
         let path = format!("{out_dir}/BENCH_{key}.json");
         std::fs::write(&path, baseline.to_json()).expect("write baseline");
         println!("wrote {path}");

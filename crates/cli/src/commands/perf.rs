@@ -5,7 +5,10 @@
 //! fails), wall-clock medians within `--wall-tol-pct` percent (default 25;
 //! CI passes a generous value because shared runners are noisy). A detected
 //! regression returns an error, so the process exits nonzero — that is the
-//! gate. `perf show FILE` pretty-prints one baseline.
+//! gate. `--require-decrease C1,C2` additionally demands that the named
+//! work counters *strictly decreased* in every shared scenario — the gate
+//! CI runs when a change claims to reduce scheduler work. `perf show FILE`
+//! pretty-prints one baseline.
 
 use crate::args::{ArgError, Args};
 use obs::perf::{compare, PerfBaseline};
@@ -34,12 +37,14 @@ fn load(path: &str) -> Result<PerfBaseline, ArgError> {
 }
 
 fn run_compare(args: &Args) -> Result<String, ArgError> {
-    args.check_flags(&["wall-tol-pct"])?;
+    args.check_flags(&["wall-tol-pct", "require-decrease"])?;
     let [old_path, new_path] = match args.positional.get(1..3) {
         Some([a, b]) => [a.as_str(), b.as_str()],
         _ => {
             return Err(ArgError(
-                "usage: perf compare OLD.json NEW.json [--wall-tol-pct P]".into(),
+                "usage: perf compare OLD.json NEW.json [--wall-tol-pct P] \
+                 [--require-decrease C1,C2]"
+                    .into(),
             ))
         }
     };
@@ -59,7 +64,60 @@ fn run_compare(args: &Args) -> Result<String, ArgError> {
             cmp.regressions.len()
         )));
     }
+    if let Some(list) = args.get("require-decrease") {
+        out.push_str(&require_decrease(&old, &new, list)?);
+    }
     Ok(out)
+}
+
+/// Assert that each counter named in the comma-separated `list` strictly
+/// decreased in every scenario present in both baselines. CI uses this
+/// after a data-structure change that must *reduce* work, where "no
+/// increase" would be too weak a gate.
+fn require_decrease(
+    old: &PerfBaseline,
+    new: &PerfBaseline,
+    list: &str,
+) -> Result<String, ArgError> {
+    let mut out = String::new();
+    let mut failures = Vec::new();
+    for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let mut seen = false;
+        for (scenario, old_s) in &old.scenarios {
+            let Some(new_s) = new.scenarios.get(scenario) else {
+                continue;
+            };
+            let old_v = counter(&old_s.work, name)?;
+            let new_v = counter(&new_s.work, name)?;
+            seen = true;
+            if new_v < old_v {
+                out.push_str(&format!(
+                    "  decrease ok  {scenario}/{name}: {old_v} -> {new_v}\n"
+                ));
+            } else {
+                failures.push(format!("{scenario}/{name}: {old_v} -> {new_v}"));
+            }
+        }
+        if !seen {
+            failures.push(format!("{name}: no scenario present in both baselines"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(out)
+    } else {
+        Err(ArgError(format!(
+            "{out}required decrease not met:\n  {}",
+            failures.join("\n  ")
+        )))
+    }
+}
+
+fn counter(work: &obs::WorkCounters, name: &str) -> Result<u64, ArgError> {
+    work.fields()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| ArgError(format!("unknown counter {name:?} in --require-decrease")))
 }
 
 fn run_show(args: &Args) -> Result<String, ArgError> {
@@ -159,6 +217,51 @@ mod tests {
         assert!(out.contains("ross baseline"));
         assert!(out.contains("backfill_candidates_scanned"));
         assert!(out.contains("700"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn require_decrease_demands_a_strict_drop() {
+        let dir = std::env::temp_dir().join("interstitial-perf-decrease-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = write(&dir, "old.json", &baseline(700));
+        let better = write(&dir, "better.json", &baseline(600));
+        let same = write(&dir, "same.json", &baseline(700));
+
+        let ok = run(&args(&[
+            "perf",
+            "compare",
+            &old,
+            &better,
+            "--require-decrease",
+            "backfill_candidates_scanned",
+        ]))
+        .unwrap();
+        assert!(ok.contains("decrease ok"), "{ok}");
+        assert!(ok.contains("700 -> 600"), "{ok}");
+
+        // Equal is a failure: "no increase" is not a decrease.
+        let err = run(&args(&[
+            "perf",
+            "compare",
+            &old,
+            &same,
+            "--require-decrease",
+            "backfill_candidates_scanned",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("required decrease not met"), "{}", err.0);
+
+        let err = run(&args(&[
+            "perf",
+            "compare",
+            &old,
+            &better,
+            "--require-decrease",
+            "no_such_counter",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("unknown counter"), "{}", err.0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

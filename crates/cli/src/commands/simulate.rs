@@ -28,6 +28,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         "metrics",
         "faults",
         "resilience",
+        "event-queue",
     ])?;
 
     // Native log: an SWF positional, or a synthetic trace by seed. An SWF
@@ -82,6 +83,15 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         return Err(ArgError("--resilience requires --faults".into()));
     }
 
+    // Event-queue backend: binary heap (default) or calendar queue. Both
+    // pop in identical order, so this only changes constant factors.
+    let queue = match args.get("event-queue") {
+        None => QueueKind::default(),
+        Some(kind) => {
+            QueueKind::parse(kind).map_err(|e| ArgError(format!("bad --event-queue: {e}")))?
+        }
+    };
+
     // Observability rides on the interstitial run when a shape is given,
     // otherwise on the baseline.
     let observe = args.get("trace").is_some() || args.get("metrics").is_some();
@@ -90,7 +100,8 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
     // Baseline (always) and, if a shape is given, the interstitial run.
     let mut baseline_builder = SimBuilder::new(machine.clone())
         .natives_arc(Arc::clone(&natives))
-        .horizon(horizon);
+        .horizon(horizon)
+        .event_queue(queue);
     if let Some(model) = &faults {
         baseline_builder = baseline_builder.faults(model.clone());
     }
@@ -148,6 +159,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
             let mut b = SimBuilder::new(machine.clone())
                 .natives_arc(Arc::clone(&natives))
                 .horizon(horizon)
+                .event_queue(queue)
                 .interstitial(project, mode, policy);
             if let Some(model) = &faults {
                 b = b.faults(model.clone());
@@ -323,8 +335,35 @@ mod tests {
     }
 
     #[test]
+    fn calendar_event_queue_matches_heap_exactly() {
+        let flags = |queue: &str| {
+            run(&parse(&[
+                "simulate",
+                "--machine",
+                "128x1.0",
+                "--seed",
+                "2",
+                "--shape",
+                "16x120",
+                "--event-queue",
+                queue,
+            ]))
+            .unwrap()
+        };
+        assert_eq!(flags("heap"), flags("calendar"));
+    }
+
+    #[test]
     fn bad_flags_are_clean_errors() {
         assert!(run(&parse(&["simulate"])).is_err(), "no machine");
+        assert!(run(&parse(&[
+            "simulate",
+            "--machine",
+            "ross",
+            "--event-queue",
+            "wheelbarrow"
+        ]))
+        .is_err());
         assert!(run(&parse(&["simulate", "--machine", "ross", "--shape", "16"])).is_err());
         assert!(run(&parse(&[
             "simulate",

@@ -28,6 +28,7 @@ use machine::{CpuPool, FaultModel, MachineConfig, OutageSchedule, RunningJob, Ru
 use obs::{EventKind, Obs, StartKind};
 use sched::Scheduler;
 use simkit::event::EventQueue;
+use simkit::queue::{FutureEventList, QueueKind};
 use simkit::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -78,6 +79,7 @@ pub struct SimBuilder {
     periodic_cycle: Option<SimDuration>,
     feedback: Option<(SimDuration, u64)>,
     observer: Obs,
+    queue: QueueKind,
 }
 
 impl SimBuilder {
@@ -94,7 +96,16 @@ impl SimBuilder {
             periodic_cycle: None,
             feedback: None,
             observer: Obs::disabled(),
+            queue: QueueKind::default(),
         }
+    }
+
+    /// Choose the future-event-list implementation (default: the binary
+    /// heap). The calendar queue trades the heap's O(log n) for O(1)
+    /// amortized scheduling; the run's output is bit-identical either way.
+    pub fn event_queue(mut self, kind: QueueKind) -> Self {
+        self.queue = kind;
+        self
     }
 
     /// The native job log to replay. Jobs larger than the machine are
@@ -228,6 +239,7 @@ impl SimBuilder {
             periodic_cycle: self.periodic_cycle,
             feedback: self.feedback,
             obs: self.observer,
+            queue: self.queue,
         }
     }
 }
@@ -244,6 +256,7 @@ pub struct Simulator {
     periodic_cycle: Option<SimDuration>,
     feedback: Option<(SimDuration, u64)>,
     obs: Obs,
+    queue: QueueKind,
 }
 
 /// A checkpointed interstitial job awaiting resumption.
@@ -298,11 +311,24 @@ struct RunState {
 impl Simulator {
     /// Execute the simulation to completion (all submitted jobs finished)
     /// and return the job log.
-    pub fn run(mut self) -> SimOutput {
+    ///
+    /// The event queue implementation is the builder's
+    /// [`event_queue`](SimBuilder::event_queue) choice; both kinds pop in
+    /// identical `(time, seq)` order, so the output is bit-for-bit the same
+    /// either way (pinned by `crates/core/tests/differential_replay.rs`).
+    pub fn run(self) -> SimOutput {
+        let cap = self.natives.len() * 2 + 16;
+        match self.queue {
+            QueueKind::Heap => self.run_with_queue(EventQueue::with_capacity(cap)),
+            QueueKind::Calendar => self.run_with_queue(simkit::CalendarQueue::with_capacity(cap)),
+        }
+    }
+
+    /// [`run`](Simulator::run) against a concrete future-event list.
+    fn run_with_queue<Q: FutureEventList<Ev>>(mut self, mut q: Q) -> SimOutput {
         self.obs
             .trace
             .set_machine(self.machine.name, self.machine.cpus);
-        let mut q: EventQueue<Ev> = EventQueue::with_capacity(self.natives.len() * 2 + 16);
         let mut st = RunState {
             pool: CpuPool::new(self.machine.cpus),
             running: RunningSet::new(),
@@ -435,7 +461,13 @@ impl Simulator {
         }
     }
 
-    fn handle(&mut self, now: SimTime, ev: Ev, st: &mut RunState, q: &mut EventQueue<Ev>) {
+    fn handle(
+        &mut self,
+        now: SimTime,
+        ev: Ev,
+        st: &mut RunState,
+        q: &mut impl FutureEventList<Ev>,
+    ) {
         match ev {
             Ev::Arrive(idx) => {
                 let mut job = self.natives[idx as usize];
@@ -533,7 +565,13 @@ impl Simulator {
     /// The pool is liquid (jobs are not pinned to nodes), so a failing node
     /// first claims idle CPUs; only the deficit kills jobs — youngest
     /// interstitial first (the cheapest loss), then youngest native.
-    fn fail_node(&mut self, now: SimTime, node: u32, st: &mut RunState, q: &mut EventQueue<Ev>) {
+    fn fail_node(
+        &mut self,
+        now: SimTime,
+        node: u32,
+        st: &mut RunState,
+        q: &mut impl FutureEventList<Ev>,
+    ) {
         let cpus = self.faults.nodes()[node as usize].cpus;
         st.faults.node_failures += 1;
         self.obs
@@ -574,7 +612,7 @@ impl Simulator {
         node: u32,
         id: u64,
         st: &mut RunState,
-        q: &mut EventQueue<Ev>,
+        q: &mut impl FutureEventList<Ev>,
     ) {
         let rj = st.running.remove(id);
         st.pool.release(rj.cpus);
@@ -642,7 +680,7 @@ impl Simulator {
     /// CPU conservation and the meta-backfill no-delay guarantee are
     /// asserted around the interstitial placement; the calls are empty
     /// inline stubs otherwise.
-    fn cycle(&mut self, now: SimTime, st: &mut RunState, q: &mut EventQueue<Ev>) {
+    fn cycle(&mut self, now: SimTime, st: &mut RunState, q: &mut impl FutureEventList<Ev>) {
         let span = self.obs.profiler.begin();
         self.obs.trace.advance_cycle();
         if st.machine_up {
@@ -819,7 +857,7 @@ impl Simulator {
         now: SimTime,
         job: Job,
         st: &mut RunState,
-        q: &mut EventQueue<Ev>,
+        q: &mut impl FutureEventList<Ev>,
         exact: bool,
         kind: StartKind,
         observer: &mut Obs,
@@ -886,7 +924,12 @@ impl Simulator {
         }
     }
 
-    fn submit_interstitial(&mut self, now: SimTime, st: &mut RunState, q: &mut EventQueue<Ev>) {
+    fn submit_interstitial(
+        &mut self,
+        now: SimTime,
+        st: &mut RunState,
+        q: &mut impl FutureEventList<Ev>,
+    ) {
         if self.streams.is_empty() {
             return;
         }

@@ -10,6 +10,8 @@
 //! * [`running`] — [`RunningSet`], the set of executing jobs with actual and
 //!   estimated completion times; computes backfill *shadow times* and
 //!   free-capacity profiles.
+//! * [`profile`] — [`EndIndex`]/[`IndexedFreeProfile`], the incrementally
+//!   maintained end-time index behind `RunningSet`'s O(√n) capacity queries.
 //! * [`outage`] — [`OutageSchedule`], full-machine downtime windows.
 //! * [`fault`] — [`FaultModel`], outages plus per-node failure/repair
 //!   processes yielding a time-varying capacity timeline.
@@ -30,10 +32,12 @@ pub mod config;
 pub mod fault;
 pub mod outage;
 pub mod pool;
+pub mod profile;
 pub mod running;
 
 pub use config::{MachineConfig, QueueSystem};
 pub use fault::{FaultModel, FaultSpec, FaultStats, KilledJob, NodeFaults};
 pub use outage::OutageSchedule;
 pub use pool::CpuPool;
+pub use profile::{EndIndex, IndexedFreeProfile};
 pub use running::{RunningJob, RunningSet};

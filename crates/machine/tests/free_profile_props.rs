@@ -91,6 +91,141 @@ fn free_profile_is_monotone_under_random_running_sets() {
     }
 }
 
+/// The tentpole equivalence, at the property level: for any random running
+/// set, the indexed view answers `value_at` identically to the naive
+/// `StepFunction` at every sampled instant — including `now` (clamp
+/// boundary), `now + 1`, and the last representable instant — for
+/// free-capacity levels from fault-degraded zero up.
+#[test]
+fn indexed_profile_matches_naive_pointwise() {
+    for seed in 200..240u64 {
+        let mut rng = Rng::new(seed);
+        let now = SimTime::from_secs(rng.below(10_000) + 5_000);
+        let horizon = now + SimDuration::from_secs(rng.below(50_000) + 1_000);
+        let (rs, free_full, _) = random_running_set(&mut rng, now);
+        // Fault-driven capacity drops show up here as a reduced (possibly
+        // zero) free count; the profiles must agree at every level.
+        for free_now in [0, free_full / 2, free_full] {
+            let naive = rs.free_profile(now, free_now, horizon);
+            let indexed = rs.indexed_profile(now, free_now, horizon);
+            let span = horizon.as_secs() - now.as_secs();
+            let mut probes = vec![
+                now,
+                now + SimDuration::from_secs(1),
+                horizon - SimDuration::from_secs(1),
+            ];
+            probes.extend((0..100).map(|_| now + SimDuration::from_secs(rng.below(span))));
+            for p in probes {
+                assert_eq!(
+                    naive.value_at(p),
+                    indexed.value_at(p),
+                    "seed {seed}, free {free_now}, probe {p:?}"
+                );
+            }
+        }
+    }
+}
+
+/// `min_over` and `find_slot` agree between the two representations over
+/// random query ranges, with and without planner-style overlay deductions
+/// (reservations and immediate starts applied as `range_add`s to both).
+#[test]
+fn indexed_queries_match_naive_under_overlay_deductions() {
+    for seed in 300..340u64 {
+        let mut rng = Rng::new(seed);
+        let now = SimTime::from_secs(10_000);
+        let horizon = now + SimDuration::from_secs(rng.below(40_000) + 2_000);
+        let (rs, free_now, _) = random_running_set(&mut rng, now);
+        let mut naive = rs.free_profile(now, free_now, horizon);
+        let mut indexed = rs.indexed_profile(now, free_now, horizon);
+        let span = horizon.as_secs() - now.as_secs();
+        // Planner-style deductions: a handful of ranged subtractions, as
+        // dispatch and reservations would apply them.
+        for _ in 0..rng.below(6) {
+            let a = now + SimDuration::from_secs(rng.below(span));
+            let b = a + SimDuration::from_secs(rng.below(span) + 1);
+            let delta = -(rng.below(64) as i64 + 1);
+            naive.range_add(a, b.min(horizon), delta);
+            indexed.range_add(a, b.min(horizon), delta);
+        }
+        for q in 0..60u32 {
+            let a = now + SimDuration::from_secs(rng.below(span + 10));
+            let b = a + SimDuration::from_secs(rng.below(span));
+            assert_eq!(
+                naive.min_over(a, b),
+                indexed.min_over(a, b),
+                "seed {seed}, query {q}: min_over({a:?}, {b:?})"
+            );
+            let need = rng.below(u64::from(TOTAL_CPUS) + 20) as i64;
+            let dur = SimDuration::from_secs(rng.below(span + 1_000) + 1);
+            assert_eq!(
+                naive.find_slot(a, need, dur),
+                indexed.find_slot(a, need, dur),
+                "seed {seed}, query {q}: find_slot({a:?}, {need}, {dur:?})"
+            );
+        }
+    }
+}
+
+/// The index stays correct through arrival/kill churn: after every
+/// insert/remove the rebuilt views still agree pointwise and the index's
+/// CPU total matches a brute-force recount.
+#[test]
+fn indexed_profile_survives_insert_remove_churn() {
+    for seed in 400..420u64 {
+        let mut rng = Rng::new(seed);
+        let now = SimTime::from_secs(20_000);
+        let horizon = now + SimDuration::from_secs(30_000);
+        let (mut rs, mut free_now, _) = random_running_set(&mut rng, now);
+        let mut next_id = 10_000u64;
+        for step in 0..40u32 {
+            // Kill (remove) or arrival (insert), biased to keep churning.
+            let ids: Vec<u64> = rs.iter().map(|j| j.id).collect();
+            if !ids.is_empty() && rng.chance(0.5) {
+                let victim = ids[rng.below(ids.len() as u64) as usize];
+                let gone = rs.remove(victim);
+                free_now += gone.cpus;
+            } else if free_now > 0 {
+                let cpus = rng.below(u64::from(free_now)) as u32 + 1;
+                let est = if rng.chance(0.25) {
+                    now // overrun: estimate already expired
+                } else {
+                    now + SimDuration::from_secs(rng.below(40_000))
+                };
+                rs.insert(RunningJob {
+                    id: next_id,
+                    cpus,
+                    start: now - SimDuration::from_secs(10),
+                    actual_end: now + SimDuration::from_secs(rng.below(40_000) + 1),
+                    estimated_end: est,
+                    interstitial: false,
+                });
+                next_id += 1;
+                free_now -= cpus;
+            }
+            let recount: u64 = rs.iter().map(|j| u64::from(j.cpus)).sum();
+            assert_eq!(
+                rs.end_index().total_cpus(),
+                recount,
+                "seed {seed}, step {step}: index total drifted"
+            );
+            let naive = rs.free_profile(now, free_now, horizon);
+            let indexed = rs.indexed_profile(now, free_now, horizon);
+            for k in 0..40u64 {
+                let p = now + SimDuration::from_secs(k * 750);
+                if p >= horizon {
+                    break;
+                }
+                assert_eq!(
+                    naive.value_at(p),
+                    indexed.value_at(p),
+                    "seed {seed}, step {step}, probe {p:?}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn free_profile_value_matches_per_instant_recount() {
     // Pointwise cross-check against a direct recount at sampled instants.

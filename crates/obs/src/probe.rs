@@ -71,7 +71,7 @@ mod tests {
 
     impl Simulation for Ticker {
         type Event = ();
-        fn handle(&mut self, now: SimTime, _: (), queue: &mut EventQueue<()>) {
+        fn handle<Q: simkit::FutureEventList<()>>(&mut self, now: SimTime, _: (), queue: &mut Q) {
             if self.remaining > 0 {
                 self.remaining -= 1;
                 queue.schedule(now + SimDuration::from_secs(10), ());

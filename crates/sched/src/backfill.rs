@@ -23,13 +23,61 @@
 //! wrong as the estimates are — the effect §4.3 measures.
 
 use crate::window::DispatchWindow;
-use machine::RunningSet;
+use machine::{IndexedFreeProfile, RunningSet};
+use simkit::series::StepFunction;
 use simkit::time::{SimDuration, SimTime};
 use workload::Job;
 
 /// How far ahead reservations are planned. Longer than any queue estimate
 /// plus any plausible backlog on the paper's machines.
 pub const LOOKAHEAD: SimDuration = SimDuration(60 * 86_400);
+
+/// The capacity queries the planner needs, abstracted so the naive
+/// [`StepFunction`] profile and the indexed [`IndexedFreeProfile`] view are
+/// interchangeable. Both answer every method identically for the same
+/// running set (pinned by `crates/sched/tests/differential.rs`); they differ
+/// only in cost. Methods take `&mut self` so implementations may keep
+/// deterministic work tallies without interior mutability (simlint R5).
+pub trait CapacityProfile {
+    /// Value at instant `t` (clamped into the domain).
+    fn value_at(&mut self, t: SimTime) -> i64;
+    /// Minimum value on `[t0, t1)`; `None` for an empty window.
+    fn min_over(&mut self, t0: SimTime, t1: SimTime) -> Option<i64>;
+    /// Add `delta` on `[t0, t1)` (planner deductions are negative).
+    fn range_add(&mut self, t0: SimTime, t1: SimTime, delta: i64);
+    /// Earliest start ≥ `from` holding ≥ `need` CPUs for all of `dur`.
+    fn find_slot(&mut self, from: SimTime, need: i64, dur: SimDuration) -> Option<SimTime>;
+}
+
+impl CapacityProfile for StepFunction {
+    fn value_at(&mut self, t: SimTime) -> i64 {
+        StepFunction::value_at(self, t)
+    }
+    fn min_over(&mut self, t0: SimTime, t1: SimTime) -> Option<i64> {
+        StepFunction::min_over(self, t0, t1)
+    }
+    fn range_add(&mut self, t0: SimTime, t1: SimTime, delta: i64) {
+        StepFunction::range_add(self, t0, t1, delta)
+    }
+    fn find_slot(&mut self, from: SimTime, need: i64, dur: SimDuration) -> Option<SimTime> {
+        StepFunction::find_slot(self, from, need, dur)
+    }
+}
+
+impl CapacityProfile for IndexedFreeProfile<'_> {
+    fn value_at(&mut self, t: SimTime) -> i64 {
+        IndexedFreeProfile::value_at(self, t)
+    }
+    fn min_over(&mut self, t0: SimTime, t1: SimTime) -> Option<i64> {
+        IndexedFreeProfile::min_over(self, t0, t1)
+    }
+    fn range_add(&mut self, t0: SimTime, t1: SimTime, delta: i64) {
+        IndexedFreeProfile::range_add(self, t0, t1, delta)
+    }
+    fn find_slot(&mut self, from: SimTime, need: i64, dur: SimDuration) -> Option<SimTime> {
+        IndexedFreeProfile::find_slot(self, from, need, dur)
+    }
+}
 
 /// Backfill flavor.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -111,7 +159,21 @@ pub fn plan_on_profile(
     policy: BackfillPolicy,
     ordered_queue: &[Job],
     now: SimTime,
-    profile: &mut simkit::series::StepFunction,
+    profile: &mut StepFunction,
+    window: DispatchWindow,
+) -> DispatchPlan {
+    plan_on(policy, ordered_queue, now, profile, window)
+}
+
+/// [`plan_on_profile`] generalized over [`CapacityProfile`], so one planner
+/// body serves both the naive and the indexed capacity views — the
+/// differential harness depends on there being exactly one decision
+/// procedure.
+pub fn plan_on<P: CapacityProfile>(
+    policy: BackfillPolicy,
+    ordered_queue: &[Job],
+    now: SimTime,
+    profile: &mut P,
     window: DispatchWindow,
 ) -> DispatchPlan {
     let mut out = DispatchPlan::default();
@@ -119,8 +181,22 @@ pub fn plan_on_profile(
         return out;
     }
 
+    // Early-exit guard: once the head is blocked and no CPU is free *right
+    // now*, no later candidate can start either (backfill candidates must
+    // start immediately, and reservations never subtract capacity at `now`),
+    // so the scan is over. Sound because `can_start_now` needs
+    // `min_over(now, ·) >= cpus >= 1` while the value at `now` is ≤ 0 —
+    // except for hypothetical zero-CPU jobs, which disable the shortcut.
+    // Applied identically for every profile implementation so
+    // `candidates_scanned` stays mode-independent.
+    let has_zero_cpu = ordered_queue.iter().any(|j| j.cpus == 0);
+    let mut free_at_now = profile.value_at(now);
+
     let mut head_blocked = false;
     for (idx, job) in ordered_queue.iter().enumerate() {
+        if head_blocked && free_at_now <= 0 && !has_zero_cpu {
+            break;
+        }
         out.candidates_scanned += 1;
         let cpus = i64::from(job.cpus);
         let dur = job.planning_estimate();
@@ -154,6 +230,7 @@ pub fn plan_on_profile(
 
         if may_start {
             profile.range_add(now, now + dur, -cpus);
+            free_at_now -= cpus;
             out.starts.push(*job);
             if head_blocked {
                 out.backfilled += 1;

@@ -44,7 +44,7 @@ pub mod priority;
 pub mod scheduler;
 pub mod window;
 
-pub use backfill::{BackfillPolicy, DispatchPlan, Reservation};
+pub use backfill::{BackfillPolicy, CapacityProfile, DispatchPlan, Reservation};
 pub use priority::PriorityPolicy;
-pub use scheduler::{Counters, Scheduler};
+pub use scheduler::{Counters, ProfileMode, Scheduler};
 pub use window::DispatchWindow;

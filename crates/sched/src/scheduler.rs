@@ -14,6 +14,25 @@ use machine::{MachineConfig, QueueSystem, RunningSet};
 use simkit::time::{SimDuration, SimTime};
 use workload::Job;
 
+/// Which free-capacity representation a cycle plans against. Both produce
+/// identical dispatch decisions (one planner body, equivalence pinned by
+/// `crates/sched/tests/differential.rs`); they differ only in query cost.
+/// `profile_segments_walked` tallies the segments of whichever profile the
+/// cycle actually builds: the full running-set rebuild (∝ running jobs)
+/// for `Naive`, the plan overlay (∝ plan size) for `Indexed`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ProfileMode {
+    /// Rebuild a [`StepFunction`](simkit::series::StepFunction) from every
+    /// running job each cycle — the O(n) reference oracle.
+    Naive,
+    /// Query the incrementally-maintained
+    /// [`EndIndex`](machine::EndIndex) through
+    /// [`IndexedFreeProfile`](machine::IndexedFreeProfile) — O(√n) per
+    /// query. The default.
+    #[default]
+    Indexed,
+}
+
 /// Queue + policies for one machine.
 #[derive(Clone, Debug)]
 pub struct Scheduler {
@@ -23,6 +42,8 @@ pub struct Scheduler {
     pub backfill: BackfillPolicy,
     /// Time-of-day dispatch constraint.
     pub window: DispatchWindow,
+    /// Free-capacity representation the planner queries.
+    pub profile_mode: ProfileMode,
     /// Anti-starvation aging: fair-share score reduction per second of
     /// queue wait (0 = off; see [`PriorityPolicy::key_aged`]).
     pub aging_weight: f64,
@@ -56,7 +77,11 @@ pub struct Counters {
     /// Queued jobs examined by the backfill planner, summed over cycles.
     pub backfill_candidates_scanned: u64,
     /// Segments in the free-capacity profiles built for planning, summed
-    /// over cycles — the cost of walking the projected-capacity timeline.
+    /// over cycles — the cost of materializing the projected-capacity
+    /// timeline. Mode-dependent size, same meaning: the naive path rebuilds
+    /// a profile with one segment per distinct running-job end, the indexed
+    /// path builds only the plan overlay (see
+    /// [`ProfileMode`]).
     pub profile_segments_walked: u64,
 }
 
@@ -72,6 +97,7 @@ impl Scheduler {
             priority,
             backfill,
             window,
+            profile_mode: ProfileMode::default(),
             aging_weight: 0.0,
             max_dispatchable_per_user: None,
             fairshare: FairShare::new(fairshare_half_life),
@@ -254,15 +280,38 @@ impl Scheduler {
         let plan = if eligible.is_empty() {
             DispatchPlan::default()
         } else {
-            let token = observer.profiler.begin();
-            let mut profile = running.free_profile(now, free, now + backfill::LOOKAHEAD);
-            observer.profiler.end("free-profile", token);
-            self.counters.profile_segments_walked += profile.segment_count() as u64;
-            let token = observer.profiler.begin();
-            let plan =
-                backfill::plan_on_profile(self.backfill, &eligible, now, &mut profile, self.window);
-            observer.profiler.end("backfill", token);
-            plan
+            match self.profile_mode {
+                ProfileMode::Naive => {
+                    let token = observer.profiler.begin();
+                    let mut profile = running.free_profile(now, free, now + backfill::LOOKAHEAD);
+                    observer.profiler.end("free-profile", token);
+                    self.counters.profile_segments_walked += profile.segment_count() as u64;
+                    let token = observer.profiler.begin();
+                    let plan = backfill::plan_on_profile(
+                        self.backfill,
+                        &eligible,
+                        now,
+                        &mut profile,
+                        self.window,
+                    );
+                    observer.profiler.end("backfill", token);
+                    plan
+                }
+                ProfileMode::Indexed => {
+                    let token = observer.profiler.begin();
+                    let mut view = running.indexed_profile(now, free, now + backfill::LOOKAHEAD);
+                    observer.profiler.end("free-profile", token);
+                    let token = observer.profiler.begin();
+                    let plan =
+                        backfill::plan_on(self.backfill, &eligible, now, &mut view, self.window);
+                    observer.profiler.end("backfill", token);
+                    // The indexed tally: segments of the only profile this
+                    // cycle built — the plan overlay. The base timeline
+                    // stays inside the shared index, never materialized.
+                    self.counters.profile_segments_walked += view.segment_count() as u64;
+                    plan
+                }
+            }
         };
         self.counters.cycles += 1;
         self.counters.backfill_starts += u64::from(plan.backfilled);

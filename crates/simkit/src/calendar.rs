@@ -1,0 +1,388 @@
+//! Calendar queue: a bucketed timing-wheel future-event list.
+//!
+//! Events are hashed into `nbuckets` buckets by "day" — `time / width` —
+//! modulo the bucket count, the classic calendar-queue layout (Brown 1988).
+//! `pop` resumes scanning at the current day's bucket and walks at most one
+//! full lap of the wheel; the first bucket holding an event whose day is the
+//! lap's day contains *every* event of that day (a day maps to exactly one
+//! bucket), so the in-bucket minimum of `(time, seq)` is the global minimum.
+//! When a whole lap comes up empty the pending events all lie a lap or more
+//! ahead; a direct scan of every bucket finds the minimum.
+//!
+//! With event times spread evenly across buckets — the shape produced by job
+//! arrivals and finishes — `schedule` is O(1) and `pop` is O(bucket
+//! occupancy), versus the heap's O(log n) each. The wheel resizes
+//! deterministically from the pending set's span, so identically-seeded runs
+//! touch identical layouts.
+//!
+//! # Tie-break contract
+//!
+//! Pops ascend by `(time, insertion sequence)` — byte-identical to
+//! [`EventQueue`](crate::event::EventQueue): equal-timestamp events come out
+//! in insertion (FIFO) order. `crates/simkit/tests/calendar_queue.rs` pins
+//! the two implementations against each other on randomized schedules.
+
+use crate::queue::FutureEventList;
+use crate::time::SimTime;
+
+/// Fewest buckets the wheel will shrink to.
+const MIN_BUCKETS: usize = 4;
+/// Width used before the first resize has observed any event spacing.
+const INITIAL_WIDTH: u64 = 16;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+/// A bucketed timing-wheel with the same deterministic pop order as
+/// [`EventQueue`](crate::event::EventQueue).
+pub struct CalendarQueue<E> {
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Seconds of simulated time each bucket spans (≥ 1).
+    width: u64,
+    /// `now / width`: the day the pop cursor is on.
+    cur_day: u64,
+    len: usize,
+    next_seq: u64,
+    now: SimTime,
+    peak_len: usize,
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            width: INITIAL_WIDTH,
+            cur_day: 0,
+            len: 0,
+            next_seq: 0,
+            now: SimTime::ZERO,
+            peak_len: 0,
+        }
+    }
+
+    /// An empty queue sized for roughly `n` concurrently-pending events.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut nbuckets = MIN_BUCKETS;
+        // One bucket per ~2 pending events, matching the grow threshold.
+        while nbuckets * 2 < n {
+            nbuckets *= 2;
+        }
+        CalendarQueue {
+            buckets: (0..nbuckets).map(|_| Vec::new()).collect(),
+            width: INITIAL_WIDTH,
+            cur_day: 0,
+            len: 0,
+            next_seq: 0,
+            now: SimTime::ZERO,
+            peak_len: 0,
+        }
+    }
+
+    /// Current simulation time (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Deterministic high-water mark of the pending-event count.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    fn bucket_of(&self, t: SimTime) -> usize {
+        ((t.as_secs() / self.width) % self.buckets.len() as u64) as usize
+    }
+
+    /// Schedule `event` at `at` (clamped to `now`; past times are a logic
+    /// error and panic in debug builds).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduled an event in the past: {at:?} < now {:?}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let entry = Entry {
+            time: at,
+            seq: self.next_seq,
+            event,
+        };
+        self.next_seq += 1;
+        let b = self.bucket_of(at);
+        self.buckets[b].push(entry);
+        self.len += 1;
+        self.peak_len = self.peak_len.max(self.len);
+        if self.len > self.buckets.len() * 2 {
+            self.resize(self.buckets.len() * 2);
+        }
+    }
+
+    /// Locate the minimum-`(time, seq)` entry: `(bucket, index, time)`.
+    fn find_min(&self) -> Option<(usize, usize, SimTime)> {
+        if self.len == 0 {
+            return None;
+        }
+        let nb = self.buckets.len() as u64;
+        // Lap scan: day `cur_day + k` lives in bucket `(cur_day + k) % nb`.
+        // Every pending event has day ≥ cur_day (times never precede `now`),
+        // and within one lap no two scanned days share a bucket, so the
+        // first day whose bucket holds an in-day event holds ALL events of
+        // the earliest pending day — its (time, seq) minimum is global.
+        for k in 0..self.buckets.len() as u64 {
+            let day = self.cur_day + k;
+            let b = (day % nb) as usize;
+            // u128: (day + 1) * width can exceed u64 near the far horizon.
+            let bound = (day as u128 + 1) * self.width as u128;
+            let mut best: Option<(SimTime, u64, usize)> = None;
+            for (i, e) in self.buckets[b].iter().enumerate() {
+                if (e.time.as_secs() as u128) < bound {
+                    let better = match best {
+                        None => true,
+                        Some((bt, bs, _)) => (e.time, e.seq) < (bt, bs),
+                    };
+                    if better {
+                        best = Some((e.time, e.seq, i));
+                    }
+                }
+            }
+            if let Some((t, _, i)) = best {
+                return Some((b, i, t));
+            }
+        }
+        // Everything pending lies a full lap or more ahead: direct scan.
+        let mut best: Option<(SimTime, u64, usize, usize)> = None;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            for (i, e) in bucket.iter().enumerate() {
+                let better = match best {
+                    None => true,
+                    Some((bt, bs, _, _)) => (e.time, e.seq) < (bt, bs),
+                };
+                if better {
+                    best = Some((e.time, e.seq, b, i));
+                }
+            }
+        }
+        best.map(|(t, _, b, i)| (b, i, t))
+    }
+
+    /// Remove and return the earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let (b, i, _) = self.find_min()?;
+        let entry = self.buckets[b].swap_remove(i);
+        self.len -= 1;
+        self.now = entry.time;
+        self.cur_day = entry.time.as_secs() / self.width;
+        if self.buckets.len() > MIN_BUCKETS && self.len < self.buckets.len() / 4 {
+            self.resize(self.buckets.len() / 2);
+        }
+        Some((entry.time, entry.event))
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.find_min().map(|(_, _, t)| t)
+    }
+
+    /// Rebuild the wheel with `new_nb` buckets and a width derived from the
+    /// pending set: the mean gap between event times, so one day holds ~1
+    /// event. Purely a function of the pending entries — deterministic.
+    fn resize(&mut self, new_nb: usize) {
+        let new_nb = new_nb.max(MIN_BUCKETS);
+        let mut min_t = u64::MAX;
+        let mut max_t = 0u64;
+        for bucket in &self.buckets {
+            for e in bucket {
+                let s = e.time.as_secs();
+                min_t = min_t.min(s);
+                max_t = max_t.max(s);
+            }
+        }
+        if self.len > 0 {
+            let span = max_t - min_t;
+            self.width = (span / self.len as u64).max(1);
+        }
+        let old = std::mem::replace(&mut self.buckets, (0..new_nb).map(|_| Vec::new()).collect());
+        self.cur_day = self.now.as_secs() / self.width;
+        for bucket in old {
+            for e in bucket {
+                let b = self.bucket_of(e.time);
+                self.buckets[b].push(e);
+            }
+        }
+    }
+}
+
+impl<E> FutureEventList<E> for CalendarQueue<E> {
+    fn now(&self) -> SimTime {
+        CalendarQueue::now(self)
+    }
+    fn schedule(&mut self, at: SimTime, event: E) {
+        CalendarQueue::schedule(self, at, event)
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        CalendarQueue::pop(self)
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        CalendarQueue::peek_time(self)
+    }
+    fn len(&self) -> usize {
+        CalendarQueue::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        CalendarQueue::is_empty(self)
+    }
+    fn peak_len(&self) -> usize {
+        CalendarQueue::peak_len(self)
+    }
+    fn scheduled_total(&self) -> u64 {
+        CalendarQueue::scheduled_total(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        for &s in &[500u64, 3, 120_000, 7, 3, 99] {
+            q.schedule(t(s), s);
+        }
+        let mut out = Vec::new();
+        while let Some((at, e)) = q.pop() {
+            assert_eq!(at.as_secs(), e);
+            out.push(e);
+        }
+        assert_eq!(out, vec![3, 3, 7, 99, 500, 120_000]);
+        assert_eq!(q.now(), t(120_000));
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = CalendarQueue::new();
+        q.schedule(t(10), "a");
+        q.schedule(t(10), "b");
+        q.schedule(t(5), "c");
+        q.schedule(t(10), "d");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["c", "a", "b", "d"]);
+    }
+
+    #[test]
+    fn far_future_events_found_after_empty_lap() {
+        // All events well beyond one lap of the initial 4×16s wheel.
+        let mut q = CalendarQueue::new();
+        q.schedule(t(1_000_000), 1u32);
+        q.schedule(t(900_000), 2);
+        assert_eq!(q.peek_time(), Some(t(900_000)));
+        assert_eq!(q.pop(), Some((t(900_000), 2)));
+        assert_eq!(q.pop(), Some((t(1_000_000), 1)));
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_with_resize_churn() {
+        let mut q = CalendarQueue::new();
+        let mut expect = Vec::new();
+        // Grow well past several resize thresholds, then drain with
+        // interleaved re-scheduling relative to the advancing clock.
+        for i in 0..200u64 {
+            let at = (i * 37) % 5000;
+            q.schedule(t(at), (at, i));
+            expect.push((at, i));
+        }
+        expect.sort();
+        let mut got = Vec::new();
+        while let Some((at, (s, i))) = q.pop() {
+            assert_eq!(at.as_secs(), s);
+            got.push((s, i));
+            if got.len() == 50 {
+                // Mid-drain inserts at and after `now`.
+                let base = q.now().as_secs();
+                for j in 0..20u64 {
+                    let at = base + j * 11;
+                    q.schedule(t(at), (at, 1000 + j));
+                    expect.push((at, 1000 + j));
+                }
+                expect.sort();
+            }
+        }
+        // Sequence numbers differ from insertion index after the mid-drain
+        // burst, but (time, insertion-order-within-equal-time) must hold:
+        // compare against the stably-sorted expectation by time only.
+        let expect_times: Vec<u64> = expect.iter().map(|&(s, _)| s).collect();
+        let got_times: Vec<u64> = got.iter().map(|&(s, _)| s).collect();
+        assert_eq!(got_times, expect_times);
+        assert_eq!(q.scheduled_total(), 220);
+        assert!(q.peak_len() >= 150);
+    }
+
+    #[test]
+    fn shrinks_back_down_after_drain() {
+        let mut q = CalendarQueue::new();
+        for i in 0..100u64 {
+            q.schedule(t(i), i);
+        }
+        assert!(q.buckets.len() > MIN_BUCKETS);
+        while q.pop().is_some() {}
+        assert_eq!(q.buckets.len(), MIN_BUCKETS);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn schedule_at_now_is_allowed() {
+        let mut q = CalendarQueue::new();
+        q.schedule(t(5), 1u32);
+        assert_eq!(q.pop(), Some((t(5), 1)));
+        q.schedule(t(5), 2);
+        assert_eq!(q.pop(), Some((t(5), 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled an event in the past")]
+    #[cfg(debug_assertions)]
+    fn scheduling_in_the_past_panics_in_debug() {
+        let mut q = CalendarQueue::new();
+        q.schedule(t(10), 1u32);
+        let _ = q.pop();
+        q.schedule(t(3), 2);
+    }
+
+    #[test]
+    fn with_capacity_presizes_wheel() {
+        let q: CalendarQueue<u32> = CalendarQueue::with_capacity(100);
+        assert!(q.buckets.len() >= 50);
+        assert!(q.is_empty());
+        let small: CalendarQueue<u32> = CalendarQueue::with_capacity(0);
+        assert_eq!(small.buckets.len(), MIN_BUCKETS);
+    }
+}

@@ -1,11 +1,15 @@
 //! Minimal discrete-event driver loop.
 //!
 //! A simulation is a state machine that reacts to timestamped events and may
-//! schedule more. [`run`] drains an [`EventQueue`] through a [`Simulation`]
-//! until the queue is empty, a horizon is reached, or a step budget is
-//! exhausted (a guard against accidental event storms).
+//! schedule more. [`run`] drains a [`FutureEventList`] (the binary-heap
+//! [`EventQueue`](crate::event::EventQueue) or the bucketed
+//! [`CalendarQueue`](crate::calendar::CalendarQueue)) through a
+//! [`Simulation`] until the queue is empty, a horizon is reached, or a step
+//! budget is exhausted (a guard against accidental event storms). Both queue
+//! implementations pop in the same `(time, seq)` order, so the choice cannot
+//! change a simulation's outcome — only its constant factors.
 
-use crate::event::EventQueue;
+use crate::queue::FutureEventList;
 use crate::time::SimTime;
 
 /// A reactive simulation model.
@@ -14,7 +18,12 @@ pub trait Simulation {
     type Event;
 
     /// Handle one event at instant `now`, optionally scheduling more.
-    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+    fn handle<Q: FutureEventList<Self::Event>>(
+        &mut self,
+        now: SimTime,
+        event: Self::Event,
+        queue: &mut Q,
+    );
 }
 
 /// Observation hook for [`run_probed`]. Implementations must not influence
@@ -66,9 +75,9 @@ pub struct RunStats {
 
 /// Drive `sim` until the queue drains, the next event would be at or after
 /// `horizon`, or `max_steps` events have been processed.
-pub fn run<S: Simulation>(
+pub fn run<S: Simulation, Q: FutureEventList<S::Event>>(
     sim: &mut S,
-    queue: &mut EventQueue<S::Event>,
+    queue: &mut Q,
     horizon: SimTime,
     max_steps: u64,
 ) -> RunStats {
@@ -77,15 +86,15 @@ pub fn run<S: Simulation>(
 
 /// Like [`run`], but reports each processed event (and the final stats) to
 /// `probe`. With [`NoProbe`] this compiles down to the uninstrumented loop.
-pub fn run_probed<S: Simulation, P: Probe>(
+pub fn run_probed<S: Simulation, Q: FutureEventList<S::Event>, P: Probe>(
     sim: &mut S,
-    queue: &mut EventQueue<S::Event>,
+    queue: &mut Q,
     horizon: SimTime,
     max_steps: u64,
     probe: &mut P,
 ) -> RunStats {
     let mut steps = 0u64;
-    let finish = |steps: u64, queue: &EventQueue<S::Event>, reason: StopReason| RunStats {
+    let finish = |steps: u64, queue: &Q, reason: StopReason| RunStats {
         steps,
         end_time: queue.now(),
         reason,
@@ -113,6 +122,8 @@ pub fn run_probed<S: Simulation, P: Probe>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::calendar::CalendarQueue;
+    use crate::event::EventQueue;
     use crate::time::SimDuration;
 
     /// Toy model: a counter that reschedules itself `remaining` times.
@@ -125,7 +136,7 @@ mod tests {
     impl Simulation for Ticker {
         type Event = ();
 
-        fn handle(&mut self, now: SimTime, _: (), queue: &mut EventQueue<()>) {
+        fn handle<Q: FutureEventList<()>>(&mut self, now: SimTime, _: (), queue: &mut Q) {
             self.fired.push(now.as_secs());
             if self.remaining > 0 {
                 self.remaining -= 1;
@@ -168,6 +179,22 @@ mod tests {
         assert_eq!(stats.reason, StopReason::Horizon);
         assert_eq!(sim.fired, vec![0, 10, 20], "event at t=30 not processed");
         assert!(!q.is_empty(), "unprocessed event remains queued");
+    }
+
+    #[test]
+    fn calendar_queue_drives_the_same_run() {
+        let mut sim = Ticker {
+            fired: vec![],
+            remaining: 3,
+            period: SimDuration::from_secs(10),
+        };
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        let stats = run(&mut sim, &mut q, SimTime::MAX, 1_000);
+        assert_eq!(stats.reason, StopReason::Drained);
+        assert_eq!(sim.fired, vec![0, 10, 20, 30]);
+        assert_eq!(stats.events_scheduled, 4);
+        assert_eq!(stats.peak_queue_depth, 1);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! The future-event-list abstraction.
+//!
+//! The engine loop ([`crate::engine::run`]) and the core driver only need
+//! five operations from their event queue: schedule, pop-earliest, peek,
+//! length and the two deterministic work tallies. [`FutureEventList`]
+//! captures exactly that contract so the binary-heap [`EventQueue`] and the
+//! bucketed [`CalendarQueue`](crate::calendar::CalendarQueue) are
+//! interchangeable — and provably so, because both promise the same total
+//! order: ascending `(time, insertion sequence)`.
+//!
+//! Any implementation MUST pop events in ascending time order with FIFO
+//! tie-breaking at equal timestamps (insertion order). Simulations replay
+//! bit-for-bit across implementations only because of that shared contract;
+//! the differential suites in `crates/simkit/tests/calendar_queue.rs` and
+//! `crates/core/tests/differential_replay.rs` pin it.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// A deterministic time-ordered event queue: the engine's only view of the
+/// pending-event set.
+pub trait FutureEventList<E> {
+    /// Current simulation clock: the timestamp of the last popped event.
+    fn now(&self) -> SimTime;
+
+    /// Schedule `event` at absolute time `at`. Scheduling in the past is a
+    /// logic error (panics in debug builds); release builds clamp to `now`.
+    fn schedule(&mut self, at: SimTime, event: E);
+
+    /// Remove and return the earliest event — lowest `(time, sequence)` —
+    /// advancing the clock to it.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+
+    /// Timestamp of the next event without removing it.
+    fn peek_time(&self) -> Option<SimTime>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// True if no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Largest number of events ever simultaneously pending (deterministic
+    /// high-water mark).
+    fn peak_len(&self) -> usize;
+
+    /// Total events ever scheduled (monotone; never reset).
+    fn scheduled_total(&self) -> u64;
+}
+
+impl<E> FutureEventList<E> for EventQueue<E> {
+    fn now(&self) -> SimTime {
+        EventQueue::now(self)
+    }
+    fn schedule(&mut self, at: SimTime, event: E) {
+        EventQueue::schedule(self, at, event)
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        EventQueue::is_empty(self)
+    }
+    fn peak_len(&self) -> usize {
+        EventQueue::peak_len(self)
+    }
+    fn scheduled_total(&self) -> u64 {
+        EventQueue::scheduled_total(self)
+    }
+}
+
+/// Which [`FutureEventList`] implementation a driver should instantiate.
+///
+/// Both implementations produce bit-identical simulations; they differ only
+/// in the constant factors of `schedule`/`pop` under different pending-set
+/// shapes (the calendar queue is O(1) amortized when event times are spread
+/// evenly, the heap is O(log n) always).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Binary-heap [`EventQueue`] (the default).
+    #[default]
+    Heap,
+    /// Bucketed [`CalendarQueue`](crate::calendar::CalendarQueue).
+    Calendar,
+}
+
+impl QueueKind {
+    /// Parse a CLI-style name (`heap` / `calendar`).
+    pub fn parse(s: &str) -> Result<QueueKind, String> {
+        match s {
+            "heap" => Ok(QueueKind::Heap),
+            "calendar" => Ok(QueueKind::Calendar),
+            other => Err(format!(
+                "unknown event queue {other:?} (expected \"heap\" or \"calendar\")"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// Exercise EventQueue exclusively through the trait: the engine-facing
+    /// surface must behave exactly like the inherent methods.
+    #[test]
+    fn event_queue_through_the_trait() {
+        fn drain<Q: FutureEventList<u32>>(q: &mut Q) -> Vec<(u64, u32)> {
+            let mut out = Vec::new();
+            while let Some((at, e)) = q.pop() {
+                out.push((at.as_secs(), e));
+            }
+            out
+        }
+        let mut q = EventQueue::new();
+        FutureEventList::schedule(&mut q, t(5), 1);
+        FutureEventList::schedule(&mut q, t(2), 2);
+        FutureEventList::schedule(&mut q, t(5), 3);
+        assert_eq!(FutureEventList::<u32>::peek_time(&q), Some(t(2)));
+        assert_eq!(FutureEventList::<u32>::len(&q), 3);
+        assert!(!FutureEventList::<u32>::is_empty(&q));
+        assert_eq!(drain(&mut q), vec![(2, 2), (5, 1), (5, 3)]);
+        assert_eq!(FutureEventList::<u32>::scheduled_total(&q), 3);
+        assert_eq!(FutureEventList::<u32>::peak_len(&q), 3);
+        assert_eq!(FutureEventList::<u32>::now(&q), t(5));
+    }
+
+    #[test]
+    fn queue_kind_parses() {
+        assert_eq!(QueueKind::parse("heap"), Ok(QueueKind::Heap));
+        assert_eq!(QueueKind::parse("calendar"), Ok(QueueKind::Calendar));
+        assert!(QueueKind::parse("wheel").is_err());
+        assert_eq!(QueueKind::default(), QueueKind::Heap);
+    }
+}

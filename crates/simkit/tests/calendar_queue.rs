@@ -1,0 +1,138 @@
+//! Bitwise differential suite: [`CalendarQueue`] vs the binary-heap
+//! [`EventQueue`] under seeded random schedule/pop interleavings.
+//!
+//! The [`FutureEventList`] contract promises one total order — ascending
+//! `(time, insertion sequence)`, FIFO at equal timestamps — and the whole
+//! "queues are interchangeable" claim rests on it. These tests drive both
+//! implementations through identical operation streams heavy on equal
+//! timestamps (the tie-break pin) and on clustered-then-sparse times (the
+//! resize churn), asserting every pop and every observable tally matches.
+
+use simkit::rng::Rng;
+use simkit::time::{SimDuration, SimTime};
+use simkit::{CalendarQueue, EventQueue, FutureEventList};
+
+/// One seeded interleaving of schedules and pops applied to both queues,
+/// comparing every observable after every operation.
+fn differential_run(seed: u64, ops: u32, time_spread: u64) -> Vec<(u64, u64)> {
+    let mut rng = Rng::new(seed);
+    let mut heap: EventQueue<u64> = EventQueue::new();
+    let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+    let mut popped = Vec::new();
+    let mut payload = 0u64;
+    for op in 0..ops {
+        // Biased toward scheduling early, draining late, with stretches of
+        // back-to-back pops so the calendar's lap scan and resize trigger.
+        let drain_phase = op > ops / 2;
+        if !drain_phase && !rng.chance(0.3) || heap.is_empty() {
+            // Equal timestamps are common on purpose: quantize to a coarse
+            // grid so many events collide and FIFO order is load-bearing.
+            let base = FutureEventList::<u64>::now(&heap).as_secs();
+            let at = SimTime::from_secs(base + (rng.below(time_spread) / 7) * 7);
+            payload += 1;
+            heap.schedule(at, payload);
+            FutureEventList::schedule(&mut cal, at, payload);
+        } else {
+            let h = heap.pop();
+            let c = cal.pop();
+            assert_eq!(
+                h.map(|(t, e)| (t.as_secs(), e)),
+                c.map(|(t, e)| (t.as_secs(), e)),
+                "seed {seed}, op {op}: pop diverged"
+            );
+            if let Some((t, e)) = h {
+                popped.push((t.as_secs(), e));
+            }
+        }
+        assert_eq!(
+            FutureEventList::<u64>::len(&heap),
+            FutureEventList::<u64>::len(&cal),
+            "seed {seed}, op {op}"
+        );
+        assert_eq!(
+            FutureEventList::<u64>::peek_time(&heap),
+            FutureEventList::<u64>::peek_time(&cal),
+            "seed {seed}, op {op}"
+        );
+    }
+    // Drain the rest: the tail, after all resize churn, must still agree.
+    loop {
+        let h = heap.pop();
+        let c = cal.pop();
+        assert_eq!(
+            h.map(|(t, e)| (t.as_secs(), e)),
+            c.map(|(t, e)| (t.as_secs(), e)),
+            "seed {seed}: drain diverged"
+        );
+        match h {
+            Some((t, e)) => popped.push((t.as_secs(), e)),
+            None => break,
+        }
+    }
+    assert_eq!(
+        FutureEventList::<u64>::scheduled_total(&heap),
+        FutureEventList::<u64>::scheduled_total(&cal),
+        "seed {seed}"
+    );
+    assert_eq!(
+        FutureEventList::<u64>::peak_len(&heap),
+        FutureEventList::<u64>::peak_len(&cal),
+        "seed {seed}"
+    );
+    popped
+}
+
+/// Dense, collision-heavy timestamps: the FIFO tie-break is exercised on
+/// nearly every pop.
+#[test]
+fn matches_heap_with_heavy_timestamp_collisions() {
+    for seed in 0..24u64 {
+        let popped = differential_run(seed, 600, 40);
+        assert!(!popped.is_empty());
+        assert!(popped.windows(2).all(|w| w[0] <= w[1]), "seed {seed}");
+    }
+}
+
+/// Wide time spreads force bucket-width resizes between the clustered and
+/// sparse regimes; order must survive every re-bucketing.
+#[test]
+fn matches_heap_across_resize_churn() {
+    for seed in 100..112u64 {
+        differential_run(seed, 800, 500_000);
+    }
+    for seed in 200..212u64 {
+        differential_run(seed, 800, 3);
+    }
+}
+
+/// Same seed, two runs: the calendar queue is a pure function of its
+/// operation stream (bitwise reproducibility, the replay guarantee).
+#[test]
+fn same_seed_runs_are_bitwise_identical() {
+    for seed in 300..308u64 {
+        let a = differential_run(seed, 500, 10_000);
+        let b = differential_run(seed, 500, 10_000);
+        assert_eq!(a, b, "seed {seed}");
+    }
+}
+
+/// The equal-timestamp pin, spelled out: events scheduled at one instant
+/// pop in insertion order regardless of how many resizes happen between
+/// schedule and pop.
+#[test]
+fn equal_timestamps_pop_fifo_after_growth() {
+    let mut cal: CalendarQueue<u32> = CalendarQueue::new();
+    let t = SimTime::from_secs(1_000);
+    for i in 0..64 {
+        cal.schedule(t, i);
+        // Interleave far-future events to force growth resizes mid-stream.
+        cal.schedule(
+            t + SimDuration::from_secs(10_000 + u64::from(i) * 997),
+            1_000 + i,
+        );
+    }
+    for expect in 0..64 {
+        let (at, e) = cal.pop().expect("event present");
+        assert_eq!((at, e), (t, expect));
+    }
+}
