@@ -16,6 +16,10 @@
 //!
 //! Counters depend on `PERF_JOBS` but not on the host, so CI can regenerate
 //! with the defaults and diff exactly against the committed baselines.
+//!
+//! Build with `--features alloc-count` to also record the per-scenario
+//! `"mem"` allocation counters (deterministic per toolchain, gated exactly
+//! by `perf compare`); without the feature the sections are omitted.
 
 use bench::lab::TRACE_SEED;
 use bench::perf::{measure, Measurement, PerfConfig};
@@ -95,9 +99,19 @@ fn replay(cfg: &machine::MachineConfig, jobs_prefix: usize, faulted: bool) -> Si
 }
 
 fn print_measurement(machine: &str, scenario: &str, m: &Measurement) {
+    let mem = if m.mem.is_enabled() {
+        format!(
+            ", {} allocs / {} KiB (peak {} KiB live)",
+            m.mem.allocations,
+            m.mem.bytes_allocated / 1024,
+            m.mem.peak_live_bytes / 1024,
+        )
+    } else {
+        String::new()
+    };
     println!(
         "{machine:<14} {scenario:<11} wall {:>8.1} ms (MAD {:.1}) | {:>8.1} jobs/s {:>10.0} events/s | \
-         {} events, peak heap {}, {} cycles, {} candidates, {} segments",
+         {} events, peak heap {}, {} cycles, {} candidates, {} segments{mem}",
         m.wall_us_median as f64 / 1e3,
         m.wall_us_mad as f64 / 1e3,
         m.jobs_per_sec_milli() as f64 / 1e3,

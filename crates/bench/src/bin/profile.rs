@@ -79,6 +79,15 @@ fn print_breakdown(cfg: &machine::MachineConfig, out: &SimOutput, wall: Duration
         wall_us as f64 / 1e3,
         per_sec_milli(out.obs.work.events_popped, wall_us) as f64 / 1e3,
     );
+    if obs::alloc::counting_enabled() {
+        println!(
+            "{:<28} peak {:.1} KiB live, {} allocs / {:.1} MiB total",
+            "heap (alloc-count)",
+            out.obs.mem.peak_live_bytes as f64 / 1024.0,
+            out.obs.mem.allocations,
+            out.obs.mem.bytes_allocated as f64 / (1024.0 * 1024.0),
+        );
+    }
     println!("{}", report.to_json());
     println!();
 }

@@ -15,6 +15,7 @@
 //! Wall-clock reads are fine here: simlint R2 exempts `bench`.
 
 use interstitial::SimOutput;
+use obs::alloc::AllocCounters;
 use obs::perf::ScenarioPerf;
 use obs::work::WorkCounters;
 use std::time::Instant;
@@ -66,6 +67,9 @@ pub struct Measurement {
     pub events: u64,
     /// Work counters, verified identical across repetitions.
     pub work: WorkCounters,
+    /// Allocation counters from the run's driver window, verified identical
+    /// across repetitions. Disabled zeros unless built with `alloc-count`.
+    pub mem: AllocCounters,
 }
 
 impl Measurement {
@@ -89,6 +93,11 @@ impl Measurement {
             jobs_per_sec_milli: self.jobs_per_sec_milli(),
             events_per_sec_milli: self.events_per_sec_milli(),
             work: self.work,
+            mem: if self.mem.is_enabled() {
+                Some(self.mem)
+            } else {
+                None
+            },
         }
     }
 }
@@ -125,7 +134,7 @@ pub fn measure<F: FnMut() -> SimOutput>(cfg: PerfConfig, mut run: F) -> Measurem
         let _ = run();
     }
     let mut wall_us = Vec::with_capacity(cfg.reps as usize);
-    let mut reference: Option<(WorkCounters, u64)> = None;
+    let mut reference: Option<(WorkCounters, AllocCounters, u64)> = None;
     for rep in 0..cfg.reps.max(1) {
         let t = Instant::now();
         let out = run();
@@ -133,18 +142,23 @@ pub fn measure<F: FnMut() -> SimOutput>(cfg: PerfConfig, mut run: F) -> Measurem
         wall_us.push(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
         let jobs = out.native_completed() + out.interstitial_completed();
         match &reference {
-            None => reference = Some((out.obs.work, jobs)),
-            Some((work, ref_jobs)) => {
+            None => reference = Some((out.obs.work, out.obs.mem, jobs)),
+            Some((work, mem, ref_jobs)) => {
                 assert_eq!(
                     *work, out.obs.work,
                     "rep {rep}: work counters differ between repetitions — \
                      the replay is not deterministic"
                 );
+                assert_eq!(
+                    *mem, out.obs.mem,
+                    "rep {rep}: allocation counters differ between repetitions — \
+                     a heap-count baseline would not be reproducible"
+                );
                 assert_eq!(*ref_jobs, jobs, "rep {rep}: completion counts differ");
             }
         }
     }
-    let (work, jobs) = reference.expect("at least one timed repetition");
+    let (work, mem, jobs) = reference.expect("at least one timed repetition");
     wall_us.sort_unstable();
     let wall_us_median = median(&wall_us);
     Measurement {
@@ -153,6 +167,7 @@ pub fn measure<F: FnMut() -> SimOutput>(cfg: PerfConfig, mut run: F) -> Measurem
         jobs,
         events: work.events_popped,
         work,
+        mem,
         wall_us,
     }
 }
@@ -214,5 +229,11 @@ mod tests {
         let s = m.to_scenario();
         assert_eq!(s.jobs, 20);
         assert_eq!(s.jobs_per_sec_milli, m.jobs_per_sec_milli());
+        // mem rides along exactly when the counting allocator is built in.
+        assert_eq!(m.mem.is_enabled(), obs::alloc::counting_enabled());
+        assert_eq!(s.mem.is_some(), obs::alloc::counting_enabled());
+        if obs::alloc::counting_enabled() {
+            assert!(m.mem.allocations > 0, "{:?}", m.mem);
+        }
     }
 }

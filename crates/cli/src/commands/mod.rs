@@ -48,10 +48,13 @@ COMMANDS
             [--shape CPUSxSECS] [--mode continual|project:SECS]
             [--cap F] [--preempt kill|checkpoint] [--seed N] [--out FILE]
             [--faults mtbf=S,mttr=S,nodes=N[,seed=K]] [--resilience FILE]
+            [--record-cycles FILE.jsonl]
                                    replay a log, optionally with an
                                    interstitial stream and injected node
                                    failures; print the impact (and, with
-                                   faults, the resilience panel)
+                                   faults, the resilience panel).
+                                   --record-cycles dumps the per-cycle
+                                   flight recorder for `perf hotspots`
   advise    --machine M --jobs N --shape CPUSxSECS [--tolerance MIN]
                                    pre-flight a project against the paper's
                                    §5 guidelines
@@ -77,6 +80,11 @@ COMMANDS
                                    counters exactly, wall within P% (default
                                    25); exits nonzero on regression
   perf      show FILE.json         pretty-print one perf baseline
+  perf      hotspots CYCLES.jsonl [--top N]
+                                   attribute cost from a --record-cycles
+                                   dump: phase flame bars, P50/P99/max
+                                   per-cycle cost, exact top-N worst
+                                   cycles with their sim-times
 
 Machines: ross | bluemountain | bluepacific | CPUSxGHZ (custom).
 Shapes are CPUs × seconds-at-1GHz, e.g. 32x120.

@@ -9,23 +9,40 @@
 //! work counters *strictly decreased* in every shared scenario — the gate
 //! CI runs when a change claims to reduce scheduler work. `perf show FILE`
 //! pretty-prints one baseline.
+//!
+//! `perf hotspots CYCLES.jsonl` attributes cost from a `--record-cycles`
+//! flight-recorder dump: per-phase flame bars (order-queue sort vs backfill
+//! scan vs event pump), P50/P99/max per-cycle cost over the retained ring
+//! window (P² streaming estimators — the same machinery trace summaries
+//! use), and the exact top-K most expensive cycles with their sim-times.
 
 use crate::args::{ArgError, Args};
 use obs::perf::{compare, PerfBaseline};
+use obs::recorder::RecorderDump;
+use tracekit::P2;
 
 /// Default wall-clock tolerance, percent over the old median.
 const DEFAULT_WALL_TOL_PCT: u64 = 25;
+
+/// Default row count for the hotspots top-cycles table.
+const DEFAULT_HOTSPOT_ROWS: usize = 10;
+
+/// Width of the ASCII flame bars, characters.
+const FLAME_WIDTH: u64 = 30;
 
 /// Dispatch `perf <verb>`.
 pub fn run(args: &Args) -> Result<String, ArgError> {
     match args.positional.first().map(|s| s.as_str()) {
         Some("compare") => run_compare(args),
         Some("show") => run_show(args),
+        Some("hotspots") => run_hotspots(args),
         Some(other) => Err(ArgError(format!(
-            "unknown perf verb {other:?} (compare | show)"
+            "unknown perf verb {other:?} (compare | show | hotspots)"
         ))),
         None => Err(ArgError(
-            "usage: perf compare OLD.json NEW.json [--wall-tol-pct P] | perf show FILE.json".into(),
+            "usage: perf compare OLD.json NEW.json [--wall-tol-pct P] | perf show FILE.json \
+             | perf hotspots CYCLES.jsonl [--top N]"
+                .into(),
         )),
     }
 }
@@ -142,6 +159,123 @@ fn run_show(args: &Args) -> Result<String, ArgError> {
         for (counter, value) in s.work.fields() {
             out.push_str(&format!("    {counter:<28} {value}\n"));
         }
+        if let Some(mem) = &s.mem {
+            for (counter, value) in mem.fields() {
+                out.push_str(&format!("    mem.{counter:<24} {value}\n"));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `perf hotspots CYCLES.jsonl [--top N]` — attribute cost from a
+/// `simulate --record-cycles` dump.
+fn run_hotspots(args: &Args) -> Result<String, ArgError> {
+    args.check_flags(&["top"])?;
+    let path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| ArgError("usage: perf hotspots CYCLES.jsonl [--top N]".into()))?;
+    let rows: usize = args.get_or("top", DEFAULT_HOTSPOT_ROWS)?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let dump = RecorderDump::from_jsonl(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
+
+    let mut out = format!(
+        "hotspots from {path}: {} cycles recorded, ring retains {} (dropped {}), \
+         top-{} ledger\n",
+        dump.cycles_seen,
+        dump.ring.len(),
+        dump.dropped,
+        dump.top_k
+    );
+
+    // Phase flame bars: run totals from the profiler, scaled to the
+    // hottest phase. Wall-clock values — attribution, not comparison.
+    if !dump.phases.is_empty() {
+        let total: u64 = dump.phases.iter().map(|(_, _, ns)| *ns).sum();
+        let hottest = dump.phases.iter().map(|(_, _, ns)| *ns).max().unwrap_or(0);
+        out.push_str("\nphase breakdown (wall-clock run totals)\n");
+        for (name, calls, ns) in &dump.phases {
+            let share = if total > 0 {
+                *ns as f64 / total as f64 * 100.0
+            } else {
+                0.0
+            };
+            let bar = (ns * FLAME_WIDTH).checked_div(hottest).unwrap_or(0) as usize;
+            out.push_str(&format!(
+                "  {name:<16} {calls:>9} calls {:>10.2} ms {share:>5.1}%  {}\n",
+                *ns as f64 / 1e6,
+                "#".repeat(bar),
+            ));
+        }
+    }
+
+    // Per-cycle cost distribution over the retained ring window. Cost is
+    // the deterministic unit (events + candidates + segments); wall nanos
+    // ride along when the dump carries them.
+    if !dump.ring.is_empty() {
+        let mut p50 = P2::new(0.50);
+        let mut p99 = P2::new(0.99);
+        let mut worst = &dump.ring[0];
+        let has_ns = dump.ring.iter().any(|r| r.ns_total > 0);
+        let mut ns50 = P2::new(0.50);
+        let mut ns99 = P2::new(0.99);
+        let mut ns_max = 0u64;
+        for rec in &dump.ring {
+            p50.observe(rec.cost as f64);
+            p99.observe(rec.cost as f64);
+            if rec.cost > worst.cost {
+                worst = rec;
+            }
+            if has_ns {
+                ns50.observe(rec.ns_total as f64);
+                ns99.observe(rec.ns_total as f64);
+                ns_max = ns_max.max(rec.ns_total);
+            }
+        }
+        out.push_str(&format!(
+            "\nper-cycle cost over the ring window ({} cycles)\n  \
+             cost units   P50 {:>8.0}  P99 {:>8.0}  max {:>8} (cycle {} at t={}s)\n",
+            dump.ring.len(),
+            p50.estimate().unwrap_or(0.0),
+            p99.estimate().unwrap_or(0.0),
+            worst.cost,
+            worst.cycle,
+            worst.t_s,
+        ));
+        if has_ns {
+            out.push_str(&format!(
+                "  wall µs      P50 {:>8.1}  P99 {:>8.1}  max {:>8.1}\n",
+                ns50.estimate().unwrap_or(0.0) / 1e3,
+                ns99.estimate().unwrap_or(0.0) / 1e3,
+                ns_max as f64 / 1e3,
+            ));
+        }
+    }
+
+    // The exact whole-run ledger: worst cycles by deterministic cost, with
+    // the sim-times a tail investigation needs to zoom in on.
+    if !dump.top.is_empty() {
+        out.push_str(&format!(
+            "\ntop {} most expensive cycles (whole run, exact)\n  \
+             rank      cycle        t_s    cost  events  cands   segs  queue    wall µs\n",
+            rows.min(dump.top.len())
+        ));
+        for (i, rec) in dump.top.iter().take(rows).enumerate() {
+            out.push_str(&format!(
+                "  {:>4} {:>10} {:>10} {:>7} {:>7} {:>6} {:>6} {:>6} {:>10.1}\n",
+                i + 1,
+                rec.cycle,
+                rec.t_s,
+                rec.cost,
+                rec.events,
+                rec.candidates,
+                rec.segments,
+                rec.queue_depth,
+                rec.ns_total as f64 / 1e3,
+            ));
+        }
     }
     Ok(out)
 }
@@ -168,6 +302,7 @@ mod tests {
                 jobs_per_sec_milli: 3_333_333,
                 events_per_sec_milli: 55_555_555,
                 work,
+                mem: None,
             },
         );
         PerfBaseline {
@@ -272,5 +407,86 @@ mod tests {
         assert!(run(&args(&["perf", "compare", "only-one.json"])).is_err());
         assert!(run(&args(&["perf", "compare", "a", "b", "--bogus", "1"])).is_err());
         assert!(run(&args(&["perf", "show", "/no/such/file.json"])).is_err());
+        assert!(run(&args(&["perf", "hotspots"])).is_err());
+        assert!(run(&args(&["perf", "hotspots", "/no/such/cycles.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn show_renders_mem_when_present() {
+        let dir = std::env::temp_dir().join("interstitial-perf-show-mem-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut b = baseline(700);
+        let mut mem = obs::AllocCounters::enabled();
+        assert!(mem.set_field("allocations", 4242));
+        b.scenarios.get_mut("fault_free").unwrap().mem = Some(mem);
+        let path = write(&dir, "b.json", &b);
+        let out = run(&args(&["perf", "show", &path])).unwrap();
+        assert!(out.contains("mem.allocations"), "{out}");
+        assert!(out.contains("4242"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hotspots_attributes_cost_from_a_recorder_dump() {
+        use obs::recorder::{CycleRecorder, CycleTotals, PhaseNanos};
+
+        let dir = std::env::temp_dir().join("interstitial-perf-hotspots-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut rec = CycleRecorder::with_limits(64, 8);
+        let mut totals = CycleTotals::default();
+        let mut ns = PhaseNanos::default();
+        for i in 0..100u64 {
+            let t = rec.begin();
+            totals.events += 1 + i % 3;
+            totals.candidates += (i * 7) % 23;
+            totals.segments += (i * 5) % 11;
+            totals.starts += i % 2;
+            ns.pump += 1000;
+            ns.order += 4000;
+            ns.profile += 500;
+            ns.backfill += 1500;
+            rec.end_cycle(
+                t,
+                simkit::time::SimTime::from_secs(i * 300),
+                i % 40,
+                totals,
+                ns,
+            );
+        }
+        let mut profile = obs::PhaseProfiler::enabled();
+        let span = profile.begin();
+        profile.end("order-queue", span);
+        let path = dir.join("cycles.jsonl");
+        std::fs::write(&path, rec.to_jsonl(&profile.snapshot())).unwrap();
+
+        let out = run(&args(&[
+            "perf",
+            "hotspots",
+            path.to_str().unwrap(),
+            "--top",
+            "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("100 cycles recorded"), "{out}");
+        assert!(out.contains("phase breakdown"), "{out}");
+        assert!(out.contains("order-queue"), "{out}");
+        assert!(out.contains('#'), "flame bars rendered: {out}");
+        assert!(out.contains("P50"), "{out}");
+        assert!(out.contains("P99"), "{out}");
+        assert!(out.contains("top 5 most expensive cycles"), "{out}");
+        // The table names exact sim-times: the worst cycle's t_s must be a
+        // multiple of 300 present in the output.
+        let worst = rec.top()[0];
+        assert!(out.contains(&worst.t_s.to_string()), "{out}");
+        // A counters-only dump (no phases, no nanos) still renders.
+        let lean = dir.join("lean.jsonl");
+        std::fs::write(&lean, rec.counters_jsonl()).unwrap();
+        let out = run(&args(&["perf", "hotspots", lean.to_str().unwrap()])).unwrap();
+        assert!(out.contains("cost units"), "{out}");
+        assert!(
+            !out.contains("wall µs      P50"),
+            "no fabricated wall distribution: {out}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

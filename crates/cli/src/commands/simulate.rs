@@ -29,6 +29,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         "faults",
         "resilience",
         "event-queue",
+        "record-cycles",
     ])?;
 
     // Native log: an SWF positional, or a synthetic trace by seed. An SWF
@@ -94,8 +95,20 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
 
     // Observability rides on the interstitial run when a shape is given,
     // otherwise on the baseline.
-    let observe = args.get("trace").is_some() || args.get("metrics").is_some();
+    let record_path = args.get("record-cycles");
+    let observe =
+        args.get("trace").is_some() || args.get("metrics").is_some() || record_path.is_some();
     let shape_given = args.get("shape").is_some();
+    // The recorder is opt-in on top of the full bundle: it needs the phase
+    // profiler's nanos for attribution, and `--record-cycles` is an explicit
+    // request to pay for the per-pass ring.
+    let observer = || {
+        let mut o = Obs::enabled();
+        if record_path.is_some() {
+            o.recorder = obs::CycleRecorder::enabled();
+        }
+        o
+    };
 
     // Baseline (always) and, if a shape is given, the interstitial run.
     let mut baseline_builder = SimBuilder::new(machine.clone())
@@ -106,7 +119,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         baseline_builder = baseline_builder.faults(model.clone());
     }
     if observe && !shape_given {
-        baseline_builder = baseline_builder.observer(Obs::enabled());
+        baseline_builder = baseline_builder.observer(observer());
     }
     let baseline = baseline_builder.build().run();
 
@@ -165,7 +178,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
                 b = b.faults(model.clone());
             }
             if observe {
-                b = b.observer(Obs::enabled());
+                b = b.observer(observer());
             }
             Some(b.build().run())
         }
@@ -274,6 +287,19 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
             std::fs::write(path, bundle.run_report().to_json())
                 .map_err(|e| ArgError(format!("writing {path}: {e}")))?;
             out.push_str(&format!("\nwrote metrics snapshot to {path}\n"));
+        }
+        if let Some(path) = record_path {
+            let jsonl = observed
+                .obs
+                .recorder
+                .to_jsonl(&observed.obs.profiler.snapshot());
+            std::fs::write(path, jsonl).map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+            out.push_str(&format!(
+                "\nwrote {} recorded cycles to {path} (ring retains {}, top-{} ledger)\n",
+                observed.obs.recorder.cycles_seen(),
+                observed.obs.recorder.ring().count(),
+                observed.obs.recorder.top().len(),
+            ));
         }
     }
     Ok(out)
@@ -559,6 +585,75 @@ mod tests {
         assert!(jsonl.contains("\"ev\":\"submit\""));
         assert!(!jsonl.contains("\"class\":\"interstitial\""));
         let _ = std::fs::remove_file(trace);
+    }
+
+    #[test]
+    fn record_cycles_flag_writes_parseable_recorder_jsonl() {
+        let dir = std::env::temp_dir().join("interstitial-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec = dir.join("cycles.jsonl");
+        let out = run(&parse(&[
+            "simulate",
+            "--machine",
+            "128x1.0",
+            "--seed",
+            "2",
+            "--shape",
+            "16x120",
+            "--record-cycles",
+            rec.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("recorded cycles"), "{out}");
+        let jsonl = std::fs::read_to_string(&rec).unwrap();
+        let dump = obs::recorder::RecorderDump::from_jsonl(&jsonl).unwrap();
+        assert!(dump.cycles_seen > 0, "{out}");
+        assert!(!dump.ring.is_empty());
+        assert!(!dump.top.is_empty());
+        assert!(
+            dump.phases.iter().any(|(name, _, _)| name == "event-pump"),
+            "phase totals ride along: {:?}",
+            dump.phases
+        );
+        // The ledger is sorted by deterministic cost, most expensive first.
+        assert!(dump.top.windows(2).all(|w| w[0].cost >= w[1].cost));
+        let _ = std::fs::remove_file(rec);
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_trace_stream() {
+        let dir = std::env::temp_dir().join("interstitial-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plain = dir.join("plain.jsonl");
+        let recorded = dir.join("recorded.jsonl");
+        let rec = dir.join("rec-cycles.jsonl");
+        let base = [
+            "simulate",
+            "--machine",
+            "128x1.0",
+            "--seed",
+            "2",
+            "--shape",
+            "16x120",
+            "--trace",
+        ];
+        let mut with_trace = base.to_vec();
+        with_trace.push(plain.to_str().unwrap());
+        run(&parse(&with_trace)).unwrap();
+        let mut with_rec = base.to_vec();
+        let rec_s = rec.to_str().unwrap().to_string();
+        with_rec.push(recorded.to_str().unwrap());
+        with_rec.push("--record-cycles");
+        with_rec.push(&rec_s);
+        run(&parse(&with_rec)).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&plain).unwrap(),
+            std::fs::read_to_string(&recorded).unwrap(),
+            "flight recording must leave the trace bytes untouched"
+        );
+        for p in [plain, recorded, rec] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

@@ -326,6 +326,9 @@ impl Simulator {
 
     /// [`run`](Simulator::run) against a concrete future-event list.
     fn run_with_queue<Q: FutureEventList<Ev>>(mut self, mut q: Q) -> SimOutput {
+        // Open the run's allocation window (inert unless obs was built with
+        // the alloc-count feature); closed just before SimOutput assembly.
+        let mem_mark = obs::alloc::mark();
         self.obs
             .trace
             .set_machine(self.machine.name, self.machine.cpus);
@@ -401,6 +404,7 @@ impl Simulator {
 
         let mut steps = 0u64;
         while let Some((now, ev)) = q.pop() {
+            let rec = self.obs.recorder.begin();
             let pump = self.obs.profiler.begin();
             self.handle(now, ev, &mut st, &mut q);
             steps += 1;
@@ -413,6 +417,25 @@ impl Simulator {
             self.obs.profiler.end("event-pump", pump);
             assert!(steps < MAX_EVENTS, "event storm: {steps} events");
             self.cycle(now, &mut st, &mut q);
+            if rec.is_some() {
+                // Flight-record the pass: the recorder diffs these cumulative
+                // totals against the previous pass itself.
+                let sc = self.scheduler.counters();
+                let totals = obs::recorder::CycleTotals {
+                    events: steps,
+                    starts: sc.inorder_starts + sc.backfill_starts,
+                    candidates: sc.backfill_candidates_scanned,
+                    segments: sc.profile_segments_walked,
+                };
+                let ns = obs::recorder::PhaseNanos {
+                    pump: self.obs.profiler.total_ns("event-pump"),
+                    order: self.obs.profiler.total_ns("order-queue"),
+                    profile: self.obs.profiler.total_ns("free-profile"),
+                    backfill: self.obs.profiler.total_ns("backfill"),
+                };
+                let depth = self.scheduler.queue_len() as u64;
+                self.obs.recorder.end_cycle(rec, now, depth, totals, ns);
+            }
         }
 
         debug_assert!(st.running.is_empty(), "jobs still running at drain");
@@ -446,6 +469,7 @@ impl Simulator {
         self.obs
             .work
             .record_churn(st.faults.native_requeues, st.faults.interstitial_retries);
+        self.obs.mem = obs::alloc::since(&mem_mark);
         SimOutput {
             machine: self.machine.clone(),
             horizon: self.horizon,

@@ -27,20 +27,24 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod perf;
 pub mod probe;
 pub mod profile;
+pub mod recorder;
 pub mod report;
 pub mod trace;
 pub mod work;
 
+pub use alloc::AllocCounters;
 pub use event::{EventKind, PreemptKind, StartKind, TraceEvent};
 pub use metrics::MetricsRegistry;
 pub use perf::{PerfBaseline, PerfComparison, ScenarioPerf};
 pub use profile::PhaseProfiler;
+pub use recorder::CycleRecorder;
 pub use report::RunReport;
 pub use trace::TraceSink;
 pub use work::WorkCounters;
@@ -60,6 +64,13 @@ pub struct Obs {
     pub profiler: PhaseProfiler,
     /// Deterministic work counters (never written to the trace stream).
     pub work: WorkCounters,
+    /// Per-cycle flight recorder. Opt-in only (`--record-cycles`): not
+    /// switched on by [`Obs::enabled`], since a bounded ring per run is
+    /// still real memory traffic the default paths should not pay.
+    pub recorder: CycleRecorder,
+    /// Allocator tallies for the run window, filled in by the driver at
+    /// end of run. All zero unless the `alloc-count` feature is on.
+    pub mem: AllocCounters,
 }
 
 impl Obs {
@@ -68,13 +79,16 @@ impl Obs {
         Obs::default()
     }
 
-    /// Everything on: tracing, metrics, phase profiling and work counters.
+    /// Everything on except the flight recorder: tracing, metrics, phase
+    /// profiling and work counters. Cycle recording stays opt-in via the
+    /// [`Obs::recorder`] field.
     pub fn enabled() -> Self {
         Obs {
             trace: TraceSink::enabled(),
             metrics: MetricsRegistry::enabled(),
             profiler: PhaseProfiler::enabled(),
             work: WorkCounters::enabled(),
+            ..Obs::disabled()
         }
     }
 
@@ -102,6 +116,7 @@ impl Obs {
             } else {
                 WorkCounters::disabled()
             },
+            ..Obs::disabled()
         }
     }
 
@@ -120,12 +135,18 @@ impl Obs {
             || self.metrics.is_enabled()
             || self.profiler.is_enabled()
             || self.work.is_enabled()
+            || self.recorder.is_enabled()
     }
 
-    /// Snapshot the metrics registry, phase profile and work counters into
-    /// a [`RunReport`].
+    /// Snapshot the metrics registry, phase profile, work counters and
+    /// allocator tallies into a [`RunReport`].
     pub fn run_report(&self) -> RunReport {
-        RunReport::new(self.metrics.snapshot(), self.profiler.snapshot(), self.work)
+        RunReport::new(
+            self.metrics.snapshot(),
+            self.profiler.snapshot(),
+            self.work,
+            self.mem,
+        )
     }
 }
 

@@ -18,12 +18,16 @@
 //! milli-events/sec. The emitted JSON is deterministic — BTreeMap scenario
 //! order, fixed field order — so baseline diffs in git history are readable.
 
+use crate::alloc::AllocCounters;
 use crate::json;
 use crate::work::WorkCounters;
 use std::collections::BTreeMap;
 
-/// Current baseline schema version.
-pub const PERF_SCHEMA: u64 = 1;
+/// Current baseline schema version. Schema 2 added the optional per-scenario
+/// `"mem"` section (allocation counters from the `alloc-count` feature);
+/// schema-1 files remain readable, but [`compare`] refuses mixed-schema
+/// pairs — regenerate both sides with the same bench harness instead.
+pub const PERF_SCHEMA: u64 = 2;
 
 /// Measured results for one scenario (e.g. `fault_free` or `faulted`).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -42,6 +46,9 @@ pub struct ScenarioPerf {
     pub events_per_sec_milli: u64,
     /// Deterministic work counters (identical across repetitions).
     pub work: WorkCounters,
+    /// Allocation counters (schema ≥ 2, present only when the harness was
+    /// built with `alloc-count`; identical across repetitions).
+    pub mem: Option<AllocCounters>,
 }
 
 /// One machine's perf baseline: scenarios plus provenance.
@@ -107,6 +114,11 @@ impl PerfBaseline {
             out.push_str("      ");
             json::push_key(&mut out, "work");
             s.work.write_json(&mut out);
+            if let Some(mem) = &s.mem {
+                out.push_str(",\n      ");
+                json::push_key(&mut out, "mem");
+                mem.write_json(&mut out);
+            }
             out.push_str("\n    }");
         }
         out.push_str("\n  }\n}\n");
@@ -140,9 +152,11 @@ impl PerfBaseline {
                 _ => {}
             }
         }
-        if b.schema != PERF_SCHEMA {
+        // Schema 1 is schema 2 without the optional "mem" sections, so the
+        // same reader accepts both; `compare` still refuses mixed pairs.
+        if b.schema != PERF_SCHEMA && b.schema != 1 {
             return Err(format!(
-                "unsupported baseline schema {} (expected {PERF_SCHEMA})",
+                "unsupported baseline schema {} (expected {PERF_SCHEMA} or 1)",
                 b.schema
             ));
         }
@@ -173,6 +187,15 @@ fn scenario_from_value(name: &str, value: &JsonValue) -> Result<ScenarioPerf, St
                     }
                 }
                 s.work = w;
+            }
+            ("mem", JsonValue::Object(mem)) => {
+                let mut m = AllocCounters::enabled();
+                for (counter, v) in mem {
+                    if let JsonValue::Number(n) = v {
+                        let _ = m.set_field(counter, *n);
+                    }
+                }
+                s.mem = Some(m);
             }
             _ => {}
         }
@@ -232,6 +255,14 @@ impl PerfComparison {
 /// because they make the counters incomparable.
 pub fn compare(old: &PerfBaseline, new: &PerfBaseline, wall_tol_pct: u64) -> PerfComparison {
     let mut cmp = PerfComparison::default();
+    if old.schema != new.schema {
+        cmp.regressions.push(format!(
+            "schema mismatch: baseline is schema {}, candidate is schema {} — \
+             regenerate both sides with the same bench harness",
+            old.schema, new.schema
+        ));
+        return cmp;
+    }
     if old.machine != new.machine {
         cmp.regressions.push(format!(
             "machine mismatch: baseline is {:?}, candidate is {:?}",
@@ -270,6 +301,39 @@ pub fn compare(old: &PerfBaseline, new: &PerfBaseline, wall_tol_pct: u64) -> Per
                     old_v - new_v
                 ));
             }
+        }
+        match (&old_s.mem, &new_s.mem) {
+            (Some(old_m), Some(new_m)) => {
+                // Allocation counters are deterministic per build, so they
+                // gate exactly, like the work counters.
+                for ((counter, old_v), (_, new_v)) in
+                    old_m.fields().iter().zip(new_m.fields().iter())
+                {
+                    if new_v > old_v {
+                        cmp.regressions.push(format!(
+                            "{name}: mem counter {counter} rose {old_v} -> {new_v} (+{})",
+                            new_v - old_v
+                        ));
+                    } else if new_v < old_v {
+                        cmp.improvements.push(format!(
+                            "{name}: mem counter {counter} fell {old_v} -> {new_v} (-{})",
+                            old_v - new_v
+                        ));
+                    }
+                }
+            }
+            (Some(_), None) => {
+                cmp.regressions.push(format!(
+                    "{name}: mem section missing from candidate — was the bench \
+                     harness built without the alloc-count feature?"
+                ));
+            }
+            (None, Some(_)) => {
+                cmp.notes.push(format!(
+                    "{name}: mem counters newly present (no baseline to gate against)"
+                ));
+            }
+            (None, None) => {}
         }
         let ceiling = (old_s.wall_us_median as u128) * (100 + wall_tol_pct as u128) / 100;
         if (new_s.wall_us_median as u128) > ceiling {
@@ -467,6 +531,16 @@ fn parse_value(text: &str) -> Result<JsonValue, String> {
 mod tests {
     use super::*;
 
+    fn mem(allocations: u64) -> AllocCounters {
+        let mut m = AllocCounters::enabled();
+        assert!(m.set_field("allocations", allocations));
+        assert!(m.set_field("deallocations", allocations));
+        assert!(m.set_field("bytes_allocated", allocations * 64));
+        assert!(m.set_field("bytes_freed", allocations * 64));
+        assert!(m.set_field("peak_live_bytes", allocations * 8));
+        m
+    }
+
     fn baseline(wall: u64, candidates: u64) -> PerfBaseline {
         let mut work = WorkCounters::enabled();
         work.record_engine(100, 120, 8);
@@ -480,6 +554,7 @@ mod tests {
             jobs_per_sec_milli: 8_000_000_000u64.checked_div(wall).unwrap_or(0),
             events_per_sec_milli: 100_000_000_000u64.checked_div(wall).unwrap_or(0),
             work,
+            mem: Some(mem(5000)),
         };
         let mut scenarios = BTreeMap::new();
         scenarios.insert("fault_free".to_string(), scenario.clone());
@@ -511,13 +586,121 @@ mod tests {
         assert!(PerfBaseline::from_json("[1,2]").is_err());
         assert!(PerfBaseline::from_json("{\"schema\":1").is_err());
         assert!(
-            PerfBaseline::from_json("{\"schema\":2}").is_err(),
-            "wrong schema"
+            PerfBaseline::from_json("{\"schema\":3}").is_err(),
+            "unknown schema"
         );
         assert!(
-            PerfBaseline::from_json("{\"schema\":1}{}").is_err(),
+            PerfBaseline::from_json("{\"schema\":2}{}").is_err(),
             "trailing"
         );
+    }
+
+    #[test]
+    fn schema_2_json_shape_is_pinned() {
+        // The exact layout the bench harness commits as BENCH_<machine>.json.
+        // Field order, indentation and the optional trailing mem section are
+        // all contractual: git diffs of regenerated baselines must be
+        // readable, and the reader round-trips this byte-for-byte.
+        let mut b = baseline(5000, 77);
+        b.scenarios.remove("faulted");
+        let scn = b.scenarios.get_mut("fault_free").unwrap();
+        scn.mem = Some(mem(2));
+        scn.work = {
+            let mut w = WorkCounters::enabled();
+            w.record_engine(100, 120, 8);
+            w.record_sched(10, 5, 3, 77, 40);
+            w.record_churn(1, 2);
+            w
+        };
+        let expected = "{\n  \"schema\":2,\n  \"reps\":3,\n  \"warmup\":1,\n  \
+\"jobs_prefix\":2000,\n  \"machine\":\"ross\",\n  \"git_rev\":\"abc1234\",\n  \
+\"scenarios\":{\n    \"fault_free\":{\n      \"wall_us_median\":5000,\n      \
+\"wall_us_mad\":250,\n      \"jobs\":8,\n      \"events\":100,\n      \
+\"jobs_per_sec_milli\":1600000,\n      \"events_per_sec_milli\":20000000,\n      \
+\"work\":{\"events_popped\":100,\"events_scheduled\":120,\"heap_peak_depth\":8,\
+\"sched_cycles\":10,\"inorder_starts\":5,\"backfill_starts\":3,\
+\"backfill_candidates_scanned\":77,\"profile_segments_walked\":40,\
+\"requeues\":1,\"retries\":2},\n      \
+\"mem\":{\"allocations\":2,\"deallocations\":2,\"bytes_allocated\":128,\
+\"bytes_freed\":128,\"peak_live_bytes\":16}\n    }\n  }\n}\n";
+        assert_eq!(b.to_json(), expected);
+    }
+
+    #[test]
+    fn schema_1_files_still_parse_without_mem() {
+        // A baseline as the previous harness wrote it: schema 1, no mem.
+        let legacy = "{\n  \"schema\":1,\n  \"reps\":3,\n  \"warmup\":1,\n  \
+\"jobs_prefix\":2000,\n  \"machine\":\"ross\",\n  \"git_rev\":\"abc1234\",\n  \
+\"scenarios\":{\n    \"fault_free\":{\n      \"wall_us_median\":5000,\n      \
+\"wall_us_mad\":250,\n      \"jobs\":8,\n      \"events\":100,\n      \
+\"jobs_per_sec_milli\":1600000,\n      \"events_per_sec_milli\":20000000,\n      \
+\"work\":{\"events_popped\":100,\"events_scheduled\":120,\"heap_peak_depth\":8,\
+\"sched_cycles\":10,\"inorder_starts\":5,\"backfill_starts\":3,\
+\"backfill_candidates_scanned\":77,\"profile_segments_walked\":40,\
+\"requeues\":1,\"retries\":2}\n    }\n  }\n}\n";
+        let b = PerfBaseline::from_json(legacy).unwrap();
+        assert_eq!(b.schema, 1);
+        let scn = &b.scenarios["fault_free"];
+        assert_eq!(scn.mem, None);
+        assert_eq!(scn.work.events_popped, 100);
+        // And it re-serializes byte-identically (still as schema 1).
+        assert_eq!(b.to_json(), legacy);
+    }
+
+    #[test]
+    fn compare_rejects_mixed_schema_pairs() {
+        let old = baseline(5000, 77);
+        let mut legacy = baseline(5000, 77);
+        legacy.schema = 1;
+        for scn in legacy.scenarios.values_mut() {
+            scn.mem = None;
+        }
+        let cmp = compare(&legacy, &old, 25);
+        assert!(cmp.is_regression());
+        assert_eq!(cmp.regressions.len(), 1, "fails fast, no field spray");
+        assert!(cmp.regressions[0].contains("schema mismatch"));
+        assert!(cmp.regressions[0].contains("regenerate both sides"));
+    }
+
+    #[test]
+    fn mem_counters_gate_exactly() {
+        let old = baseline(5000, 77);
+        let mut worse = baseline(5000, 77);
+        worse.scenarios.get_mut("faulted").unwrap().mem = Some(mem(5001));
+        let cmp = compare(&old, &worse, 25);
+        assert!(cmp.is_regression());
+        assert!(
+            cmp.regressions
+                .iter()
+                .any(|r| r.contains("mem counter allocations rose 5000 -> 5001")),
+            "{:?}",
+            cmp.regressions
+        );
+        let mut better = baseline(5000, 77);
+        better.scenarios.get_mut("faulted").unwrap().mem = Some(mem(4999));
+        let cmp = compare(&old, &better, 25);
+        assert!(!cmp.is_regression());
+        assert!(cmp.improvements.iter().any(|i| i.contains("mem counter")));
+    }
+
+    #[test]
+    fn missing_mem_in_candidate_fails_but_new_mem_is_a_note() {
+        let old = baseline(5000, 77);
+        let mut no_mem = baseline(5000, 77);
+        for scn in no_mem.scenarios.values_mut() {
+            scn.mem = None;
+        }
+        let cmp = compare(&old, &no_mem, 25);
+        assert!(cmp.is_regression());
+        assert!(cmp.regressions[0].contains("alloc-count"));
+        // Baseline without mem, candidate with: informational only.
+        let cmp = compare(&no_mem, &old, 25);
+        assert!(!cmp.is_regression());
+        assert!(cmp.notes.iter().any(|n| n.contains("newly present")));
+        // Neither side has mem: silent.
+        let cmp = compare(&no_mem, &no_mem, 25);
+        assert!(!cmp.is_regression());
+        assert!(cmp.notes.is_empty());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! nested phases (backfill inside schedule-cycle) can be timed without
 //! holding overlapping `&mut` borrows of the profiler.
 
+use crate::alloc;
 use crate::json;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -23,6 +24,21 @@ pub struct PhaseStat {
     pub calls: u64,
     /// Total wall-clock nanoseconds across those spans (saturating).
     pub total_ns: u64,
+    /// Allocator calls attributed to spans of this phase. Zero unless the
+    /// `alloc-count` feature is on (see [`crate::alloc`]).
+    pub alloc_calls: u64,
+    /// Bytes allocated during spans of this phase (same gating).
+    pub alloc_bytes: u64,
+}
+
+/// An open span: the start instant plus allocator tallies at `begin`.
+/// Opaque to callers — obtained from [`PhaseProfiler::begin`] and handed
+/// back to [`PhaseProfiler::end`].
+#[derive(Clone, Copy, Debug)]
+pub struct SpanToken {
+    t0: Instant,
+    allocs: u64,
+    bytes: u64,
 }
 
 /// An ordered snapshot of all phase statistics.
@@ -46,7 +62,9 @@ impl ProfileSnapshot {
             json::push_key(out, name);
             out.push('{');
             let inner = json::push_u64_field(out, true, "calls", stat.calls);
-            let _ = json::push_u64_field(out, inner, "total_ns", stat.total_ns);
+            let inner = json::push_u64_field(out, inner, "total_ns", stat.total_ns);
+            let inner = json::push_u64_field(out, inner, "alloc_calls", stat.alloc_calls);
+            let _ = json::push_u64_field(out, inner, "alloc_bytes", stat.alloc_bytes);
             out.push('}');
         }
         out.push('}');
@@ -81,31 +99,51 @@ impl PhaseProfiler {
     }
 
     /// Open a span. Returns `None` (no clock read) when disabled; pass the
-    /// token to [`end`](PhaseProfiler::end) to close it.
+    /// token to [`end`](PhaseProfiler::end) to close it. With `alloc-count`
+    /// on, the token also snapshots the process-global allocator tallies so
+    /// the span's allocation activity can be attributed to its phase.
     #[inline]
-    pub fn begin(&self) -> Option<Instant> {
+    pub fn begin(&self) -> Option<SpanToken> {
         if self.enabled {
-            Some(Instant::now())
+            Some(SpanToken {
+                t0: Instant::now(),
+                allocs: alloc::allocations_now(),
+                bytes: alloc::bytes_allocated_now(),
+            })
         } else {
             None
         }
     }
 
     /// Close a span opened by [`begin`](PhaseProfiler::begin), attributing
-    /// the elapsed wall-clock time to `name`.
+    /// the elapsed wall-clock time (and, with `alloc-count`, allocator
+    /// activity) to `name`.
     #[inline]
-    pub fn end(&mut self, name: &'static str, token: Option<Instant>) {
-        if let Some(t0) = token {
-            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    pub fn end(&mut self, name: &'static str, token: Option<SpanToken>) {
+        if let Some(span) = token {
+            let ns = u64::try_from(span.t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
             let stat = self.snap.phases.entry(name).or_default();
             stat.calls += 1;
             stat.total_ns = stat.total_ns.saturating_add(ns);
+            stat.alloc_calls = stat
+                .alloc_calls
+                .saturating_add(alloc::allocations_now().wrapping_sub(span.allocs));
+            stat.alloc_bytes = stat
+                .alloc_bytes
+                .saturating_add(alloc::bytes_allocated_now().wrapping_sub(span.bytes));
         }
     }
 
     /// Copy out the accumulated stats.
     pub fn snapshot(&self) -> ProfileSnapshot {
         self.snap.clone()
+    }
+
+    /// Cumulative wall nanos for one phase so far (0 when unseen). Feeds
+    /// the flight recorder's per-cycle phase deltas without a snapshot
+    /// clone per cycle.
+    pub fn total_ns(&self, name: &'static str) -> u64 {
+        self.snap.phases.get(name).map_or(0, |s| s.total_ns)
     }
 }
 

@@ -13,6 +13,7 @@
 //! Work counters appear in *both* forms (they are deterministic) but never
 //! in the trace stream — see `crates/obs/SCHEMA.md`.
 
+use crate::alloc::AllocCounters;
 use crate::json;
 use crate::metrics::MetricsSnapshot;
 use crate::profile::ProfileSnapshot;
@@ -27,27 +28,41 @@ pub struct RunReport {
     pub profile: ProfileSnapshot,
     /// Deterministic work counters (all zero when counting was disabled).
     pub work: WorkCounters,
+    /// Allocator tallies for the run window (all zero unless the
+    /// `alloc-count` feature is on).
+    pub mem: AllocCounters,
 }
 
 impl RunReport {
-    /// Bundle a metrics snapshot, a phase profile and the work counters.
-    pub fn new(metrics: MetricsSnapshot, profile: ProfileSnapshot, work: WorkCounters) -> Self {
+    /// Bundle a metrics snapshot, a phase profile, the work counters and
+    /// the run's allocator tallies.
+    pub fn new(
+        metrics: MetricsSnapshot,
+        profile: ProfileSnapshot,
+        work: WorkCounters,
+        mem: AllocCounters,
+    ) -> Self {
         RunReport {
             metrics,
             profile,
             work,
+            mem,
         }
     }
 
-    /// Full report: `{"metrics":{..},"work":{..},"profile":{..}}`. The
-    /// profile section contains wall-clock values and is NOT run-to-run
-    /// stable.
+    /// Full report: `{"metrics":{..},"work":{..},"profile":{..},"mem":{..}}`.
+    /// The profile section contains wall-clock values and is NOT
+    /// run-to-run stable; the mem section depends on allocator behaviour
+    /// of the exact build, so neither is golden-pinned.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         self.write_deterministic_sections(&mut out);
         out.push(',');
         json::push_key(&mut out, "profile");
         self.profile.write_json(&mut out);
+        out.push(',');
+        json::push_key(&mut out, "mem");
+        self.mem.write_json(&mut out);
         out.push('}');
         out
     }
@@ -88,7 +103,7 @@ mod tests {
         p.end("schedule-cycle", t);
         let mut w = WorkCounters::enabled();
         w.record_engine(7, 9, 3);
-        let report = RunReport::new(m.snapshot(), p.snapshot(), w);
+        let report = RunReport::new(m.snapshot(), p.snapshot(), w, AllocCounters::disabled());
         let det = report.to_json_deterministic();
         assert_eq!(
             det,
@@ -103,6 +118,11 @@ mod tests {
         assert!(full.contains("\"profile\":{\"schedule-cycle\""));
         assert!(full.starts_with(&det[..det.len() - 1]), "shared prefix");
         assert!(!det.contains("\"profile\":"), "no phase-timing section");
+        assert!(
+            full.contains("\"mem\":{\"allocations\":"),
+            "mem in full form"
+        );
+        assert!(!det.contains("\"mem\":"), "mem is not golden-pinned");
     }
 
     #[test]
@@ -115,7 +135,9 @@ mod tests {
              \"heap_peak_depth\":0,\"sched_cycles\":0,\"inorder_starts\":0,\
              \"backfill_starts\":0,\"backfill_candidates_scanned\":0,\
              \"profile_segments_walked\":0,\"requeues\":0,\"retries\":0},\
-             \"profile\":{}}"
+             \"profile\":{},\
+             \"mem\":{\"allocations\":0,\"deallocations\":0,\
+             \"bytes_allocated\":0,\"bytes_freed\":0,\"peak_live_bytes\":0}}"
         );
     }
 }

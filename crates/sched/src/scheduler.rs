@@ -257,8 +257,9 @@ impl Scheduler {
     }
 
     /// [`cycle`](Scheduler::cycle) with instrumentation: phase spans for
-    /// free-profile construction and backfill planning, plus cycle/start
-    /// counters, land in `observer`. Returns the full [`DispatchPlan`] so
+    /// queue ordering (`order-queue`: the priority sort plus eligibility
+    /// scan), free-profile construction and backfill planning, plus
+    /// cycle/start counters, land in `observer`. Returns the full [`DispatchPlan`] so
     /// the caller can tell in-order dispatches from backfills — the first
     /// `starts.len() - backfilled` entries of `starts` are in-order (the
     /// planner only marks jobs as backfills once the head is blocked, and
@@ -275,8 +276,10 @@ impl Scheduler {
             self.last_head_reservation = None;
             return DispatchPlan::default();
         }
+        let token = observer.profiler.begin();
         self.order_queue(now);
         let eligible = self.dispatchable();
+        observer.profiler.end("order-queue", token);
         let plan = if eligible.is_empty() {
             DispatchPlan::default()
         } else {

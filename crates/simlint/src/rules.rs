@@ -468,6 +468,30 @@ mod tests {
     }
 
     #[test]
+    fn observability_instruments_stay_linted() {
+        // The obs crate carries two audited wall-clock/unsafe exceptions
+        // (PhaseProfiler, CycleRecorder, CountingAlloc — simlint.toml,
+        // DESIGN.md §8/§14). The allows are only honest while the lints
+        // still fire on the underlying tokens: if obs ever drops out of
+        // the determinism scope, or the token patterns stop matching,
+        // the allowlist would silently rot into dead entries guarding
+        // nothing. Pin the behavior on representative sources.
+        assert!(DETERMINISM_CRATES.contains(&"obs"));
+        let clock = "fn begin(&self) -> Option<Instant> {\n    Some(Instant::now())\n}\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/obs/src/recorder.rs", clock)),
+            ["R2"],
+            "Instant::now in obs lib code must keep tripping R2"
+        );
+        let alloc = "unsafe impl GlobalAlloc for CountingAlloc {}\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/obs/src/alloc.rs", alloc)),
+            ["R5"],
+            "the unsafe allocator impl in obs must keep tripping R5"
+        );
+    }
+
+    #[test]
     fn token_boundaries_respected() {
         // Identifiers merely containing the pattern are not violations.
         let src = "struct MyHashMapLike;\nfn hash_set_ish() {}\n";
