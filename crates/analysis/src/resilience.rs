@@ -82,6 +82,22 @@ pub struct ResilienceReport {
     pub goodput_cpu_s: f64,
     /// CPU·seconds destroyed by fault kills.
     pub wasted_cpu_s: f64,
+    /// The interstitial-class subset of `wasted_cpu_s` — the figure the
+    /// recovery policies actually move (native requeue waste is identical
+    /// across policies and dominates the combined number).
+    pub interstitial_wasted_cpu_s: f64,
+    /// CPU·seconds of evicted progress the recovery policy carried across
+    /// a resume instead of discarding (zero under kill-restart).
+    pub salvaged_cpu_s: f64,
+    /// CPU·seconds past the last checkpoint that evicted-but-retried jobs
+    /// will execute twice (zero under kill-restart and suspend-resume).
+    pub reexecuted_cpu_s: f64,
+    /// CPU·seconds spent writing checkpoints (zero unless `ckpt=I`).
+    pub checkpoint_overhead_cpu_s: f64,
+    /// Checkpoints interstitial jobs completed.
+    pub checkpoints_taken: u64,
+    /// Evicted interstitial jobs that restarted with credited progress.
+    pub interstitial_resumes: u64,
     /// Node failure events.
     pub node_failures: u64,
     /// Node repair events.
@@ -197,6 +213,12 @@ impl ResilienceReport {
             horizon_s,
             goodput_cpu_s,
             wasted_cpu_s: stats.fault_wasted_cpu_seconds,
+            interstitial_wasted_cpu_s: stats.interstitial_wasted_cpu_seconds,
+            salvaged_cpu_s: stats.salvaged_cpu_seconds,
+            reexecuted_cpu_s: stats.reexecuted_cpu_seconds,
+            checkpoint_overhead_cpu_s: stats.checkpoint_overhead_cpu_seconds,
+            checkpoints_taken: stats.checkpoints_taken,
+            interstitial_resumes: stats.interstitial_resumes,
             node_failures: stats.node_failures,
             node_repairs: stats.node_repairs,
             native_requeues: stats.native_requeues,
@@ -208,12 +230,25 @@ impl ResilienceReport {
     }
 
     /// Fraction of all consumed CPU·seconds the faults destroyed.
+    /// Checkpoint overhead counts as consumption, not waste — it bought
+    /// the salvage.
     pub fn waste_fraction(&self) -> f64 {
-        let consumed = self.goodput_cpu_s + self.wasted_cpu_s;
+        let consumed = self.goodput_cpu_s + self.wasted_cpu_s + self.checkpoint_overhead_cpu_s;
         if consumed <= 0.0 {
             return 0.0;
         }
         self.wasted_cpu_s / consumed
+    }
+
+    /// Of the eviction-interrupted CPU·seconds, the fraction the recovery
+    /// policy carried forward: 0 under kill-restart (everything redone),
+    /// 1 under suspend-resume when every victim resumed.
+    pub fn salvage_fraction(&self) -> f64 {
+        let interrupted = self.salvaged_cpu_s + self.wasted_cpu_s;
+        if interrupted <= 0.0 {
+            return 0.0;
+        }
+        self.salvaged_cpu_s / interrupted
     }
 
     /// Render the scalar panel as a two-column table.
@@ -223,8 +258,30 @@ impl ResilienceReport {
         t.row(&["goodput CPU·s".into(), f(self.goodput_cpu_s)]);
         t.row(&["wasted CPU·s".into(), f(self.wasted_cpu_s)]);
         t.row(&[
+            "interstitial wasted CPU·s".into(),
+            f(self.interstitial_wasted_cpu_s),
+        ]);
+        t.row(&[
             "waste fraction".into(),
             format!("{:.4}", self.waste_fraction()),
+        ]);
+        t.row(&["salvaged CPU·s".into(), f(self.salvaged_cpu_s)]);
+        t.row(&["re-executed CPU·s".into(), f(self.reexecuted_cpu_s)]);
+        t.row(&[
+            "salvage fraction".into(),
+            format!("{:.4}", self.salvage_fraction()),
+        ]);
+        t.row(&[
+            "checkpoint overhead CPU·s".into(),
+            f(self.checkpoint_overhead_cpu_s),
+        ]);
+        t.row(&[
+            "checkpoints taken".into(),
+            self.checkpoints_taken.to_string(),
+        ]);
+        t.row(&[
+            "interstitial resumes".into(),
+            self.interstitial_resumes.to_string(),
         ]);
         t.row(&["node failures".into(), self.node_failures.to_string()]);
         t.row(&["node repairs".into(), self.node_repairs.to_string()]);
@@ -315,8 +372,6 @@ mod tests {
             node_failures: 1,
             node_repairs: 1,
             native_requeues: 1,
-            interstitial_retries: 0,
-            interstitial_given_up: 0,
             fault_wasted_cpu_seconds: 600.0,
             kills: vec![KilledJob {
                 job: 1,
@@ -324,6 +379,7 @@ mod tests {
                 runtime_s: 100,
                 interstitial: false,
             }],
+            ..FaultStats::default()
         };
         let model = FaultModel::none();
         let r =
@@ -345,6 +401,41 @@ mod tests {
         assert_eq!(r.degraded.degraded_s, 0);
         assert_eq!(r.degraded.lost_cpu_s, 0.0);
         assert_eq!(r.degraded.mean_available_cpus, 64.0);
+    }
+
+    #[test]
+    fn salvage_decomposition_rides_the_stats() {
+        let stats = FaultStats {
+            fault_wasted_cpu_seconds: 300.0,
+            interstitial_wasted_cpu_seconds: 180.0,
+            salvaged_cpu_seconds: 900.0,
+            reexecuted_cpu_seconds: 300.0,
+            checkpoint_overhead_cpu_seconds: 50.0,
+            checkpoints_taken: 5,
+            interstitial_resumes: 3,
+            ..FaultStats::default()
+        };
+        let r = ResilienceReport::from_run(
+            &[],
+            &stats,
+            &FaultModel::none(),
+            64,
+            SimTime::from_secs(1_000),
+        );
+        assert!((r.interstitial_wasted_cpu_s - 180.0).abs() < 1e-12);
+        assert!((r.salvaged_cpu_s - 900.0).abs() < 1e-12);
+        assert!((r.reexecuted_cpu_s - 300.0).abs() < 1e-12);
+        assert!((r.checkpoint_overhead_cpu_s - 50.0).abs() < 1e-12);
+        assert_eq!(r.checkpoints_taken, 5);
+        assert_eq!(r.interstitial_resumes, 3);
+        // 900 of 1200 interrupted CPU·s carried forward.
+        assert!((r.salvage_fraction() - 0.75).abs() < 1e-9);
+        // Overhead is consumption, not waste: 300 / (300 + 50).
+        assert!((r.waste_fraction() - 300.0 / 350.0).abs() < 1e-9);
+        let text = r.table().to_text();
+        assert!(text.contains("interstitial wasted CPU·s"), "{text}");
+        assert!(text.contains("salvaged CPU·s"), "{text}");
+        assert!(text.contains("checkpoints taken"), "{text}");
     }
 
     #[test]

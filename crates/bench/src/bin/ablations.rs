@@ -16,6 +16,7 @@ fn main() {
         bench::experiments::ablations::fairness(&mut lab),
         bench::experiments::ablations::open_vs_closed(&mut lab),
         bench::experiments::ablations::resilience(),
+        bench::experiments::ablations::recovery_policies(),
     ] {
         println!("{}\n", e.body);
     }

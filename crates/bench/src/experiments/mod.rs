@@ -48,5 +48,6 @@ pub fn run_all(lab: &mut Lab, quick: bool) -> Vec<Experiment> {
         ablations::fairness(lab),
         ablations::open_vs_closed(lab),
         ablations::resilience(),
+        ablations::recovery_policies(),
     ]
 }

@@ -5,7 +5,7 @@ use crate::args::{machine_by_name, shape_spec, ArgError, Args};
 use analysis::metrics::NativeImpact;
 use analysis::tables::fmt_k;
 use analysis::{ResilienceReport, Table};
-use interstitial::policy::Preemption;
+use interstitial::policy::{Preemption, RecoveryPolicy};
 use interstitial::prelude::*;
 use machine::{FaultModel, FaultSpec};
 use obs::Obs;
@@ -27,6 +27,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         "trace",
         "metrics",
         "faults",
+        "recovery",
         "resilience",
         "event-queue",
         "record-cycles",
@@ -84,6 +85,13 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         return Err(ArgError("--resilience requires --faults".into()));
     }
 
+    // Recovery policy for evicted interstitial jobs. The default
+    // (kill-restart) reproduces the legacy traces byte-for-byte.
+    let recovery = match args.get("recovery") {
+        None => RecoveryPolicy::default(),
+        Some(spec) => RecoveryPolicy::parse(spec).map_err(ArgError)?,
+    };
+
     // Event-queue backend: binary heap (default) or calendar queue. Both
     // pop in identical order, so this only changes constant factors.
     let queue = match args.get("event-queue") {
@@ -114,7 +122,8 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
     let mut baseline_builder = SimBuilder::new(machine.clone())
         .natives_arc(Arc::clone(&natives))
         .horizon(horizon)
-        .event_queue(queue);
+        .event_queue(queue)
+        .recovery(recovery);
     if let Some(model) = &faults {
         baseline_builder = baseline_builder.faults(model.clone());
     }
@@ -173,6 +182,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
                 .natives_arc(Arc::clone(&natives))
                 .horizon(horizon)
                 .event_queue(queue)
+                .recovery(recovery)
                 .interstitial(project, mode, policy);
             if let Some(model) = &faults {
                 b = b.faults(model.clone());
@@ -473,6 +483,69 @@ mod tests {
         assert!(jsonl.contains("\"ev\":\"node_down\""));
         assert!(jsonl.contains("\"ev\":\"node_up\""));
         let _ = std::fs::remove_file(trace);
+    }
+
+    #[test]
+    fn recovery_flag_selects_the_policy_and_v3_traces_stamp_correctly() {
+        let dir = std::env::temp_dir().join("interstitial-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = |recovery: &str, trace: &str| {
+            vec![
+                "simulate".to_string(),
+                "--machine".into(),
+                "128x1.0".into(),
+                "--seed".into(),
+                "2".into(),
+                "--shape".into(),
+                "16x120".into(),
+                "--faults".into(),
+                "mtbf=20000,mttr=2000,nodes=8,seed=7".into(),
+                "--recovery".into(),
+                recovery.into(),
+                "--trace".into(),
+                trace.into(),
+            ]
+        };
+        // Kill-restart emits no recovery events, so the trace stays schema 2.
+        let kill = dir.join("kill.jsonl");
+        let argv = base("kill", kill.to_str().unwrap());
+        run(&Args::parse(argv).unwrap()).unwrap();
+        let kill_bytes = std::fs::read_to_string(&kill).unwrap();
+        assert!(kill_bytes.starts_with("{\"schema\":2"), "{kill_bytes}");
+        assert!(!kill_bytes.contains("\"ev\":\"job_resumed\""));
+        // Suspend-resume salvages victims and stamps schema 3.
+        let susp = dir.join("suspend.jsonl");
+        let argv = base("suspend", susp.to_str().unwrap());
+        run(&Args::parse(argv).unwrap()).unwrap();
+        let susp_bytes = std::fs::read_to_string(&susp).unwrap();
+        assert!(susp_bytes.starts_with("{\"schema\":3"), "{susp_bytes}");
+        assert!(susp_bytes.contains("\"ev\":\"job_suspended\""));
+        assert!(susp_bytes.contains("\"ev\":\"job_resumed\""));
+        // Checkpointing emits its own marker.
+        let ckpt = dir.join("ckpt.jsonl");
+        let argv = base("ckpt=30", ckpt.to_str().unwrap());
+        run(&Args::parse(argv).unwrap()).unwrap();
+        let ckpt_bytes = std::fs::read_to_string(&ckpt).unwrap();
+        assert!(ckpt_bytes.starts_with("{\"schema\":3"), "{ckpt_bytes}");
+        assert!(ckpt_bytes.contains("\"ev\":\"job_checkpointed\""));
+        for p in [kill, susp, ckpt] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn recovery_flag_errors_are_clean() {
+        for bad in ["sometimes", "ckpt=0", "ckpt=soon", "ckpt="] {
+            let e = run(&parse(&[
+                "simulate",
+                "--machine",
+                "128x1.0",
+                "--recovery",
+                bad,
+            ]))
+            .unwrap_err();
+            assert!(e.0.contains("--recovery"), "{bad:?} → {}", e.0);
+        }
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //! could take, and their (exactly known — zero variance) runtimes are used
 //! as their estimates.
 
-use crate::policy::{InterstitialMode, InterstitialPolicy, Preemption, RetryPolicy};
+use crate::policy::{
+    InterstitialMode, InterstitialPolicy, Preemption, RecoveryPolicy, RetryPolicy,
+    CHECKPOINT_OVERHEAD_S,
+};
 use crate::project::InterstitialProject;
 use crate::report::SimOutput;
 use machine::{CpuPool, FaultModel, MachineConfig, OutageSchedule, RunningJob, RunningSet};
@@ -74,6 +77,7 @@ pub struct SimBuilder {
     scheduler: Option<Scheduler>,
     faults: FaultModel,
     retry: RetryPolicy,
+    recovery: RecoveryPolicy,
     streams: Vec<InterstitialStream>,
     horizon_override: Option<SimTime>,
     periodic_cycle: Option<SimDuration>,
@@ -91,6 +95,7 @@ impl SimBuilder {
             scheduler: None,
             faults: FaultModel::none(),
             retry: RetryPolicy::default(),
+            recovery: RecoveryPolicy::default(),
             streams: Vec::new(),
             horizon_override: None,
             periodic_cycle: None,
@@ -160,6 +165,15 @@ impl SimBuilder {
     /// delay doubling to a 1 h cap, 5 attempts).
     pub fn retry(mut self, r: RetryPolicy) -> Self {
         self.retry = r;
+        self
+    }
+
+    /// Recovery policy for evicted interstitial jobs (default:
+    /// [`RecoveryPolicy::KillRestart`], the legacy path — bit-identical
+    /// traces). Checkpoint and suspend-resume credit evicted progress to a
+    /// per-job ledger so victims re-enter with only their remaining work.
+    pub fn recovery(mut self, r: RecoveryPolicy) -> Self {
+        self.recovery = r;
         self
     }
 
@@ -234,6 +248,7 @@ impl SimBuilder {
             scheduler,
             faults: self.faults,
             retry: self.retry,
+            recovery: self.recovery,
             streams: self.streams,
             horizon,
             periodic_cycle: self.periodic_cycle,
@@ -251,6 +266,7 @@ pub struct Simulator {
     scheduler: Scheduler,
     faults: FaultModel,
     retry: RetryPolicy,
+    recovery: RecoveryPolicy,
     streams: Vec<InterstitialStream>,
     horizon: SimTime,
     periodic_cycle: Option<SimDuration>,
@@ -264,6 +280,18 @@ struct Suspended {
     job: Job,
     first_start: SimTime,
     remaining: SimDuration,
+}
+
+/// A fault-killed interstitial job waiting out its retry backoff.
+///
+/// Under kill-restart `remaining == job.runtime` and `first_start` is
+/// `None`, reproducing the legacy restart-from-scratch path exactly; the
+/// checkpoint/suspend policies carry the credited remainder and the
+/// original wallclock anchor instead.
+struct PendingRetry {
+    job: Job,
+    remaining: SimDuration,
+    first_start: Option<SimTime>,
 }
 
 struct RunState {
@@ -299,9 +327,12 @@ struct RunState {
     /// events, and the counter the retry policy's give-up test reads.
     retry_attempts: BTreeMap<u64, u32>,
     /// Fault-killed interstitial jobs waiting out their backoff.
-    retry_pending: BTreeMap<u64, Job>,
+    retry_pending: BTreeMap<u64, PendingRetry>,
     /// Backoff expired; restart at the next opportunity.
-    retry_ready: Vec<Job>,
+    retry_ready: Vec<PendingRetry>,
+    /// Credited progress per evicted interstitial job (empty under
+    /// kill-restart — the ledger is what the recovery policies add).
+    ledger: machine::ProgressLedger,
     /// Closed-loop mode: per-user queues of not-yet-submitted native trace
     /// indexes, and the think-time sampler.
     user_pending: BTreeMap<u32, std::collections::VecDeque<u32>>,
@@ -350,6 +381,7 @@ impl Simulator {
             retry_attempts: BTreeMap::new(),
             retry_pending: BTreeMap::new(),
             retry_ready: Vec::new(),
+            ledger: machine::ProgressLedger::new(),
             user_pending: BTreeMap::new(),
             think: self.feedback.map(|(mean, seed)| {
                 (
@@ -443,7 +475,25 @@ impl Simulator {
         debug_assert!(st.void_events.is_empty(), "unconsumed tombstones");
         debug_assert!(st.retry_pending.is_empty(), "unfired retry releases");
         // Retries that never found room before the event queue ran dry are
-        // abandoned work.
+        // abandoned work — including anything the recovery policy had
+        // salvaged for them at earlier evictions. Same for evicted jobs
+        // still parked in the suspended queue.
+        for p in &st.retry_ready {
+            if let Some(l) = st.ledger.take(p.job.id) {
+                let sunk = p.job.cpus as f64 * l.done.as_secs_f64();
+                st.faults.salvaged_cpu_seconds -= sunk;
+                st.faults.fault_wasted_cpu_seconds += sunk;
+                st.faults.interstitial_wasted_cpu_seconds += sunk;
+            }
+        }
+        for s in &st.suspended {
+            if let Some(l) = st.ledger.take(s.job.id) {
+                let sunk = s.job.cpus as f64 * l.done.as_secs_f64();
+                st.faults.salvaged_cpu_seconds -= sunk;
+                st.faults.fault_wasted_cpu_seconds += sunk;
+                st.faults.interstitial_wasted_cpu_seconds += sunk;
+            }
+        }
         st.faults.interstitial_given_up += st.retry_ready.len() as u64;
         st.completed.sort_by_key(|c| (c.finish, c.job.id));
         self.obs.metrics.inc("engine.events", steps);
@@ -469,6 +519,16 @@ impl Simulator {
         self.obs
             .work
             .record_churn(st.faults.native_requeues, st.faults.interstitial_retries);
+        // Recovery counters stay untouched under kill-restart so frozen
+        // perf baselines keep comparing field-for-field (missing keys in
+        // old files parse as zero).
+        if self.recovery != RecoveryPolicy::KillRestart {
+            self.obs.work.record_recovery(
+                st.faults.checkpoints_taken,
+                st.faults.salvaged_cpu_seconds.max(0.0) as u64,
+                st.faults.reexecuted_cpu_seconds.max(0.0) as u64,
+            );
+        }
         self.obs.mem = obs::alloc::since(&mem_mark);
         SimOutput {
             machine: self.machine.clone(),
@@ -541,6 +601,9 @@ impl Simulator {
                 );
                 if interstitial {
                     self.obs.metrics.inc("jobs.finished.interstitial", 1);
+                    // A recovered job's credited progress is realized; drop
+                    // the ledger entry (no-op under kill-restart — empty map).
+                    st.ledger.take(id);
                 } else {
                     self.obs.metrics.inc("jobs.finished.native", 1);
                     self.obs
@@ -626,10 +689,12 @@ impl Simulator {
     /// Crash one running job for `node`'s failure. Native victims are
     /// requeued at the head of the native queue with their original submit
     /// instant (the wait clock spans the failure). Interstitial victims
-    /// re-enter under the retry policy's capped exponential backoff, from
-    /// scratch — any checkpoint is assumed lost with the node — until the
-    /// attempt budget or the horizon gives out. Partial work is wasted
-    /// either way.
+    /// re-enter under the retry policy's capped exponential backoff; what
+    /// they carry back is the recovery policy's call — nothing
+    /// (kill-restart), progress up to the last completed checkpoint
+    /// (checkpoint), or everything (suspend-resume) — until the attempt
+    /// budget or the horizon gives out. The uncredited slice of the attempt
+    /// is wasted.
     fn fault_kill(
         &mut self,
         now: SimTime,
@@ -643,7 +708,9 @@ impl Simulator {
         *st.void_events.entry(id).or_insert(0) += 1;
         let job = st.live.remove(&id).expect("live payload");
         let interstitial = job.class.is_interstitial();
-        st.faults.fault_wasted_cpu_seconds += rj.cpus as f64 * (now - rj.start).as_secs_f64();
+        if !interstitial {
+            st.faults.fault_wasted_cpu_seconds += rj.cpus as f64 * (now - rj.start).as_secs_f64();
+        }
         st.faults.kills.push(machine::KilledJob {
             job: id,
             cpus: rj.cpus,
@@ -666,14 +733,82 @@ impl Simulator {
             *a
         };
         if interstitial {
-            st.resume_meta.remove(&id);
+            let first_start = st.resume_meta.remove(&id).unwrap_or(rj.start);
+            let done = st.ledger.done_for(id);
+            let elapsed = now - rj.start;
+            // Total credited progress after this eviction, per policy;
+            // kill-restart credits nothing, so remaining == job.runtime and
+            // every figure below collapses to the legacy arithmetic.
+            let credited = self.recovery.credited(done, elapsed);
+            let remaining = job.runtime.saturating_sub(credited);
             let release = now + self.retry.backoff(attempts);
-            if self.retry.gives_up_after(attempts) || release + job.runtime > self.horizon {
+            if self.retry.gives_up_after(attempts) || release + remaining > self.horizon {
+                // Abandoned: this attempt's work, plus anything salvaged at
+                // earlier evictions, is all waste after all.
+                st.faults.fault_wasted_cpu_seconds += rj.cpus as f64 * elapsed.as_secs_f64();
+                st.faults.interstitial_wasted_cpu_seconds += rj.cpus as f64 * elapsed.as_secs_f64();
+                if let Some(p) = st.ledger.take(id) {
+                    let sunk = rj.cpus as f64 * p.done.as_secs_f64();
+                    st.faults.salvaged_cpu_seconds -= sunk;
+                    st.faults.fault_wasted_cpu_seconds += sunk;
+                    st.faults.interstitial_wasted_cpu_seconds += sunk;
+                }
                 st.faults.interstitial_given_up += 1;
                 self.obs.metrics.inc("faults.retry_given_up", 1);
             } else {
+                let salvaged = credited.saturating_sub(done);
+                let lost = elapsed.saturating_sub(salvaged);
+                st.faults.fault_wasted_cpu_seconds += rj.cpus as f64 * lost.as_secs_f64();
+                st.faults.interstitial_wasted_cpu_seconds += rj.cpus as f64 * lost.as_secs_f64();
+                st.faults.salvaged_cpu_seconds += rj.cpus as f64 * salvaged.as_secs_f64();
+                if self.recovery != RecoveryPolicy::KillRestart {
+                    st.faults.reexecuted_cpu_seconds += rj.cpus as f64 * lost.as_secs_f64();
+                }
+                let ckpts = self.recovery.checkpoints_in(done, elapsed);
+                st.faults.checkpoints_taken += ckpts;
+                st.faults.checkpoint_overhead_cpu_seconds +=
+                    rj.cpus as f64 * (ckpts * CHECKPOINT_OVERHEAD_S) as f64;
+                if !credited.is_zero() {
+                    st.ledger.credit(id, credited, first_start);
+                }
+                match self.recovery {
+                    RecoveryPolicy::KillRestart => {}
+                    RecoveryPolicy::Checkpoint { .. } => {
+                        self.obs.trace.record(
+                            now,
+                            EventKind::JobCheckpointed {
+                                job: id,
+                                checkpoints: u32::try_from(ckpts).unwrap_or(u32::MAX),
+                                salvaged_s: credited.as_secs(),
+                                lost_s: (done + elapsed).saturating_sub(credited).as_secs(),
+                            },
+                        );
+                        self.obs.metrics.inc("recovery.checkpoint_evictions", 1);
+                    }
+                    RecoveryPolicy::SuspendResume => {
+                        self.obs.trace.record(
+                            now,
+                            EventKind::JobSuspended {
+                                job: id,
+                                remaining_s: remaining.as_secs(),
+                            },
+                        );
+                        self.obs.metrics.inc("recovery.suspensions", 1);
+                    }
+                }
                 st.faults.interstitial_retries += 1;
-                st.retry_pending.insert(id, job);
+                st.retry_pending.insert(
+                    id,
+                    PendingRetry {
+                        job,
+                        remaining,
+                        first_start: if credited.is_zero() {
+                            None
+                        } else {
+                            Some(first_start)
+                        },
+                    },
+                );
                 q.schedule(release, Ev::Retry(id));
                 self.obs.trace.record(
                     now,
@@ -838,7 +973,7 @@ impl Simulator {
             let job = st.live.remove(&id).expect("live payload");
             let stream = stream_of(job.user);
             match self.streams[stream].2.preemption {
-                Preemption::Kill => {
+                Preemption::Kill if self.recovery == RecoveryPolicy::KillRestart => {
                     st.killed += 1;
                     let worked = (now - rj.start).as_secs_f64();
                     st.wasted_cpu_seconds += rj.cpus as f64 * worked;
@@ -853,6 +988,67 @@ impl Simulator {
                         },
                     );
                     self.obs.metrics.inc("preempt.killed", 1);
+                }
+                Preemption::Kill => {
+                    // A recovery policy turns the kill into an eviction:
+                    // credited progress survives in the ledger and the job
+                    // waits in the suspended queue holding only its
+                    // remainder (and its stream budget — it is not redone).
+                    let first_start = st.resume_meta.remove(&id).unwrap_or(rj.start);
+                    let done = st.ledger.done_for(id);
+                    let elapsed = now - rj.start;
+                    let credited = self.recovery.credited(done, elapsed);
+                    let remaining = job.runtime.saturating_sub(credited);
+                    let salvaged = credited.saturating_sub(done);
+                    let lost = elapsed.saturating_sub(salvaged);
+                    st.wasted_cpu_seconds += rj.cpus as f64 * lost.as_secs_f64();
+                    st.faults.salvaged_cpu_seconds += rj.cpus as f64 * salvaged.as_secs_f64();
+                    st.faults.reexecuted_cpu_seconds += rj.cpus as f64 * lost.as_secs_f64();
+                    let ckpts = self.recovery.checkpoints_in(done, elapsed);
+                    st.faults.checkpoints_taken += ckpts;
+                    st.faults.checkpoint_overhead_cpu_seconds +=
+                        rj.cpus as f64 * (ckpts * CHECKPOINT_OVERHEAD_S) as f64;
+                    if !credited.is_zero() {
+                        st.ledger.credit(id, credited, first_start);
+                    }
+                    st.suspended.push(Suspended {
+                        job,
+                        first_start,
+                        remaining,
+                    });
+                    self.obs.trace.record(
+                        now,
+                        EventKind::Preempt {
+                            job: id,
+                            cpus,
+                            kind: obs::PreemptKind::Checkpoint,
+                        },
+                    );
+                    match self.recovery {
+                        RecoveryPolicy::Checkpoint { .. } => {
+                            self.obs.trace.record(
+                                now,
+                                EventKind::JobCheckpointed {
+                                    job: id,
+                                    checkpoints: u32::try_from(ckpts).unwrap_or(u32::MAX),
+                                    salvaged_s: credited.as_secs(),
+                                    lost_s: (done + elapsed).saturating_sub(credited).as_secs(),
+                                },
+                            );
+                            self.obs.metrics.inc("recovery.checkpoint_evictions", 1);
+                        }
+                        _ => {
+                            self.obs.trace.record(
+                                now,
+                                EventKind::JobSuspended {
+                                    job: id,
+                                    remaining_s: remaining.as_secs(),
+                                },
+                            );
+                            self.obs.metrics.inc("recovery.suspensions", 1);
+                        }
+                    }
+                    self.obs.metrics.inc("preempt.checkpointed", 1);
                 }
                 Preemption::Checkpoint => {
                     let first_start = st.resume_meta.remove(&id).unwrap_or(rj.start);
@@ -991,6 +1187,16 @@ impl Simulator {
                 },
             );
             self.obs.metrics.inc("jobs.started.resumed", 1);
+            if self.recovery != RecoveryPolicy::KillRestart {
+                st.faults.interstitial_resumes += 1;
+                self.obs.trace.record(
+                    now,
+                    EventKind::JobResumed {
+                        job: id,
+                        remaining_s: susp.remaining.as_secs(),
+                    },
+                );
+            }
             st.live.insert(id, susp.job);
             q.schedule(actual_end, Ev::Finish(id));
         }
@@ -1001,27 +1207,83 @@ impl Simulator {
         // the native head any more than a fresh job may.
         if !st.retry_ready.is_empty() {
             let ready = std::mem::take(&mut st.retry_ready);
-            for job in ready {
+            for retry in ready {
+                let PendingRetry {
+                    job,
+                    remaining,
+                    first_start,
+                } = retry;
                 let (_, _, policy) = self.streams[job.user as usize];
-                if now + job.runtime > self.horizon {
+                if now + remaining > self.horizon {
+                    // Too late even for the credited remainder: whatever was
+                    // salvaged at earlier evictions is waste after all.
+                    if let Some(p) = st.ledger.take(job.id) {
+                        let sunk = job.cpus as f64 * p.done.as_secs_f64();
+                        st.faults.salvaged_cpu_seconds -= sunk;
+                        st.faults.fault_wasted_cpu_seconds += sunk;
+                        st.faults.interstitial_wasted_cpu_seconds += sunk;
+                    }
                     st.faults.interstitial_given_up += 1;
                     self.obs.metrics.inc("faults.retry_given_up", 1);
                 } else if st.pool.can_fit(job.cpus)
                     && policy.cap_allowance(st.pool.in_use(), st.pool.total(), job.cpus) != 0
-                    && self.stream_guard_ok(now, &policy, job.runtime)
+                    && self.stream_guard_ok(now, &policy, remaining)
                 {
                     self.obs.metrics.inc("faults.retry_started", 1);
-                    Self::start_job(
-                        now,
-                        job,
-                        st,
-                        q,
-                        true,
-                        StartKind::Interstitial,
-                        &mut self.obs,
-                    );
+                    match first_start {
+                        // Kill-restart: from scratch (remaining == runtime).
+                        None => Self::start_job(
+                            now,
+                            job,
+                            st,
+                            q,
+                            true,
+                            StartKind::Interstitial,
+                            &mut self.obs,
+                        ),
+                        // Credited restart: only the remainder runs, and the
+                        // completed record's wallclock spans back to the
+                        // first start.
+                        Some(fs) => {
+                            let id = job.id;
+                            st.pool.allocate(job.cpus).expect("checked can_fit above");
+                            let actual_end = now + remaining;
+                            st.running.insert(machine::RunningJob {
+                                id,
+                                cpus: job.cpus,
+                                start: now,
+                                actual_end,
+                                estimated_end: actual_end,
+                                interstitial: true,
+                            });
+                            st.resume_meta.insert(id, fs);
+                            st.faults.interstitial_resumes += 1;
+                            self.obs.trace.record(
+                                now,
+                                EventKind::Start {
+                                    job: id,
+                                    cpus: job.cpus,
+                                    kind: StartKind::Resume,
+                                },
+                            );
+                            self.obs.trace.record(
+                                now,
+                                EventKind::JobResumed {
+                                    job: id,
+                                    remaining_s: remaining.as_secs(),
+                                },
+                            );
+                            self.obs.metrics.inc("jobs.started.resumed", 1);
+                            st.live.insert(id, job);
+                            q.schedule(actual_end, Ev::Finish(id));
+                        }
+                    }
                 } else {
-                    st.retry_ready.push(job);
+                    st.retry_ready.push(PendingRetry {
+                        job,
+                        remaining,
+                        first_start,
+                    });
                 }
             }
         }

@@ -145,6 +145,102 @@ impl RetryPolicy {
     }
 }
 
+/// CPU-seconds of overhead a job pays per completed checkpoint, per CPU.
+///
+/// A fixed, small figure (state serialization to the parallel filesystem)
+/// keeps the checkpoint timeline a pure function of `(progress, interval)`;
+/// the resilience report surfaces the accumulated overhead separately from
+/// re-executed work so the policy frontier stays readable.
+pub const CHECKPOINT_OVERHEAD_S: u64 = 10;
+
+/// What an interstitial job salvages when a node failure (or a kill-mode
+/// preemption) evicts it mid-run — the recovery half of the paper's
+/// "breakage in time" extension point, following Dubenskaya & Polyakov's
+/// observation that low-priority background streams become economical
+/// exactly when suspend/resume replaces kill/restart.
+///
+/// [`RecoveryPolicy::KillRestart`] is the default and reproduces the legacy
+/// path bit-for-bit: victims restart from scratch and traces stay schema
+/// v2. The other two policies credit progress to a per-job ledger and emit
+/// the schema-v3 events (`job_checkpointed` / `job_suspended` /
+/// `job_resumed`). Native jobs are out of scope — they always requeue whole.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Evicted jobs lose all progress and retry from scratch (legacy path).
+    #[default]
+    KillRestart,
+    /// Jobs checkpoint every `interval` of *work completed*; an evicted job
+    /// loses only the progress past its last completed checkpoint and pays
+    /// [`CHECKPOINT_OVERHEAD_S`] CPU·s per CPU per checkpoint taken.
+    Checkpoint {
+        /// Work completed between consecutive checkpoints. Must be > 0.
+        interval: SimDuration,
+    },
+    /// Eviction freezes the job instantly (container suspend); it resumes
+    /// later with all completed work intact and zero overhead.
+    SuspendResume,
+}
+
+impl RecoveryPolicy {
+    /// Parse the `--recovery` CLI argument: `kill`, `ckpt=SECONDS`, or
+    /// `suspend`.
+    pub fn parse(text: &str) -> Result<RecoveryPolicy, String> {
+        match text {
+            "kill" => Ok(RecoveryPolicy::KillRestart),
+            "suspend" => Ok(RecoveryPolicy::SuspendResume),
+            other => {
+                match other.strip_prefix("ckpt=") {
+                    Some(secs) => {
+                        let secs: u64 = secs.parse().map_err(|_| {
+                        format!("--recovery: ckpt wants an integer interval in seconds, got {secs:?}")
+                    })?;
+                        if secs == 0 {
+                            return Err(
+                                "--recovery: ckpt interval must be positive seconds".to_string()
+                            );
+                        }
+                        Ok(RecoveryPolicy::Checkpoint {
+                            interval: SimDuration::from_secs(secs),
+                        })
+                    }
+                    None => Err(format!(
+                        "--recovery: unknown policy {other:?} (use kill, ckpt=SECONDS, suspend)"
+                    )),
+                }
+            }
+        }
+    }
+
+    /// Work credited to a job that had `done` completed before this attempt
+    /// and ran `elapsed` more before eviction. Kill-restart credits nothing,
+    /// suspend-resume credits everything, checkpointing rounds the *total*
+    /// progress down to the last completed checkpoint boundary.
+    pub fn credited(&self, done: SimDuration, elapsed: SimDuration) -> SimDuration {
+        match self {
+            RecoveryPolicy::KillRestart => SimDuration::ZERO,
+            RecoveryPolicy::SuspendResume => done + elapsed,
+            RecoveryPolicy::Checkpoint { interval } => {
+                let i = interval.as_secs().max(1);
+                let total = done.as_secs() + elapsed.as_secs();
+                SimDuration::from_secs((total / i) * i)
+            }
+        }
+    }
+
+    /// Checkpoints completed during an attempt that advanced total progress
+    /// from `done` to `done + elapsed` — the boundaries crossed, each paying
+    /// [`CHECKPOINT_OVERHEAD_S`] per CPU.
+    pub fn checkpoints_in(&self, done: SimDuration, elapsed: SimDuration) -> u64 {
+        match self {
+            RecoveryPolicy::Checkpoint { interval } => {
+                let i = interval.as_secs().max(1);
+                (done.as_secs() + elapsed.as_secs()) / i - done.as_secs() / i
+            }
+            _ => 0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +328,117 @@ mod tests {
             start: SimTime::from_hours(5),
         };
         assert_ne!(m, InterstitialMode::Continual);
+    }
+
+    #[test]
+    fn recovery_parses_the_three_policies() {
+        assert_eq!(
+            RecoveryPolicy::parse("kill").unwrap(),
+            RecoveryPolicy::KillRestart
+        );
+        assert_eq!(
+            RecoveryPolicy::parse("suspend").unwrap(),
+            RecoveryPolicy::SuspendResume
+        );
+        assert_eq!(
+            RecoveryPolicy::parse("ckpt=300").unwrap(),
+            RecoveryPolicy::Checkpoint {
+                interval: SimDuration::from_secs(300)
+            }
+        );
+    }
+
+    #[test]
+    fn recovery_parse_errors_name_the_offender() {
+        let err = RecoveryPolicy::parse("restart").unwrap_err();
+        assert!(err.contains("\"restart\""), "{err}");
+        assert!(err.contains("kill, ckpt=SECONDS, suspend"), "{err}");
+        let err = RecoveryPolicy::parse("ckpt=abc").unwrap_err();
+        assert!(err.contains("\"abc\""), "{err}");
+        let err = RecoveryPolicy::parse("ckpt=0").unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn recovery_credit_arithmetic() {
+        let kill = RecoveryPolicy::KillRestart;
+        let suspend = RecoveryPolicy::SuspendResume;
+        let ckpt = RecoveryPolicy::Checkpoint {
+            interval: SimDuration::from_secs(100),
+        };
+        let d = SimDuration::from_secs;
+        // Kill credits nothing, ever.
+        assert_eq!(kill.credited(d(250), d(99)), SimDuration::ZERO);
+        assert_eq!(kill.checkpoints_in(d(250), d(99)), 0);
+        // Suspend credits everything.
+        assert_eq!(suspend.credited(d(250), d(99)), d(349));
+        assert_eq!(suspend.checkpoints_in(d(250), d(99)), 0);
+        // Checkpoint rounds total progress down to the last boundary and
+        // counts only the boundaries this attempt crossed.
+        assert_eq!(ckpt.credited(SimDuration::ZERO, d(99)), SimDuration::ZERO);
+        assert_eq!(ckpt.credited(SimDuration::ZERO, d(100)), d(100));
+        assert_eq!(ckpt.credited(d(250), d(99)), d(300));
+        assert_eq!(ckpt.checkpoints_in(d(250), d(99)), 1, "250→349 crosses 300");
+        assert_eq!(ckpt.checkpoints_in(d(0), d(350)), 3);
+        assert_eq!(ckpt.checkpoints_in(d(300), d(50)), 0);
+    }
+
+    /// Satellite property test: across 1k seeded random configs, the backoff
+    /// sequence is monotone non-decreasing, never exceeds the configured cap,
+    /// and the driver's give-up predicate abandons every job by the horizon.
+    #[test]
+    fn retry_policy_properties_hold_across_random_configs() {
+        let mut rng = simkit::rng::Rng::new(0xC0FFEE);
+        for case in 0..1000u64 {
+            let r = RetryPolicy {
+                base_delay: SimDuration::from_secs(rng.range_u64(0, 7200)),
+                max_delay: SimDuration::from_secs(rng.range_u64(0, 100_000)),
+                max_attempts: rng.range_u64(1, 64) as u32,
+            };
+            let cap = r.max_delay.as_secs().max(r.base_delay.as_secs().max(1));
+            let horizon = SimTime::from_secs(rng.range_u64(1000, 10_000_000));
+            let runtime = SimDuration::from_secs(rng.range_u64(1, 100_000));
+            let mut prev = SimDuration::ZERO;
+            for attempt in 1..=r.max_attempts.min(80) {
+                let b = r.backoff(attempt);
+                assert!(b >= prev, "case {case}: backoff not monotone at {attempt}");
+                assert!(
+                    b.as_secs() <= cap,
+                    "case {case}: backoff {b:?} exceeds cap {cap}"
+                );
+                prev = b;
+            }
+            // Replay the driver's retry loop: each kill bumps the attempt
+            // count and schedules a release `backoff` later; the job is
+            // abandoned when the attempt budget is spent or the retried run
+            // could no longer finish inside the horizon. Killing at the
+            // latest possible instant (the release itself) is the adversarial
+            // schedule — if give-up triggers there, it triggers everywhere.
+            let mut now = SimTime::ZERO;
+            let mut attempts = 0u32;
+            let mut retries = 0u32;
+            loop {
+                attempts += 1;
+                let release = now + r.backoff(attempts);
+                if r.gives_up_after(attempts) || release + runtime > horizon {
+                    break;
+                }
+                retries += 1;
+                assert!(
+                    release + runtime <= horizon,
+                    "case {case}: retry admitted past the horizon"
+                );
+                now = release;
+                assert!(
+                    retries <= r.max_attempts,
+                    "case {case}: retry budget leaked"
+                );
+            }
+            assert!(attempts <= r.max_attempts, "case {case}: gave up late");
+            assert!(
+                now + runtime <= horizon || retries == 0,
+                "case {case}: last admitted retry overruns the horizon"
+            );
+        }
     }
 }

@@ -80,8 +80,12 @@ impl FaultSpec {
         }
         match (mtbf, mttr, nodes) {
             (Some(mtbf), Some(mttr), Some(nodes)) => {
-                if mtbf.is_zero() || mttr.is_zero() {
-                    return Err("--faults: mtbf and mttr must be positive seconds".to_string());
+                for (key, value) in [("mtbf", mtbf), ("mttr", mttr)] {
+                    if value.is_zero() {
+                        return Err(format!(
+                            "--faults: {key} must be positive seconds, got {key}=0 in {s:?}"
+                        ));
+                    }
                 }
                 Ok(FaultSpec {
                     mtbf,
@@ -90,7 +94,22 @@ impl FaultSpec {
                     seed,
                 })
             }
-            _ => Err("--faults: mtbf=, mttr= and nodes= are all required".to_string()),
+            _ => {
+                let missing: Vec<&str> = [
+                    ("mtbf", mtbf.is_none()),
+                    ("mttr", mttr.is_none()),
+                    ("nodes", nodes.is_none()),
+                ]
+                .iter()
+                .filter(|(_, absent)| *absent)
+                .map(|(key, _)| *key)
+                .collect();
+                Err(format!(
+                    "--faults: missing required key(s) {} in {s:?} \
+                     (mtbf=, mttr= and nodes= are all required)",
+                    missing.join(", ")
+                ))
+            }
         }
     }
 }
@@ -227,6 +246,84 @@ impl FaultModel {
     }
 }
 
+/// Credited progress for one interstitial job across evictions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobProgress {
+    /// Work completed and credited so far (checkpointed or suspended).
+    pub done: SimDuration,
+    /// When the job first started executing (wallclock anchor for wait
+    /// and turnaround accounting across interruptions).
+    pub first_start: SimTime,
+    /// Evictions survived so far with credited progress.
+    pub interruptions: u32,
+}
+
+/// Per-job progress ledger for the checkpoint and suspend-resume recovery
+/// policies.
+///
+/// The ledger is the recovery subsystem's source of truth for "how much of
+/// this job already ran": the driver credits progress on every eviction and
+/// consumes the entry when the job finally completes or is abandoned. Under
+/// kill-restart the ledger stays empty, which is what keeps the legacy path
+/// bit-identical. BTreeMap keyed by job id — deterministic iteration, per
+/// simlint R1.
+#[derive(Clone, Debug, Default)]
+pub struct ProgressLedger {
+    entries: std::collections::BTreeMap<u64, JobProgress>,
+}
+
+impl ProgressLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Credited progress for `job`, zero if never evicted with credit.
+    pub fn done_for(&self, job: u64) -> SimDuration {
+        self.entries
+            .get(&job)
+            .map(|p| p.done)
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// The full entry for `job`, if any.
+    pub fn get(&self, job: u64) -> Option<&JobProgress> {
+        self.entries.get(&job)
+    }
+
+    /// Credit `done` total progress to `job` (replaces any prior credit —
+    /// the caller passes the new cumulative figure). `first_start` is kept
+    /// from the first credit.
+    pub fn credit(&mut self, job: u64, done: SimDuration, first_start: SimTime) {
+        self.entries
+            .entry(job)
+            .and_modify(|p| {
+                p.done = done;
+                p.interruptions += 1;
+            })
+            .or_insert(JobProgress {
+                done,
+                first_start,
+                interruptions: 1,
+            });
+    }
+
+    /// Remove and return the entry for `job` (at completion or abandonment).
+    pub fn take(&mut self, job: u64) -> Option<JobProgress> {
+        self.entries.remove(&job)
+    }
+
+    /// Number of jobs with credited progress.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no job has credited progress.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// One fault-induced job kill, recorded for survival analysis.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct KilledJob {
@@ -256,7 +353,33 @@ pub struct FaultStats {
     /// before the horizon.
     pub interstitial_given_up: u64,
     /// CPU·seconds of partial work discarded by fault kills (both classes).
+    /// Under checkpoint/suspend recovery only the *uncredited* remainder
+    /// lands here; salvaged progress moves to `salvaged_cpu_seconds`.
     pub fault_wasted_cpu_seconds: f64,
+    /// The interstitial-class subset of [`fault_wasted_cpu_seconds`]
+    /// (eviction losses plus salvage reversed when a victim gives up).
+    /// Native requeue waste dominates the combined figure and is identical
+    /// across recovery policies, so policy comparisons read this one.
+    ///
+    /// [`fault_wasted_cpu_seconds`]: FaultStats::fault_wasted_cpu_seconds
+    pub interstitial_wasted_cpu_seconds: f64,
+    /// CPU·seconds of evicted interstitial progress carried across a
+    /// resume instead of being discarded (zero under kill-restart).
+    pub salvaged_cpu_seconds: f64,
+    /// CPU·seconds lost past the last checkpoint by evicted-but-retried
+    /// interstitial jobs — work that will be executed twice. A subset of
+    /// the waste figures; zero under kill-restart (whose losses land
+    /// wholly in `fault_wasted_cpu_seconds`) and under suspend-resume
+    /// (which loses nothing).
+    pub reexecuted_cpu_seconds: f64,
+    /// CPU·seconds spent writing checkpoints (the fixed per-checkpoint
+    /// overhead × CPUs; zero unless `--recovery ckpt=I`).
+    pub checkpoint_overhead_cpu_seconds: f64,
+    /// Checkpoints completed by interstitial jobs.
+    pub checkpoints_taken: u64,
+    /// Evicted interstitial jobs that later restarted with credited
+    /// progress (`job_resumed` events).
+    pub interstitial_resumes: u64,
     /// Every fault kill, for survival-probability analysis.
     pub kills: Vec<KilledJob>,
 }
@@ -295,6 +418,68 @@ mod tests {
         assert!(FaultSpec::parse("mtbf=0,mttr=1,nodes=2").is_err());
         assert!(FaultSpec::parse("mtbf=1,mttr=1,nodes=2,bogus=3").is_err());
         assert!(FaultSpec::parse("mtbf 1").is_err(), "no equals sign");
+    }
+
+    #[test]
+    fn spec_parse_errors_name_the_offending_part() {
+        // Every malformed form must point at the exact key/value at fault,
+        // not just fail — operators paste these specs into job scripts.
+        let err = FaultSpec::parse("mtbf 1").unwrap_err();
+        assert!(err.contains("expected key=value"), "{err}");
+        assert!(err.contains("\"mtbf 1\""), "{err}");
+
+        let err = FaultSpec::parse("mtbf=x,mttr=1,nodes=2").unwrap_err();
+        assert!(err.contains("mtbf wants an integer"), "{err}");
+        assert!(err.contains("\"x\""), "{err}");
+
+        let err = FaultSpec::parse("mtbf=1,mttr=1,nodes=0").unwrap_err();
+        assert!(err.contains("bad node count"), "{err}");
+        assert!(err.contains("\"0\""), "{err}");
+
+        let err = FaultSpec::parse("mtbf=1,mttr=1,nodes=2,bogus=3").unwrap_err();
+        assert!(err.contains("unknown key \"bogus\""), "{err}");
+
+        let err = FaultSpec::parse("mtbf=100").unwrap_err();
+        assert!(err.contains("missing required key(s) mttr, nodes"), "{err}");
+        assert!(err.contains("\"mtbf=100\""), "{err}");
+
+        let err = FaultSpec::parse("nodes=4").unwrap_err();
+        assert!(err.contains("missing required key(s) mtbf, mttr"), "{err}");
+
+        let err = FaultSpec::parse("").unwrap_err();
+        assert!(
+            err.contains("missing required key(s) mtbf, mttr, nodes"),
+            "{err}"
+        );
+
+        let err = FaultSpec::parse("mtbf=0,mttr=1,nodes=2").unwrap_err();
+        assert!(err.contains("mtbf must be positive seconds"), "{err}");
+        assert!(err.contains("mtbf=0"), "{err}");
+
+        let err = FaultSpec::parse("mtbf=1,mttr=0,nodes=2").unwrap_err();
+        assert!(err.contains("mttr must be positive seconds"), "{err}");
+    }
+
+    #[test]
+    fn progress_ledger_credits_and_consumes() {
+        let mut ledger = ProgressLedger::new();
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.done_for(7), SimDuration::ZERO);
+        ledger.credit(7, SimDuration::from_secs(300), t(1000));
+        ledger.credit(9, SimDuration::from_secs(50), t(2000));
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.done_for(7), SimDuration::from_secs(300));
+        // A second eviction replaces the cumulative figure but keeps the
+        // original wallclock anchor.
+        ledger.credit(7, SimDuration::from_secs(450), t(5000));
+        let p = ledger.get(7).unwrap();
+        assert_eq!(p.done, SimDuration::from_secs(450));
+        assert_eq!(p.first_start, t(1000), "first start survives re-credit");
+        assert_eq!(p.interruptions, 2);
+        let taken = ledger.take(7).unwrap();
+        assert_eq!(taken.done, SimDuration::from_secs(450));
+        assert!(ledger.take(7).is_none(), "consumed");
+        assert_eq!(ledger.len(), 1);
     }
 
     #[test]

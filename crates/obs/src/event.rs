@@ -137,13 +137,46 @@ pub enum EventKind {
         /// How many times this job has been fault-killed so far.
         attempt: u32,
     },
+    /// An evicted interstitial job's progress was rounded down to its last
+    /// completed checkpoint under `--recovery ckpt=I` (schema v3). Emitted
+    /// at eviction time, summarizing the whole attempt — checkpoints are
+    /// not individually traced.
+    JobCheckpointed {
+        /// Job id.
+        job: u64,
+        /// Checkpoints completed during the evicted attempt.
+        checkpoints: u32,
+        /// Total work credited to the job so far, seconds.
+        salvaged_s: u64,
+        /// Work past the last checkpoint, lost and re-executed, seconds.
+        lost_s: u64,
+    },
+    /// An evicted interstitial job was frozen with all progress intact
+    /// under `--recovery suspend` (schema v3).
+    JobSuspended {
+        /// Job id.
+        job: u64,
+        /// Work left when the job resumes, seconds.
+        remaining_s: u64,
+    },
+    /// A checkpointed or suspended interstitial job restarted with its
+    /// credited progress (schema v3). The matching `start` record carries
+    /// `kind:"resume"`.
+    JobResumed {
+        /// Job id.
+        job: u64,
+        /// Work remaining at this restart, seconds.
+        remaining_s: u64,
+    },
 }
 
 impl EventKind {
     /// The minimum trace-schema version able to encode this event: 1 for
-    /// the original alphabet, 2 for the fault/retry extension. The sink
-    /// stamps the maximum over all recorded events onto the header, so
-    /// fault-free traces keep their schema-1 encoding bit-for-bit.
+    /// the original alphabet, 2 for the fault/retry extension, 3 for the
+    /// recovery-policy events. The sink stamps the maximum over all
+    /// recorded events onto the header, so fault-free traces keep their
+    /// schema-1 encoding bit-for-bit and `--recovery kill` runs stay
+    /// schema 2.
     pub fn schema_version(&self) -> u64 {
         match self {
             EventKind::Submit { .. }
@@ -155,6 +188,9 @@ impl EventKind {
             | EventKind::NodeUp { .. }
             | EventKind::JobFailed { .. }
             | EventKind::JobRequeued { .. } => 2,
+            EventKind::JobCheckpointed { .. }
+            | EventKind::JobSuspended { .. }
+            | EventKind::JobResumed { .. } => 3,
         }
     }
 }
@@ -271,6 +307,28 @@ impl TraceEvent {
                 let first = json::push_u64_field(out, first, "job", job);
                 let _ = json::push_u64_field(out, first, "attempt", u64::from(attempt));
             }
+            EventKind::JobCheckpointed {
+                job,
+                checkpoints,
+                salvaged_s,
+                lost_s,
+            } => {
+                let first = json::push_str_field(out, first, "ev", "job_checkpointed");
+                let first = json::push_u64_field(out, first, "job", job);
+                let first = json::push_u64_field(out, first, "checkpoints", u64::from(checkpoints));
+                let first = json::push_u64_field(out, first, "salvaged_s", salvaged_s);
+                let _ = json::push_u64_field(out, first, "lost_s", lost_s);
+            }
+            EventKind::JobSuspended { job, remaining_s } => {
+                let first = json::push_str_field(out, first, "ev", "job_suspended");
+                let first = json::push_u64_field(out, first, "job", job);
+                let _ = json::push_u64_field(out, first, "remaining_s", remaining_s);
+            }
+            EventKind::JobResumed { job, remaining_s } => {
+                let first = json::push_str_field(out, first, "ev", "job_resumed");
+                let first = json::push_u64_field(out, first, "job", job);
+                let _ = json::push_u64_field(out, first, "remaining_s", remaining_s);
+            }
         }
         out.push('}');
     }
@@ -329,6 +387,20 @@ mod tests {
                 interstitial: true,
             },
             EventKind::JobRequeued { job: 1, attempt: 2 },
+            EventKind::JobCheckpointed {
+                job: 1,
+                checkpoints: 2,
+                salvaged_s: 600,
+                lost_s: 55,
+            },
+            EventKind::JobSuspended {
+                job: 1,
+                remaining_s: 45,
+            },
+            EventKind::JobResumed {
+                job: 1,
+                remaining_s: 45,
+            },
         ];
         for k in kinds {
             let mut s = String::new();
@@ -366,6 +438,63 @@ mod tests {
         assert_eq!(
             s,
             "{\"t\":9,\"cycle\":2,\"ev\":\"job_failed\",\"job\":5,\"cpus\":16,\"node\":1,\"class\":\"native\"}"
+        );
+    }
+
+    #[test]
+    fn recovery_events_need_schema_v3() {
+        let kinds = [
+            EventKind::JobCheckpointed {
+                job: 7,
+                checkpoints: 3,
+                salvaged_s: 900,
+                lost_s: 120,
+            },
+            EventKind::JobSuspended {
+                job: 7,
+                remaining_s: 300,
+            },
+            EventKind::JobResumed {
+                job: 7,
+                remaining_s: 300,
+            },
+        ];
+        for k in &kinds {
+            assert_eq!(k.schema_version(), 3);
+        }
+        let mut s = String::new();
+        TraceEvent {
+            t: SimTime::from_secs(9),
+            cycle: 2,
+            kind: kinds[0],
+        }
+        .write_jsonl(&mut s);
+        assert_eq!(
+            s,
+            "{\"t\":9,\"cycle\":2,\"ev\":\"job_checkpointed\",\"job\":7,\
+             \"checkpoints\":3,\"salvaged_s\":900,\"lost_s\":120}"
+        );
+        s.clear();
+        TraceEvent {
+            t: SimTime::from_secs(10),
+            cycle: 2,
+            kind: kinds[1],
+        }
+        .write_jsonl(&mut s);
+        assert_eq!(
+            s,
+            "{\"t\":10,\"cycle\":2,\"ev\":\"job_suspended\",\"job\":7,\"remaining_s\":300}"
+        );
+        s.clear();
+        TraceEvent {
+            t: SimTime::from_secs(11),
+            cycle: 3,
+            kind: kinds[2],
+        }
+        .write_jsonl(&mut s);
+        assert_eq!(
+            s,
+            "{\"t\":11,\"cycle\":3,\"ev\":\"job_resumed\",\"job\":7,\"remaining_s\":300}"
         );
     }
 }

@@ -112,7 +112,9 @@ mod tests {
              \"work\":{\"events_popped\":7,\"events_scheduled\":9,\
              \"heap_peak_depth\":3,\"sched_cycles\":0,\"inorder_starts\":0,\
              \"backfill_starts\":0,\"backfill_candidates_scanned\":0,\
-             \"profile_segments_walked\":0,\"requeues\":0,\"retries\":0}}"
+             \"profile_segments_walked\":0,\"requeues\":0,\"retries\":0,\
+             \"checkpoints_taken\":0,\"cpu_s_salvaged\":0,\
+             \"cpu_s_reexecuted\":0}}"
         );
         let full = report.to_json();
         assert!(full.contains("\"profile\":{\"schedule-cycle\""));
@@ -134,7 +136,9 @@ mod tests {
              \"work\":{\"events_popped\":0,\"events_scheduled\":0,\
              \"heap_peak_depth\":0,\"sched_cycles\":0,\"inorder_starts\":0,\
              \"backfill_starts\":0,\"backfill_candidates_scanned\":0,\
-             \"profile_segments_walked\":0,\"requeues\":0,\"retries\":0},\
+             \"profile_segments_walked\":0,\"requeues\":0,\"retries\":0,\
+             \"checkpoints_taken\":0,\"cpu_s_salvaged\":0,\
+             \"cpu_s_reexecuted\":0},\
              \"profile\":{},\
              \"mem\":{\"allocations\":0,\"deallocations\":0,\
              \"bytes_allocated\":0,\"bytes_freed\":0,\"peak_live_bytes\":0}}"

@@ -23,6 +23,12 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// accept both versions; see `crates/obs/SCHEMA.md`.
 pub const SCHEMA_VERSION_FAULTS: u64 = 2;
 
+/// Version stamped when a trace contains recovery-policy events
+/// (`job_checkpointed`/`job_suspended`/`job_resumed`). Only the checkpoint
+/// and suspend-resume policies emit these, so kill-restart runs keep
+/// stamping schema 1 or 2 bit-for-bit; see `crates/obs/SCHEMA.md`.
+pub const SCHEMA_VERSION_RECOVERY: u64 = 3;
+
 /// An append-only, cycle-stamped event log.
 #[derive(Clone, Debug, Default)]
 pub struct TraceSink {

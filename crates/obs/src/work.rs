@@ -21,7 +21,7 @@
 use crate::json;
 
 /// The number of individual counters in [`WorkCounters::fields`].
-pub const FIELD_COUNT: usize = 10;
+pub const FIELD_COUNT: usize = 13;
 
 /// Deterministic per-run work counters (see module docs).
 ///
@@ -52,6 +52,17 @@ pub struct WorkCounters {
     pub requeues: u64,
     /// Interstitial retry submissions after a fault kill.
     pub retries: u64,
+    /// Checkpoints completed by interstitial jobs (`--recovery ckpt=I`).
+    /// Stays zero under kill-restart: the legacy path never engages the
+    /// recovery ledger, keeping frozen perf baselines comparable.
+    pub checkpoints_taken: u64,
+    /// CPU-seconds of evicted interstitial progress carried across a
+    /// resume instead of being discarded.
+    pub cpu_s_salvaged: u64,
+    /// CPU-seconds of evicted interstitial progress lost past the last
+    /// checkpoint and re-executed (zero under kill-restart, which accounts
+    /// its losses as fault waste instead).
+    pub cpu_s_reexecuted: u64,
 }
 
 impl WorkCounters {
@@ -114,6 +125,17 @@ impl WorkCounters {
         self.retries += retries;
     }
 
+    /// Fold in recovery-ledger totals (checkpoint/suspend policies only).
+    #[inline]
+    pub fn record_recovery(&mut self, checkpoints: u64, salvaged: u64, reexecuted: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.checkpoints_taken += checkpoints;
+        self.cpu_s_salvaged += salvaged;
+        self.cpu_s_reexecuted += reexecuted;
+    }
+
     /// All counters as `(name, value)` pairs in canonical (JSON) order.
     ///
     /// The single source of truth for serialization, parsing and the
@@ -133,6 +155,9 @@ impl WorkCounters {
             ("profile_segments_walked", self.profile_segments_walked),
             ("requeues", self.requeues),
             ("retries", self.retries),
+            ("checkpoints_taken", self.checkpoints_taken),
+            ("cpu_s_salvaged", self.cpu_s_salvaged),
+            ("cpu_s_reexecuted", self.cpu_s_reexecuted),
         ]
     }
 
@@ -149,6 +174,9 @@ impl WorkCounters {
             "profile_segments_walked" => &mut self.profile_segments_walked,
             "requeues" => &mut self.requeues,
             "retries" => &mut self.retries,
+            "checkpoints_taken" => &mut self.checkpoints_taken,
+            "cpu_s_salvaged" => &mut self.cpu_s_salvaged,
+            "cpu_s_reexecuted" => &mut self.cpu_s_reexecuted,
             _ => return false,
         };
         *slot = value;
@@ -173,6 +201,9 @@ impl WorkCounters {
             profile_segments_walked: self.profile_segments_walked + other.profile_segments_walked,
             requeues: self.requeues + other.requeues,
             retries: self.retries + other.retries,
+            checkpoints_taken: self.checkpoints_taken + other.checkpoints_taken,
+            cpu_s_salvaged: self.cpu_s_salvaged + other.cpu_s_salvaged,
+            cpu_s_reexecuted: self.cpu_s_reexecuted + other.cpu_s_reexecuted,
         }
     }
 
@@ -217,6 +248,7 @@ mod tests {
         w.record_engine(10, 20, 5);
         w.record_sched(1, 2, 3, 4, 5);
         w.record_churn(6, 7);
+        w.record_recovery(1, 2, 3);
         assert_eq!(w, WorkCounters::disabled());
     }
 
@@ -230,11 +262,15 @@ mod tests {
         assert_eq!(w.heap_peak_depth, 5, "peak is a max, not a sum");
         w.record_sched(2, 1, 1, 7, 9);
         w.record_churn(1, 4);
+        w.record_recovery(2, 640, 96);
         assert_eq!(w.sched_cycles, 2);
         assert_eq!(w.backfill_candidates_scanned, 7);
         assert_eq!(w.profile_segments_walked, 9);
         assert_eq!(w.requeues, 1);
         assert_eq!(w.retries, 4);
+        assert_eq!(w.checkpoints_taken, 2);
+        assert_eq!(w.cpu_s_salvaged, 640);
+        assert_eq!(w.cpu_s_reexecuted, 96);
     }
 
     #[test]
@@ -262,7 +298,8 @@ mod tests {
             "{\"events_popped\":3,\"events_scheduled\":4,\"heap_peak_depth\":2,\
              \"sched_cycles\":1,\"inorder_starts\":1,\"backfill_starts\":0,\
              \"backfill_candidates_scanned\":5,\"profile_segments_walked\":6,\
-             \"requeues\":0,\"retries\":0}"
+             \"requeues\":0,\"retries\":0,\"checkpoints_taken\":0,\
+             \"cpu_s_salvaged\":0,\"cpu_s_reexecuted\":0}"
         );
         assert_eq!(w.fields().len(), FIELD_COUNT);
     }

@@ -612,6 +612,51 @@ mod tests {
     }
 
     #[test]
+    fn backfill_may_not_leapfrog_a_requeued_head() {
+        // Regression: a fault-requeued native at the head of the queue must
+        // keep its EASY reservation the same cycle it is requeued — a small
+        // job that would outlive the shadow time cannot slip past it, even
+        // though the requeued job's owner has the worst fair-share score.
+        let mut s = Scheduler::lsf();
+        let mut rs = RunningSet::new();
+        // 10-CPU machine: 8 busy until t=1000, 2 free now.
+        rs.insert(RunningJob {
+            id: 99,
+            cpus: 8,
+            start: t(0),
+            actual_end: t(1_000),
+            estimated_end: t(1_000),
+            interstitial: false,
+        });
+        // User 1 is heavily charged, so priority alone would bury their job.
+        s.charge_finish(t(0), &job(50, 1, 10, 100_000));
+        // The fault victim: whole-machine job, blocked until t=1000.
+        s.requeue_front(job(7, 1, 10, 100));
+        // Would fit the 2 free CPUs now but runs past the shadow time —
+        // starting it would delay the requeued head. Must stay queued.
+        s.submit(job(1, 2, 2, 5_000));
+        // Fits now *and* drains before t=1000 — a legal backfill.
+        s.submit(job(2, 3, 2, 500));
+        let starts = s.cycle(t(5), 2, &rs, true);
+        assert_eq!(
+            starts.iter().map(|j| j.id).collect::<Vec<_>>(),
+            vec![2],
+            "only the shadow-respecting job may backfill past the requeued head"
+        );
+        // The head reservation still belongs to the victim, at the running
+        // job's estimated end.
+        let head = s.head_reservation().unwrap();
+        assert_eq!(head.job_id, 7);
+        assert_eq!(head.start, t(1_000));
+        assert_eq!(s.boosted_len(), 1);
+        // And once the machine drains, the victim starts first.
+        let rs = RunningSet::new();
+        let starts = s.cycle(t(1_000), 10, &rs, true);
+        assert_eq!(starts.first().map(|j| j.id), Some(7));
+        assert_eq!(s.boosted_len(), 0);
+    }
+
+    #[test]
     fn head_reservation_clears_when_everything_starts() {
         let mut s = Scheduler::lsf();
         let rs = RunningSet::new();

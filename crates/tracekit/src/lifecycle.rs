@@ -119,10 +119,45 @@ pub enum Transition {
         /// Fault kills absorbed so far.
         attempt: u32,
     },
+    /// A recovery-policy annotation (schema v3). These ride alongside the
+    /// occupancy-changing events — the paired `JobFailed`/`Preempt` or
+    /// `Start` carries the CPU movement, so applying a marker never
+    /// touches the busy counters.
+    Recovery {
+        /// Job id.
+        id: u64,
+        /// What the recovery policy did.
+        mark: RecoveryMark,
+    },
     /// The event contradicts reconstructed state (duplicate submit,
     /// finish without start, …); counters were left untouched where the
     /// contradiction made them unknowable.
     Inconsistent(&'static str),
+}
+
+/// Which recovery-policy marker a schema-v3 event carried.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryMark {
+    /// An evicted job's progress up to its last completed checkpoint was
+    /// credited for the next attempt.
+    Checkpointed {
+        /// Checkpoint boundaries the interrupted attempt crossed.
+        checkpoints: u32,
+        /// Total credited progress after the eviction, seconds.
+        salvaged_s: u64,
+        /// Work past the last checkpoint, lost to re-execution, seconds.
+        lost_s: u64,
+    },
+    /// An evicted job was frozen with its remainder intact.
+    Suspended {
+        /// Seconds of work outstanding at suspension.
+        remaining_s: u64,
+    },
+    /// A previously evicted job re-entered execution.
+    Resumed {
+        /// Seconds of work it restarted with.
+        remaining_s: u64,
+    },
 }
 
 /// Reconstructed machine occupancy at the current point of the stream.
@@ -368,6 +403,27 @@ impl Occupancy {
                 None => self.inconsistent("fault kill of a job that is not running"),
             },
             EventKind::JobRequeued { job, attempt } => Transition::Requeued { id: job, attempt },
+            EventKind::JobCheckpointed {
+                job,
+                checkpoints,
+                salvaged_s,
+                lost_s,
+            } => Transition::Recovery {
+                id: job,
+                mark: RecoveryMark::Checkpointed {
+                    checkpoints,
+                    salvaged_s,
+                    lost_s,
+                },
+            },
+            EventKind::JobSuspended { job, remaining_s } => Transition::Recovery {
+                id: job,
+                mark: RecoveryMark::Suspended { remaining_s },
+            },
+            EventKind::JobResumed { job, remaining_s } => Transition::Recovery {
+                id: job,
+                mark: RecoveryMark::Resumed { remaining_s },
+            },
         };
         self.peak_tracked = self.peak_tracked.max(self.tracked_jobs());
         out
@@ -570,6 +626,77 @@ mod tests {
         assert_eq!(tr, Transition::Requeued { id: 1, attempt: 1 });
         occ.apply(&start(60, 1, 16, StartKind::InOrder));
         assert_eq!(occ.native_busy(), 16);
+        assert_eq!(occ.inconsistencies(), 0);
+    }
+
+    #[test]
+    fn recovery_markers_leave_occupancy_untouched() {
+        let mut occ = Occupancy::new(Some(64));
+        let id = 1 << 40;
+        occ.apply(&submit(0, id, 8, true));
+        occ.apply(&start(0, id, 8, StartKind::Interstitial));
+        occ.apply(&ev(
+            30,
+            EventKind::JobFailed {
+                job: id,
+                cpus: 8,
+                node: 0,
+                interstitial: true,
+            },
+        ));
+        let tr = occ.apply(&ev(
+            30,
+            EventKind::JobCheckpointed {
+                job: id,
+                checkpoints: 2,
+                salvaged_s: 60,
+                lost_s: 12,
+            },
+        ));
+        assert_eq!(
+            tr,
+            Transition::Recovery {
+                id,
+                mark: RecoveryMark::Checkpointed {
+                    checkpoints: 2,
+                    salvaged_s: 60,
+                    lost_s: 12,
+                },
+            }
+        );
+        assert_eq!(occ.inter_busy(), 0, "marker moved no CPUs");
+        let tr = occ.apply(&ev(
+            30,
+            EventKind::JobSuspended {
+                job: id,
+                remaining_s: 40,
+            },
+        ));
+        assert!(matches!(
+            tr,
+            Transition::Recovery {
+                mark: RecoveryMark::Suspended { remaining_s: 40 },
+                ..
+            }
+        ));
+        // Resume: the Start event carries the occupancy change, the marker
+        // rides along.
+        occ.apply(&start(500, id, 8, StartKind::Resume));
+        let tr = occ.apply(&ev(
+            500,
+            EventKind::JobResumed {
+                job: id,
+                remaining_s: 40,
+            },
+        ));
+        assert!(matches!(
+            tr,
+            Transition::Recovery {
+                mark: RecoveryMark::Resumed { remaining_s: 40 },
+                ..
+            }
+        ));
+        assert_eq!(occ.inter_busy(), 8);
         assert_eq!(occ.inconsistencies(), 0);
     }
 

@@ -129,7 +129,7 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Every field schemas 1 and 2 can carry, collected in one pass.
+/// Every field schemas 1 through 3 can carry, collected in one pass.
 #[derive(Default)]
 struct Fields<'a> {
     t: Option<u64>,
@@ -141,6 +141,10 @@ struct Fields<'a> {
     schema: Option<u64>,
     node: Option<u64>,
     attempt: Option<u64>,
+    checkpoints: Option<u64>,
+    salvaged_s: Option<u64>,
+    lost_s: Option<u64>,
+    remaining_s: Option<u64>,
     ev: Option<&'a str>,
     class: Option<&'a str>,
     kind: Option<&'a str>,
@@ -203,6 +207,10 @@ pub fn parse_line(line: &str) -> Result<Line<'_>, ParseError> {
                 "schema" => f.schema = Some(as_num(v, key)?),
                 "node" => f.node = Some(as_num(v, key)?),
                 "attempt" => f.attempt = Some(as_num(v, key)?),
+                "checkpoints" => f.checkpoints = Some(as_num(v, key)?),
+                "salvaged_s" => f.salvaged_s = Some(as_num(v, key)?),
+                "lost_s" => f.lost_s = Some(as_num(v, key)?),
+                "remaining_s" => f.remaining_s = Some(as_num(v, key)?),
                 "ev" => f.ev = Some(as_str(v, key)?),
                 "class" => f.class = Some(as_str(v, key)?),
                 "kind" => f.kind = Some(as_str(v, key)?),
@@ -289,6 +297,20 @@ pub fn parse_line(line: &str) -> Result<Line<'_>, ParseError> {
             job: req(f.job, "job")?,
             attempt: cpus_u32(req(f.attempt, "attempt")?)?,
         },
+        "job_checkpointed" => EventKind::JobCheckpointed {
+            job: req(f.job, "job")?,
+            checkpoints: cpus_u32(req(f.checkpoints, "checkpoints")?)?,
+            salvaged_s: req(f.salvaged_s, "salvaged_s")?,
+            lost_s: req(f.lost_s, "lost_s")?,
+        },
+        "job_suspended" => EventKind::JobSuspended {
+            job: req(f.job, "job")?,
+            remaining_s: req(f.remaining_s, "remaining_s")?,
+        },
+        "job_resumed" => EventKind::JobResumed {
+            job: req(f.job, "job")?,
+            remaining_s: req(f.remaining_s, "remaining_s")?,
+        },
         other => return err(format!("unknown event {other:?}")),
     };
     Ok(Line::Event(TraceEvent { t, cycle, kind }))
@@ -353,6 +375,20 @@ mod tests {
             EventKind::JobRequeued {
                 job: 11,
                 attempt: 2,
+            },
+            EventKind::JobCheckpointed {
+                job: 1 << 40,
+                checkpoints: 3,
+                salvaged_s: 90,
+                lost_s: 17,
+            },
+            EventKind::JobSuspended {
+                job: 1 << 40,
+                remaining_s: 30,
+            },
+            EventKind::JobResumed {
+                job: 1 << 40,
+                remaining_s: 30,
             },
         ];
         for kind in kinds {

@@ -11,7 +11,7 @@
 //! aborting a multi-million-line analysis.
 
 use crate::parse::{self, Line};
-use obs::trace::{SCHEMA_VERSION, SCHEMA_VERSION_FAULTS};
+use obs::trace::{SCHEMA_VERSION, SCHEMA_VERSION_RECOVERY};
 use obs::TraceEvent;
 use std::io::BufRead;
 
@@ -35,7 +35,7 @@ impl std::fmt::Display for TraceError {
             TraceError::UnsupportedSchema { found } => write!(
                 f,
                 "unsupported trace schema version {found} (this tracekit reads schemas \
-                 {SCHEMA_VERSION}-{SCHEMA_VERSION_FAULTS}); regenerate the trace with a \
+                 {SCHEMA_VERSION}-{SCHEMA_VERSION_RECOVERY}); regenerate the trace with a \
                  matching simulator or upgrade tracekit"
             ),
         }
@@ -53,9 +53,9 @@ impl From<std::io::Error> for TraceError {
 /// What the trace header declared (or failed to declare).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TraceMeta {
-    /// Declared schema version ([`SCHEMA_VERSION`] or
-    /// [`SCHEMA_VERSION_FAULTS`] once validated; 0 for a headerless legacy
-    /// stream).
+    /// Declared schema version ([`SCHEMA_VERSION`] through
+    /// [`SCHEMA_VERSION_RECOVERY`] once validated; 0 for a headerless
+    /// legacy stream).
     pub schema: u64,
     /// Machine name from the header, if stamped.
     pub machine: Option<String>,
@@ -108,7 +108,7 @@ impl<R: BufRead> TraceReader<R> {
             lineno = 1;
             match parse::parse_line(&buf) {
                 Ok(Line::Header(h)) => {
-                    if !(SCHEMA_VERSION..=SCHEMA_VERSION_FAULTS).contains(&h.schema) {
+                    if !(SCHEMA_VERSION..=SCHEMA_VERSION_RECOVERY).contains(&h.schema) {
                         return Err(TraceError::UnsupportedSchema { found: h.schema });
                     }
                     meta.schema = h.schema;
@@ -245,7 +245,7 @@ mod tests {
             other => panic!("{other:?}"),
         }
         let msg = e.to_string();
-        assert!(msg.contains("99") && msg.contains("schemas 1-2"), "{msg}");
+        assert!(msg.contains("99") && msg.contains("schemas 1-3"), "{msg}");
     }
 
     #[test]
@@ -279,6 +279,46 @@ mod tests {
             EventKind::JobRequeued { job: 7, attempt: 1 }
         ));
         assert!(matches!(evs[3].kind, EventKind::NodeUp { .. }));
+    }
+
+    #[test]
+    fn schema_v3_recovery_traces_are_accepted() {
+        let text = concat!(
+            "{\"schema\":3,\"machine\":\"Ross\",\"cpus\":1436}\n",
+            "{\"t\":3,\"cycle\":1,\"ev\":\"job_failed\",\"job\":7,\"cpus\":16,\"node\":4,\
+             \"class\":\"interstitial\"}\n",
+            "{\"t\":3,\"cycle\":1,\"ev\":\"job_checkpointed\",\"job\":7,\"checkpoints\":2,\
+             \"salvaged_s\":60,\"lost_s\":12}\n",
+            "{\"t\":3,\"cycle\":1,\"ev\":\"job_suspended\",\"job\":8,\"remaining_s\":40}\n",
+            "{\"t\":9,\"cycle\":2,\"ev\":\"job_resumed\",\"job\":7,\"remaining_s\":60}\n",
+        );
+        let (meta, evs, stats) = read_all(text).unwrap();
+        assert_eq!(meta.schema, 3);
+        assert_eq!(evs.len(), 4);
+        assert_eq!(stats.corrupt, 0);
+        assert!(matches!(
+            evs[1].kind,
+            EventKind::JobCheckpointed {
+                job: 7,
+                checkpoints: 2,
+                salvaged_s: 60,
+                lost_s: 12,
+            }
+        ));
+        assert!(matches!(
+            evs[2].kind,
+            EventKind::JobSuspended {
+                job: 8,
+                remaining_s: 40,
+            }
+        ));
+        assert!(matches!(
+            evs[3].kind,
+            EventKind::JobResumed {
+                job: 7,
+                remaining_s: 60,
+            }
+        ));
     }
 
     #[test]

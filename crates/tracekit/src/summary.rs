@@ -7,7 +7,7 @@
 //! in `tests/trace_analytics.rs` measures via
 //! [`TraceSummary::peak_tracked_jobs`].
 
-use crate::lifecycle::{Occupancy, Transition};
+use crate::lifecycle::{Occupancy, RecoveryMark, Transition};
 use crate::quantile::Quantiles;
 use obs::{PreemptKind, StartKind, TraceEvent};
 use simkit::time::SimTime;
@@ -51,6 +51,12 @@ pub struct TraceSummary {
     pub fault_kills: u64,
     /// Requeue/retry announcements for fault victims (schema v2).
     pub fault_requeues: u64,
+    /// Checkpoint-credit markers on evicted jobs (schema v3).
+    pub recovery_checkpoints: u64,
+    /// Suspension markers on evicted jobs (schema v3).
+    pub recovery_suspensions: u64,
+    /// Resume markers on previously evicted jobs (schema v3).
+    pub recovery_resumes: u64,
     /// CPU·seconds out of service on failed nodes (occupancy integral).
     pub offline_cpu_s: u64,
     /// Native queue-wait percentiles, seconds (from finish events).
@@ -205,6 +211,11 @@ impl Summarizer {
             }
             Transition::Failed { .. } => self.out.fault_kills += 1,
             Transition::Requeued { .. } => self.out.fault_requeues += 1,
+            Transition::Recovery { mark, .. } => match mark {
+                RecoveryMark::Checkpointed { .. } => self.out.recovery_checkpoints += 1,
+                RecoveryMark::Suspended { .. } => self.out.recovery_suspensions += 1,
+                RecoveryMark::Resumed { .. } => self.out.recovery_resumes += 1,
+            },
             Transition::Inconsistent(_) => {}
         }
     }
