@@ -5,8 +5,10 @@
 //! wall-clock goes (schedule-cycle / backfill / free-profile / event-pump)
 //! alongside the run's headline counters, plus the raw `RunReport` JSON for
 //! machine consumption. Finishes with a tracing-overhead check: the same
-//! truncated replay with observability off vs fully on, so regressions in
-//! the "zero-cost when disabled" claim show up here first.
+//! truncated replay with observability off, fully on, and on with the
+//! telemetry bus sampling at the default cadence, so regressions in the
+//! "zero-cost when disabled" claim — and any telemetry-induced schedule
+//! or counter perturbation — show up here first.
 //!
 //! Wall-clock reads are fine in this crate (simlint R2 exempts `bench`).
 
@@ -106,19 +108,51 @@ fn overhead_check(cfg: &machine::MachineConfig, jobs: usize) {
             .build()
             .run();
         let elapsed = t.elapsed();
-        (elapsed, out.native_completed())
+        (elapsed, out)
+    };
+    let with_telemetry = || {
+        let mut o = Obs::enabled();
+        o.telemetry = obs::TelemetryBus::enabled(
+            obs::telemetry::DEFAULT_CADENCE_S,
+            obs::telemetry::DRIVER_SIGNALS,
+        );
+        o
     };
     // Warm-up, then one timed run per configuration.
     let _ = time(Obs::disabled());
-    let (off, n_off) = time(Obs::disabled());
-    let (on, n_on) = time(Obs::enabled());
-    assert_eq!(n_off, n_on, "observability must not change the schedule");
+    let (off, out_off) = time(Obs::disabled());
+    let (on, out_on) = time(Obs::enabled());
+    let (tele, out_tele) = time(with_telemetry());
+    assert_eq!(
+        out_off.native_completed(),
+        out_on.native_completed(),
+        "observability must not change the schedule"
+    );
+    // The telemetry bus only reads: the sampled replay must agree with the
+    // plain observed one down to the work counters.
+    assert_eq!(
+        out_on.native_completed(),
+        out_tele.native_completed(),
+        "telemetry sampling must not change the schedule"
+    );
+    assert_eq!(
+        out_on.obs.work, out_tele.obs.work,
+        "telemetry sampling must not perturb the work counters"
+    );
+    assert!(
+        !out_tele.obs.telemetry.is_empty(),
+        "the telemetry bus recorded no ticks"
+    );
     let ratio = on.as_secs_f64() / off.as_secs_f64().max(1e-9);
+    let tele_ratio = tele.as_secs_f64() / off.as_secs_f64().max(1e-9);
     println!(
-        "overhead[{}]: disabled {:.1} ms, enabled {:.1} ms (x{ratio:.3})",
+        "overhead[{}]: disabled {:.1} ms, enabled {:.1} ms (x{ratio:.3}), \
+         +telemetry {:.1} ms (x{tele_ratio:.3}, {} ticks)",
         cfg.name,
         off.as_secs_f64() * 1e3,
         on.as_secs_f64() * 1e3,
+        tele.as_secs_f64() * 1e3,
+        out_tele.obs.telemetry.len(),
     );
 }
 

@@ -6,6 +6,7 @@ pub mod generate;
 pub mod machines;
 pub mod pack;
 pub mod perf;
+pub mod report;
 pub mod simulate;
 pub mod stats;
 pub mod sweep;
@@ -24,6 +25,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         "pack" => pack::run(args),
         "sweep" => sweep::run(args),
         "trace" => trace::run(args),
+        "report" => report::run(args),
         "perf" => perf::run(args),
         "help" | "--help" | "-h" => Ok(help()),
         other => Err(ArgError(format!(
@@ -49,12 +51,17 @@ COMMANDS
             [--cap F] [--preempt kill|checkpoint] [--seed N] [--out FILE]
             [--faults mtbf=S,mttr=S,nodes=N[,seed=K]] [--resilience FILE]
             [--record-cycles FILE.jsonl]
+            [--telemetry FILE.jsonl [--cadence SECS] [--slo RULES]]
                                    replay a log, optionally with an
                                    interstitial stream and injected node
                                    failures; print the impact (and, with
                                    faults, the resilience panel).
                                    --record-cycles dumps the per-cycle
-                                   flight recorder for `perf hotspots`
+                                   flight recorder for `perf hotspots`.
+                                   --telemetry samples an in-sim time
+                                   series each cadence tick; --slo (e.g.
+                                   native_p99_wait<=3600,util>=0.85) adds
+                                   a breach/clear watchdog
   advise    --machine M --jobs N --shape CPUSxSECS [--tolerance MIN]
                                    pre-flight a project against the paper's
                                    §5 guidelines
@@ -75,6 +82,11 @@ COMMANDS
   trace     diff BASE.jsonl WITH.jsonl [--top K]
                                    per-job wait deltas between a native-only
                                    and a with-interstitial run (same seed)
+  report    TELEMETRY.jsonl [--html FILE]
+                                   render a --telemetry export: per-signal
+                                   sparklines, SLO breach windows and
+                                   outage overlays; --html writes a
+                                   self-contained SVG dashboard
   perf      compare OLD.json NEW.json [--wall-tol-pct P]
                                    diff two `bench --bin perf` baselines:
                                    counters exactly, wall within P% (default

@@ -159,10 +159,15 @@ fn run_show(args: &Args) -> Result<String, ArgError> {
         for (counter, value) in s.work.fields() {
             out.push_str(&format!("    {counter:<28} {value}\n"));
         }
-        if let Some(mem) = &s.mem {
-            for (counter, value) in mem.fields() {
-                out.push_str(&format!("    mem.{counter:<24} {value}\n"));
+        match &s.mem {
+            Some(mem) => {
+                for (counter, value) in mem.fields() {
+                    out.push_str(&format!("    mem.{counter:<24} {value}\n"));
+                }
             }
+            // Schema-2 files may omit the optional mem section (and schema-1
+            // files always do): say so instead of silently dropping the rows.
+            None => out.push_str(&format!("    {:<28} not recorded\n", "mem")),
         }
     }
     Ok(out)
@@ -423,6 +428,22 @@ mod tests {
         let out = run(&args(&["perf", "show", &path])).unwrap();
         assert!(out.contains("mem.allocations"), "{out}");
         assert!(out.contains("4242"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn show_labels_missing_mem_as_not_recorded() {
+        let dir = std::env::temp_dir().join("interstitial-perf-show-nomem-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A schema-2 baseline whose harness ran without allocation counting:
+        // the optional mem block is absent from every scenario.
+        let b = baseline(700);
+        assert!(b.scenarios.values().all(|s| s.mem.is_none()));
+        let path = write(&dir, "nomem.json", &b);
+        let out = run(&args(&["perf", "show", &path])).unwrap();
+        assert!(out.contains("mem"), "{out}");
+        assert!(out.contains("not recorded"), "{out}");
+        assert!(!out.contains("mem."), "no fabricated mem rows: {out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

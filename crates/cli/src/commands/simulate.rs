@@ -31,6 +31,9 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         "resilience",
         "event-queue",
         "record-cycles",
+        "telemetry",
+        "cadence",
+        "slo",
     ])?;
 
     // Native log: an SWF positional, or a synthetic trace by seed. An SWF
@@ -101,19 +104,53 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         }
     };
 
+    // Online telemetry: a fixed-cadence sampling bus plus optional SLO
+    // watchdog rules. Both are opt-in; --cadence and --slo only make sense
+    // with a bus to drive.
+    let telemetry_path = args.get("telemetry");
+    let cadence = match args.get("cadence") {
+        None => obs::telemetry::DEFAULT_CADENCE_S,
+        Some(c) => {
+            if telemetry_path.is_none() {
+                return Err(ArgError("--cadence requires --telemetry".into()));
+            }
+            let secs: u64 = c
+                .parse()
+                .map_err(|_| ArgError(format!("bad --cadence {c:?} (want seconds)")))?;
+            if secs == 0 {
+                return Err(ArgError("--cadence must be at least 1 second".into()));
+            }
+            secs
+        }
+    };
+    let slo = match args.get("slo") {
+        None => None,
+        Some(spec) => {
+            if telemetry_path.is_none() {
+                return Err(ArgError("--slo requires --telemetry".into()));
+            }
+            Some(obs::SloSpec::parse(spec).map_err(ArgError)?)
+        }
+    };
+
     // Observability rides on the interstitial run when a shape is given,
     // otherwise on the baseline.
     let record_path = args.get("record-cycles");
-    let observe =
-        args.get("trace").is_some() || args.get("metrics").is_some() || record_path.is_some();
+    let observe = args.get("trace").is_some()
+        || args.get("metrics").is_some()
+        || record_path.is_some()
+        || telemetry_path.is_some();
     let shape_given = args.get("shape").is_some();
     // The recorder is opt-in on top of the full bundle: it needs the phase
     // profiler's nanos for attribution, and `--record-cycles` is an explicit
-    // request to pay for the per-pass ring.
+    // request to pay for the per-pass ring. The telemetry bus likewise.
     let observer = || {
         let mut o = Obs::enabled();
         if record_path.is_some() {
             o.recorder = obs::CycleRecorder::enabled();
+        }
+        if telemetry_path.is_some() {
+            o.telemetry = obs::TelemetryBus::enabled(cadence, obs::telemetry::DRIVER_SIGNALS);
         }
         o
     };
@@ -129,6 +166,9 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
     }
     if observe && !shape_given {
         baseline_builder = baseline_builder.observer(observer());
+        if let Some(spec) = &slo {
+            baseline_builder = baseline_builder.slo(spec.clone());
+        }
     }
     let baseline = baseline_builder.build().run();
 
@@ -189,6 +229,9 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
             }
             if observe {
                 b = b.observer(observer());
+                if let Some(spec) = &slo {
+                    b = b.slo(spec.clone());
+                }
             }
             Some(b.build().run())
         }
@@ -309,6 +352,17 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
                 observed.obs.recorder.cycles_seen(),
                 observed.obs.recorder.ring().count(),
                 observed.obs.recorder.top().len(),
+            ));
+        }
+        if let Some(path) = telemetry_path {
+            let bus = &observed.obs.telemetry;
+            std::fs::write(path, bus.to_jsonl())
+                .map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+            out.push_str(&format!(
+                "\nwrote {} telemetry points to {path} (cadence {}s, {} annotations)\n",
+                bus.len(),
+                bus.effective_cadence_s(),
+                bus.annotations().len(),
             ));
         }
     }
@@ -726,6 +780,138 @@ mod tests {
         );
         for p in [plain, recorded, rec] {
             let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn telemetry_flag_writes_a_parseable_deterministic_export() {
+        let dir = std::env::temp_dir().join("interstitial-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_once = |name: &str| {
+            let path = dir.join(name);
+            let out = run(&parse(&[
+                "simulate",
+                "--machine",
+                "128x1.0",
+                "--seed",
+                "2",
+                "--shape",
+                "16x120",
+                "--telemetry",
+                path.to_str().unwrap(),
+                "--cadence",
+                "600",
+            ]))
+            .unwrap();
+            assert!(out.contains("telemetry points"), "{out}");
+            let bytes = std::fs::read_to_string(&path).unwrap();
+            let _ = std::fs::remove_file(path);
+            bytes
+        };
+        let a = run_once("telemetry-a.jsonl");
+        let b = run_once("telemetry-b.jsonl");
+        assert_eq!(a, b, "same seed must export byte-identical telemetry");
+        let dump = obs::TelemetryDump::from_jsonl(&a).unwrap();
+        assert!(!dump.ticks.is_empty(), "{a}");
+        assert_eq!(dump.cadence_s, 600);
+        assert_eq!(dump.machine, Some(("custom".to_string(), 128)));
+        for signal in obs::telemetry::DRIVER_SIGNALS {
+            assert!(
+                dump.values(signal).is_some(),
+                "export must carry the {signal} column"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_trace_stream() {
+        let dir = std::env::temp_dir().join("interstitial-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plain = dir.join("tel-plain.jsonl");
+        let sampled = dir.join("tel-sampled.jsonl");
+        let tel = dir.join("tel-series.jsonl");
+        let base = [
+            "simulate",
+            "--machine",
+            "128x1.0",
+            "--seed",
+            "2",
+            "--shape",
+            "16x120",
+            "--trace",
+        ];
+        let mut with_trace = base.to_vec();
+        with_trace.push(plain.to_str().unwrap());
+        run(&parse(&with_trace)).unwrap();
+        let mut with_tel = base.to_vec();
+        let tel_s = tel.to_str().unwrap().to_string();
+        with_tel.push(sampled.to_str().unwrap());
+        with_tel.push("--telemetry");
+        with_tel.push(&tel_s);
+        run(&parse(&with_tel)).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&plain).unwrap(),
+            std::fs::read_to_string(&sampled).unwrap(),
+            "telemetry sampling must leave the trace bytes untouched"
+        );
+        for p in [plain, sampled, tel] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn slo_flag_stamps_breaches_and_flag_errors_are_clean() {
+        let dir = std::env::temp_dir().join("interstitial-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tel = dir.join("slo-series.jsonl");
+        // The first tick samples the pre-event state at t=0 (util 0), so a
+        // util floor is guaranteed to open breached.
+        let out = run(&parse(&[
+            "simulate",
+            "--machine",
+            "128x1.0",
+            "--seed",
+            "2",
+            "--telemetry",
+            tel.to_str().unwrap(),
+            "--slo",
+            "util>=0.999",
+        ]))
+        .unwrap();
+        assert!(out.contains("annotations"), "{out}");
+        let dump = obs::TelemetryDump::from_jsonl(&std::fs::read_to_string(&tel).unwrap()).unwrap();
+        assert!(
+            dump.annotations
+                .iter()
+                .any(|a| a.kind == "breach" && a.label == "util"),
+            "{:?}",
+            dump.annotations
+        );
+        let _ = std::fs::remove_file(tel);
+
+        for bad in [
+            vec!["simulate", "--machine", "ross", "--slo", "util>=0.9"],
+            vec!["simulate", "--machine", "ross", "--cadence", "60"],
+            vec![
+                "simulate",
+                "--machine",
+                "ross",
+                "--telemetry",
+                "/tmp/t.jsonl",
+                "--cadence",
+                "0",
+            ],
+            vec![
+                "simulate",
+                "--machine",
+                "ross",
+                "--telemetry",
+                "/tmp/t.jsonl",
+                "--slo",
+                "vibes<=3",
+            ],
+        ] {
+            assert!(run(&parse(&bad)).is_err(), "{bad:?} must be rejected");
         }
     }
 

@@ -46,6 +46,25 @@ fn open(path: &str) -> Result<TraceReader<std::io::BufReader<std::fs::File>>, Ar
     tracekit::open_path(Path::new(path)).map_err(|e| ArgError(format!("{path}: {e}")))
 }
 
+/// Reject a stream that carried no events at all: summarizing or
+/// attributing nothing would print a panel of zeros that looks like a
+/// healthy idle run. Say which degenerate shape the file had instead.
+fn require_events(path: &str, meta: &TraceMeta, stats: &ReadStats) -> Result<(), ArgError> {
+    if stats.events > 0 {
+        return Ok(());
+    }
+    // A validated header leaves meta.schema nonzero; an empty file never
+    // sets it (and is not "headerless", which means line 1 was an event).
+    let shape = if stats.corrupt > 0 {
+        "every line was corrupt"
+    } else if meta.schema != 0 {
+        "the file is header-only"
+    } else {
+        "the file is empty"
+    };
+    Err(ArgError(format!("{path}: no trace events ({shape})")))
+}
+
 /// Machine size: `--cpus` wins, else the trace header.
 fn resolve_cpus(args: &Args, meta: &TraceMeta) -> Result<Option<u32>, ArgError> {
     match args.get("cpus") {
@@ -86,6 +105,7 @@ fn summarize(args: &Args) -> Result<String, ArgError> {
         .map_err(|e| ArgError(format!("{path}: {e}")))?;
     let meta = r.meta().clone();
     let stats = r.stats().clone();
+    require_events(&path, &meta, &stats)?;
     let sum = s.finish();
     Ok(format!(
         "{}{}",
@@ -175,6 +195,7 @@ fn attribute(args: &Args) -> Result<String, ArgError> {
         .map_err(|e| ArgError(format!("{path}: {e}")))?;
     let meta = r.meta().clone();
     let stats = r.stats().clone();
+    require_events(&path, &meta, &stats)?;
     let report = a.finish();
     Ok(format!(
         "{}{}",
@@ -468,6 +489,47 @@ mod tests {
             .unwrap_err()
             .0
             .contains("missing comparison"));
+    }
+
+    #[test]
+    fn empty_and_header_only_traces_are_rejected_with_the_right_shape() {
+        let empty = tmp("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        let header_only = tmp("header-only.jsonl");
+        std::fs::write(
+            &header_only,
+            "{\"schema\":1,\"machine\":\"Ross\",\"cpus\":1436}\n",
+        )
+        .unwrap();
+        // `--cpus` keeps attribute from demanding a machine size first on
+        // the headerless empty file; the event check must still win.
+        for verb in ["summarize", "attribute"] {
+            let err = run(&parse(&[
+                "trace",
+                verb,
+                empty.to_str().unwrap(),
+                "--cpus",
+                "64",
+            ]))
+            .unwrap_err();
+            assert!(err.0.contains("no trace events"), "{verb}: {err}");
+            assert!(err.0.contains("the file is empty"), "{verb}: {err}");
+            let err = run(&parse(&["trace", verb, header_only.to_str().unwrap()])).unwrap_err();
+            assert!(err.0.contains("no trace events"), "{verb}: {err}");
+            assert!(err.0.contains("header-only"), "{verb}: {err}");
+        }
+        // All-corrupt bodies get their own diagnosis.
+        let corrupt = tmp("corrupt.jsonl");
+        std::fs::write(
+            &corrupt,
+            "{\"schema\":1,\"machine\":\"Ross\",\"cpus\":1436}\n{\"t\":oops}\n",
+        )
+        .unwrap();
+        let err = run(&parse(&["trace", "summarize", corrupt.to_str().unwrap()])).unwrap_err();
+        assert!(err.0.contains("every line was corrupt"), "{err}");
+        for p in [empty, header_only, corrupt] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

@@ -28,7 +28,8 @@ use crate::policy::{
 use crate::project::InterstitialProject;
 use crate::report::SimOutput;
 use machine::{CpuPool, FaultModel, MachineConfig, OutageSchedule, RunningJob, RunningSet};
-use obs::{EventKind, Obs, StartKind};
+use obs::telemetry::AnnotationKind;
+use obs::{EventKind, Obs, SloSpec, SloWatchdog, StartKind};
 use sched::Scheduler;
 use simkit::event::EventQueue;
 use simkit::queue::{FutureEventList, QueueKind};
@@ -39,6 +40,22 @@ use workload::{CompletedJob, Job, JobClass};
 
 /// Interstitial job ids live far above any native id.
 const INTERSTITIAL_ID_BASE: u64 = 1 << 40;
+
+/// Fragmentation of the projected free capacity at `now`, in permille:
+/// the share of free CPU·time over the next 24 h (per the running set's
+/// estimate-based free profile) sitting in gaps too short for a one-hour
+/// single-CPU probe — the `analysis` interstice census folded to one
+/// telemetry scalar. 0 when nothing is free or everything is harvestable.
+fn frag_permille(running: &RunningSet, now: SimTime, free_now: u32) -> u64 {
+    let profile = running.free_profile(now, free_now, now + SimDuration::from_hours(24));
+    let (harvest, total) =
+        analysis::interstices::harvestable_cpu_seconds(&profile, 1, SimDuration::from_hours(1));
+    if total <= 0.0 {
+        return 0;
+    }
+    let frac = (1.0 - harvest / total).clamp(0.0, 1.0);
+    (frac * 1000.0).round() as u64
+}
 
 /// Safety valve against event storms (a healthy full-scale run is ~2M).
 const MAX_EVENTS: u64 = 200_000_000;
@@ -84,6 +101,7 @@ pub struct SimBuilder {
     feedback: Option<(SimDuration, u64)>,
     observer: Obs,
     queue: QueueKind,
+    slo: Option<SloSpec>,
 }
 
 impl SimBuilder {
@@ -102,6 +120,7 @@ impl SimBuilder {
             feedback: None,
             observer: Obs::disabled(),
             queue: QueueKind::default(),
+            slo: None,
         }
     }
 
@@ -191,6 +210,17 @@ impl SimBuilder {
         self
     }
 
+    /// Load SLO rules for the online watchdog. Only effective when the
+    /// observer carries an enabled telemetry bus — the watchdog reads the
+    /// bus's sampled signal values at each cadence tick, recording
+    /// breach/clear transitions as schema-v4 trace events and telemetry
+    /// annotations. Without rules (the default) the trace stream is
+    /// byte-identical to a run with no watchdog at all.
+    pub fn slo(mut self, spec: SloSpec) -> Self {
+        self.slo = Some(spec);
+        self
+    }
+
     /// Override the log horizon (default: the machine's Table 1 log length).
     pub fn horizon(mut self, h: SimTime) -> Self {
         self.horizon_override = Some(h);
@@ -255,6 +285,7 @@ impl SimBuilder {
             feedback: self.feedback,
             obs: self.observer,
             queue: self.queue,
+            slo: self.slo,
         }
     }
 }
@@ -273,6 +304,7 @@ pub struct Simulator {
     feedback: Option<(SimDuration, u64)>,
     obs: Obs,
     queue: QueueKind,
+    slo: Option<SloSpec>,
 }
 
 /// A checkpointed interstitial job awaiting resumption.
@@ -337,6 +369,15 @@ struct RunState {
     /// indexes, and the think-time sampler.
     user_pending: BTreeMap<u32, std::collections::VecDeque<u32>>,
     think: Option<(simkit::dist::Exp, simkit::rng::Rng)>,
+    /// Rolling P² estimate of the native P99 queue wait — the telemetry
+    /// `native_wait_p99_s` signal. Observed at native finishes only when
+    /// the bus is enabled, so the default path stays untouched.
+    native_wait_p99: obs::P2,
+    /// Cumulative work totals at the previous telemetry tick, for the
+    /// per-tick delta signals: events, starts, candidates, segments.
+    telemetry_prev: [u64; 4],
+    /// Online SLO evaluator fed at each telemetry tick.
+    watchdog: SloWatchdog,
 }
 
 impl Simulator {
@@ -362,6 +403,9 @@ impl Simulator {
         let mem_mark = obs::alloc::mark();
         self.obs
             .trace
+            .set_machine(self.machine.name, self.machine.cpus);
+        self.obs
+            .telemetry
             .set_machine(self.machine.name, self.machine.cpus);
         let mut st = RunState {
             pool: CpuPool::new(self.machine.cpus),
@@ -389,6 +433,18 @@ impl Simulator {
                     simkit::rng::Rng::new(seed),
                 )
             }),
+            native_wait_p99: obs::P2::new(0.99),
+            telemetry_prev: [0; 4],
+            // Every --slo metric resolves against DRIVER_SIGNALS (pinned by
+            // an obs test), so construction cannot fail here; a rule naming
+            // an unsampled signal degrades to no watchdog rather than a
+            // panic. The watchdog only runs when the bus ticks.
+            watchdog: match (&self.slo, self.obs.telemetry.is_enabled()) {
+                (Some(spec), true) => {
+                    SloWatchdog::new(spec, self.obs.telemetry.signals()).unwrap_or_default()
+                }
+                _ => SloWatchdog::none(),
+            },
         };
 
         // Seed events: native arrivals, outage boundaries, project start.
@@ -436,6 +492,10 @@ impl Simulator {
 
         let mut steps = 0u64;
         while let Some((now, ev)) = q.pop() {
+            // Flush any cadence ticks due before this event: samples record
+            // the left-limit state at their instant, keeping trace time
+            // monotone when the watchdog stamps breach events at tick times.
+            self.flush_telemetry(now, &mut st, steps);
             let rec = self.obs.recorder.begin();
             let pump = self.obs.profiler.begin();
             self.handle(now, ev, &mut st, &mut q);
@@ -609,6 +669,9 @@ impl Simulator {
                     self.obs
                         .metrics
                         .observe("wait.native_s", record.wait().as_secs());
+                    if self.obs.telemetry.is_enabled() {
+                        st.native_wait_p99.observe(record.wait().as_secs() as f64);
+                    }
                 }
                 st.completed.push(record);
                 // Closed loop: this completion releases the user's next job.
@@ -629,6 +692,14 @@ impl Simulator {
                 st.machine_up = up;
                 self.obs.trace.record(now, EventKind::Outage { up });
                 self.obs.metrics.inc("outages.boundaries", 1);
+                // Fault overlay for the telemetry dashboard (no-op when
+                // the bus is disabled).
+                let kind = if up {
+                    AnnotationKind::MachineUp
+                } else {
+                    AnnotationKind::MachineDown
+                };
+                self.obs.telemetry.annotate(now.as_secs(), kind, "", 0, 0);
             }
             Ev::NodeDown(node) => self.fail_node(now, node, st, q),
             Ev::NodeUp(node) => {
@@ -898,6 +969,81 @@ impl Simulator {
             self.check_conservation(now, st);
         }
         self.obs.profiler.end("schedule-cycle", span);
+    }
+
+    /// Record every telemetry tick due at or before `now`, sampling the
+    /// current (left-limit) state, then feed the sampled values to the SLO
+    /// watchdog. One predictable branch when the bus is disabled or no
+    /// tick is due — the default path stays zero-cost.
+    fn flush_telemetry(&mut self, now: SimTime, st: &mut RunState, steps: u64) {
+        while let Some(t) = self.obs.telemetry.pending_tick(now) {
+            let native = st.running.native_cpus_in_use();
+            let busy = st.running.cpus_in_use();
+            let free = st.pool.free();
+            let in_service = st.pool.total() - st.pool.offline();
+            let util = if in_service == 0 {
+                0
+            } else {
+                u64::from(busy) * 1000 / u64::from(in_service)
+            };
+            let p99 = match st.native_wait_p99.estimate() {
+                Some(x) if x > 0.0 => x as u64,
+                _ => 0,
+            };
+            let sc = self.scheduler.counters();
+            let totals = [
+                steps,
+                sc.inorder_starts + sc.backfill_starts,
+                sc.backfill_candidates_scanned,
+                sc.profile_segments_walked,
+            ];
+            let tick = SimTime::from_secs(t);
+            let values = [
+                u64::from(native),
+                u64::from(busy - native),
+                u64::from(free),
+                u64::from(in_service),
+                util,
+                self.scheduler.queue_len() as u64,
+                self.scheduler.queued_demand_cpu_s(),
+                frag_permille(&st.running, tick, free),
+                st.running.len() as u64,
+                p99,
+                totals[0] - st.telemetry_prev[0],
+                totals[1] - st.telemetry_prev[1],
+                totals[2] - st.telemetry_prev[2],
+                totals[3] - st.telemetry_prev[3],
+            ];
+            st.telemetry_prev = totals;
+            self.obs.telemetry.record_tick(t, &values);
+            for tr in st.watchdog.evaluate(&values) {
+                let (kind, ann) = if tr.breached {
+                    (
+                        EventKind::SloBreach {
+                            rule: tr.rule,
+                            metric: tr.metric,
+                            value: tr.value,
+                            limit: tr.limit,
+                        },
+                        AnnotationKind::Breach,
+                    )
+                } else {
+                    (
+                        EventKind::SloClear {
+                            rule: tr.rule,
+                            metric: tr.metric,
+                            value: tr.value,
+                            limit: tr.limit,
+                        },
+                        AnnotationKind::Clear,
+                    )
+                };
+                self.obs.trace.record(tick, kind);
+                self.obs
+                    .telemetry
+                    .annotate(t, ann, tr.metric, tr.value, tr.limit);
+            }
+        }
     }
 
     /// CPU-conservation and degraded-capacity invariants (no-ops without
@@ -2318,5 +2464,124 @@ mod tests {
             .build();
         assert_eq!(Arc::strong_count(&jobs), 1);
         assert_eq!(sim.run().native_submitted, 1);
+    }
+
+    #[test]
+    fn telemetry_samples_on_cadence_without_perturbing_the_run() {
+        use obs::telemetry::{TelemetryBus, DRIVER_SIGNALS};
+        let jobs: Arc<Vec<Job>> = Arc::new(
+            (0..40)
+                .map(|i| native(i + 1, i * 50, 1 << (i % 5), 100 + i * 7, 150 + i * 7))
+                .collect(),
+        );
+        let run = |telemetry: bool| {
+            let mut o = Obs::enabled();
+            if telemetry {
+                o.telemetry = TelemetryBus::enabled(120, DRIVER_SIGNALS);
+            }
+            SimBuilder::new(tiny_machine())
+                .natives_arc(Arc::clone(&jobs))
+                .horizon(SimTime::from_secs(50_000))
+                .interstitial(
+                    InterstitialProject::per_paper(10_000, 8, 120.0),
+                    InterstitialMode::Continual,
+                    InterstitialPolicy::default(),
+                )
+                .observer(o)
+                .build()
+                .run()
+        };
+        let plain = run(false);
+        let sampled = run(true);
+        // Telemetry is a pure observer: same completions, byte-identical
+        // trace, identical deterministic work counters.
+        assert_eq!(plain.completed.len(), sampled.completed.len());
+        for (x, y) in plain.completed.iter().zip(sampled.completed.iter()) {
+            assert_eq!((x.job.id, x.start, x.finish), (y.job.id, y.start, y.finish));
+        }
+        assert_eq!(plain.obs.trace.to_jsonl(), sampled.obs.trace.to_jsonl());
+        assert_eq!(
+            format!("{:?}", plain.obs.work),
+            format!("{:?}", sampled.obs.work)
+        );
+        // The bus sampled the whole run on the cadence grid.
+        let bus = &sampled.obs.telemetry;
+        assert!(!bus.is_empty());
+        assert_eq!(bus.ticks()[0], 0);
+        assert!(bus
+            .ticks()
+            .iter()
+            .all(|t| t % bus.effective_cadence_s() == 0));
+        let util = bus.values("util_permille").unwrap();
+        assert!(util.iter().all(|&u| u <= 1000));
+        assert!(util.iter().any(|&u| u > 0), "machine was busy at some tick");
+        let frag = bus.values("frag_permille").unwrap();
+        assert!(frag.iter().all(|&f| f <= 1000));
+        // Per-tick event deltas total the run's event count at the last
+        // retained resolution (no decimation here: budget far above ticks).
+        assert_eq!(bus.decimations(), 0);
+        // Same seed, same config → byte-identical export.
+        assert_eq!(bus.to_jsonl(), run(true).obs.telemetry.to_jsonl());
+        // Plain bus stayed disabled and recorded nothing.
+        assert!(plain.obs.telemetry.is_empty());
+        assert_eq!(plain.obs.telemetry.to_jsonl(), "");
+    }
+
+    #[test]
+    fn slo_watchdog_stamps_v4_breach_and_clear_events() {
+        use obs::telemetry::{TelemetryBus, DRIVER_SIGNALS};
+        // 64-CPU machine: job 2 queues behind job 1 from t=10 to t=1000,
+        // so a 60 s cadence catches queue_depth > 0, breaching
+        // `queue_depth<=0`; once job 2 starts the queue drains and the
+        // rule clears.
+        let jobs = Arc::new(vec![
+            native(1, 0, 64, 1000, 1000),
+            native(2, 10, 64, 500, 500),
+        ]);
+        let run = |slo: Option<&str>| {
+            let mut o = Obs::enabled();
+            o.telemetry = TelemetryBus::enabled(60, DRIVER_SIGNALS);
+            let mut b = SimBuilder::new(tiny_machine())
+                .natives_arc(Arc::clone(&jobs))
+                .horizon(SimTime::from_secs(30_000))
+                .observer(o);
+            if let Some(s) = slo {
+                b = b.slo(SloSpec::parse(s).unwrap());
+            }
+            b.build().run()
+        };
+        let out = run(Some("queue_depth<=0"));
+        let evs = out.obs.trace.events();
+        let breach = evs
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::SloBreach { .. }))
+            .expect("a breach fired");
+        assert!(matches!(
+            breach.kind,
+            EventKind::SloBreach {
+                rule: 0,
+                metric: "queue_depth",
+                limit: 0,
+                ..
+            }
+        ));
+        let clear = evs
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::SloClear { .. }))
+            .expect("the rule cleared after the queue drained");
+        assert!(breach.t < clear.t);
+        assert_eq!(out.obs.trace.schema_version(), 4, "SLO events stamp v4");
+        // The bus carries matching annotations for the dashboard.
+        let anns = out.obs.telemetry.annotations();
+        assert!(anns
+            .iter()
+            .any(|a| a.kind == AnnotationKind::Breach && a.label == "queue_depth"));
+        assert!(anns.iter().any(|a| a.kind == AnnotationKind::Clear));
+        // Trace time stayed monotone with tick-stamped events interleaved.
+        assert!(evs.windows(2).all(|w| w[0].t <= w[1].t));
+        // Without --slo the same run stamps the smallest schema.
+        let plain = run(None);
+        assert_eq!(plain.obs.trace.schema_version(), 1);
+        assert!(plain.obs.telemetry.annotations().is_empty());
     }
 }

@@ -168,15 +168,41 @@ pub enum EventKind {
         /// Work remaining at this restart, seconds.
         remaining_s: u64,
     },
+    /// An SLO rule started failing at a telemetry tick (schema v4). Only
+    /// emitted when a `--slo` watchdog is loaded, so untracked runs keep
+    /// their smaller schema stamp bit-for-bit.
+    SloBreach {
+        /// Rule index within the `--slo` spec.
+        rule: u32,
+        /// The rule's metric key (interned; see `telemetry::slo_metric_key`).
+        metric: &'static str,
+        /// Observed signal value at the breach tick.
+        value: u64,
+        /// The rule's limit, in the signal's units.
+        limit: u64,
+    },
+    /// A previously breached SLO rule recovered at a telemetry tick
+    /// (schema v4).
+    SloClear {
+        /// Rule index within the `--slo` spec.
+        rule: u32,
+        /// The rule's metric key.
+        metric: &'static str,
+        /// Observed signal value at the clear tick.
+        value: u64,
+        /// The rule's limit, in the signal's units.
+        limit: u64,
+    },
 }
 
 impl EventKind {
     /// The minimum trace-schema version able to encode this event: 1 for
     /// the original alphabet, 2 for the fault/retry extension, 3 for the
-    /// recovery-policy events. The sink stamps the maximum over all
-    /// recorded events onto the header, so fault-free traces keep their
-    /// schema-1 encoding bit-for-bit and `--recovery kill` runs stay
-    /// schema 2.
+    /// recovery-policy events, 4 for the SLO watchdog annotations. The
+    /// sink stamps the maximum over all recorded events onto the header,
+    /// so fault-free traces keep their schema-1 encoding bit-for-bit,
+    /// `--recovery kill` runs stay schema 2, and runs without `--slo`
+    /// never stamp 4.
     pub fn schema_version(&self) -> u64 {
         match self {
             EventKind::Submit { .. }
@@ -191,6 +217,7 @@ impl EventKind {
             EventKind::JobCheckpointed { .. }
             | EventKind::JobSuspended { .. }
             | EventKind::JobResumed { .. } => 3,
+            EventKind::SloBreach { .. } | EventKind::SloClear { .. } => 4,
         }
     }
 }
@@ -329,6 +356,30 @@ impl TraceEvent {
                 let first = json::push_u64_field(out, first, "job", job);
                 let _ = json::push_u64_field(out, first, "remaining_s", remaining_s);
             }
+            EventKind::SloBreach {
+                rule,
+                metric,
+                value,
+                limit,
+            } => {
+                let first = json::push_str_field(out, first, "ev", "slo_breach");
+                let first = json::push_u64_field(out, first, "rule", u64::from(rule));
+                let first = json::push_str_field(out, first, "metric", metric);
+                let first = json::push_u64_field(out, first, "value", value);
+                let _ = json::push_u64_field(out, first, "limit", limit);
+            }
+            EventKind::SloClear {
+                rule,
+                metric,
+                value,
+                limit,
+            } => {
+                let first = json::push_str_field(out, first, "ev", "slo_clear");
+                let first = json::push_u64_field(out, first, "rule", u64::from(rule));
+                let first = json::push_str_field(out, first, "metric", metric);
+                let first = json::push_u64_field(out, first, "value", value);
+                let _ = json::push_u64_field(out, first, "limit", limit);
+            }
         }
         out.push('}');
     }
@@ -400,6 +451,18 @@ mod tests {
             EventKind::JobResumed {
                 job: 1,
                 remaining_s: 45,
+            },
+            EventKind::SloBreach {
+                rule: 0,
+                metric: "util",
+                value: 400,
+                limit: 850,
+            },
+            EventKind::SloClear {
+                rule: 0,
+                metric: "util",
+                value: 900,
+                limit: 850,
             },
         ];
         for k in kinds {
@@ -495,6 +558,48 @@ mod tests {
         assert_eq!(
             s,
             "{\"t\":11,\"cycle\":3,\"ev\":\"job_resumed\",\"job\":7,\"remaining_s\":300}"
+        );
+    }
+
+    #[test]
+    fn slo_events_need_schema_v4() {
+        let breach = EventKind::SloBreach {
+            rule: 1,
+            metric: "native_p99_wait",
+            value: 4000,
+            limit: 3600,
+        };
+        let clear = EventKind::SloClear {
+            rule: 1,
+            metric: "native_p99_wait",
+            value: 3000,
+            limit: 3600,
+        };
+        assert_eq!(breach.schema_version(), 4);
+        assert_eq!(clear.schema_version(), 4);
+        let mut s = String::new();
+        TraceEvent {
+            t: SimTime::from_secs(600),
+            cycle: 12,
+            kind: breach,
+        }
+        .write_jsonl(&mut s);
+        assert_eq!(
+            s,
+            "{\"t\":600,\"cycle\":12,\"ev\":\"slo_breach\",\"rule\":1,\
+             \"metric\":\"native_p99_wait\",\"value\":4000,\"limit\":3600}"
+        );
+        s.clear();
+        TraceEvent {
+            t: SimTime::from_secs(900),
+            cycle: 14,
+            kind: clear,
+        }
+        .write_jsonl(&mut s);
+        assert_eq!(
+            s,
+            "{\"t\":900,\"cycle\":14,\"ev\":\"slo_clear\",\"rule\":1,\
+             \"metric\":\"native_p99_wait\",\"value\":3000,\"limit\":3600}"
         );
     }
 }

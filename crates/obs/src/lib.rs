@@ -31,21 +31,25 @@ pub mod alloc;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod p2;
 pub mod perf;
 pub mod probe;
 pub mod profile;
 pub mod recorder;
 pub mod report;
+pub mod telemetry;
 pub mod trace;
 pub mod work;
 
 pub use alloc::AllocCounters;
 pub use event::{EventKind, PreemptKind, StartKind, TraceEvent};
 pub use metrics::MetricsRegistry;
+pub use p2::{Quantiles, P2};
 pub use perf::{PerfBaseline, PerfComparison, ScenarioPerf};
 pub use profile::PhaseProfiler;
 pub use recorder::CycleRecorder;
 pub use report::RunReport;
+pub use telemetry::{SloSpec, SloWatchdog, TelemetryBus, TelemetryDump};
 pub use trace::TraceSink;
 pub use work::WorkCounters;
 
@@ -71,6 +75,11 @@ pub struct Obs {
     /// Allocator tallies for the run window, filled in by the driver at
     /// end of run. All zero unless the `alloc-count` feature is on.
     pub mem: AllocCounters,
+    /// Fixed-cadence in-sim time series. Opt-in only (`--telemetry`): not
+    /// switched on by [`Obs::enabled`], since per-tick sampling is real
+    /// work the default observed paths should not pay — the same contract
+    /// as the flight recorder.
+    pub telemetry: TelemetryBus,
 }
 
 impl Obs {
@@ -136,6 +145,7 @@ impl Obs {
             || self.profiler.is_enabled()
             || self.work.is_enabled()
             || self.recorder.is_enabled()
+            || self.telemetry.is_enabled()
     }
 
     /// Snapshot the metrics registry, phase profile, work counters and

@@ -245,6 +245,55 @@ mod tests {
     }
 
     #[test]
+    fn bucket_boundary_property_holds_across_the_whole_u64_range() {
+        // The bucket-i-spans-[2^(i-1), 2^i) property, checked exhaustively
+        // at every power-of-two edge rather than at a few spot values.
+        for i in 1..=63u32 {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            assert_eq!(bucket_index(lo), i as usize, "lower edge of bucket {i}");
+            assert_eq!(bucket_index(hi), i as usize, "upper edge of bucket {i}");
+            if i > 1 {
+                assert_eq!(bucket_index(lo - 1), i as usize - 1, "below bucket {i}");
+            }
+        }
+        assert_eq!(bucket_index(1u64 << 63), 64);
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // The extremes must neither panic nor wrap the histogram.
+        let mut h = Histogram::default();
+        h.observe(0);
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!((h.min, h.max), (0, u64::MAX));
+        assert_eq!((h.buckets[0], h.buckets[64]), (1, 2));
+        // A deterministic pseudo-random sweep across magnitudes: every
+        // sample lands in exactly one in-range bucket that contains it.
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut h = Histogram::default();
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let v = x >> (x % 64);
+            let idx = bucket_index(v);
+            assert!(idx < HISTOGRAM_BUCKETS);
+            if v == 0 {
+                assert_eq!(idx, 0);
+            } else {
+                assert!(v >= 1u64 << (idx - 1), "{v} below bucket {idx}");
+                if idx < 64 {
+                    assert!(v < 1u64 << idx, "{v} above bucket {idx}");
+                }
+            }
+            h.observe(v);
+        }
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+
+    #[test]
     fn histogram_tracks_extremes() {
         let mut h = Histogram::default();
         for v in [7u64, 0, 1_000_000] {

@@ -4,6 +4,7 @@
 //! [`RunStats`] as gauges, so any model driven through the generic engine
 //! loop gets event-pump accounting for free.
 
+use crate::telemetry::ENGINE_SIGNALS;
 use crate::Obs;
 use simkit::engine::{Probe, RunStats, StopReason};
 use simkit::time::SimTime;
@@ -13,12 +14,18 @@ use simkit::time::SimTime;
 pub struct ObsProbe<'a> {
     /// The observed bundle; counters land in its metrics registry.
     pub obs: &'a mut Obs,
+    /// Events handled since the last telemetry tick (the `d_engine_events`
+    /// signal when the bundle carries an engine-signal telemetry bus).
+    engine_events_delta: u64,
 }
 
 impl<'a> ObsProbe<'a> {
     /// Wrap `obs` for a single [`simkit::engine::run_probed`] call.
     pub fn new(obs: &'a mut Obs) -> Self {
-        ObsProbe { obs }
+        ObsProbe {
+            obs,
+            engine_events_delta: 0,
+        }
     }
 }
 
@@ -35,6 +42,22 @@ impl Probe for ObsProbe<'_> {
     #[inline]
     fn on_event(&mut self, _now: SimTime) {
         self.obs.metrics.inc("engine.events", 1);
+        self.engine_events_delta += 1;
+    }
+
+    fn on_advance(&mut self, now: SimTime, queue_depth: usize) {
+        // Fixed-cadence engine telemetry: only when the bundle's bus was
+        // configured with the engine signal set (the core driver samples
+        // its richer signal set from its own loop, not through here).
+        while let Some(t) = self.obs.telemetry.pending_tick(now) {
+            if self.obs.telemetry.signals() != ENGINE_SIGNALS {
+                return;
+            }
+            self.obs
+                .telemetry
+                .record_tick(t, &[self.engine_events_delta, queue_depth as u64]);
+            self.engine_events_delta = 0;
+        }
     }
 
     fn on_stop(&mut self, stats: &RunStats) {
@@ -116,6 +139,40 @@ mod tests {
         );
         assert_eq!(obs.metrics.counter("engine.events"), 0);
         assert!(obs.run_report().metrics.counters.is_empty());
+    }
+
+    #[test]
+    fn engine_loop_feeds_a_telemetry_bus_on_cadence() {
+        let mut obs = Obs::enabled();
+        obs.telemetry = crate::TelemetryBus::enabled(20, ENGINE_SIGNALS);
+        let mut sim = Ticker { remaining: 6 };
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        // Events fire at t = 0,10,…,60: ticks land at 0,20,40,60.
+        run_probed(
+            &mut sim,
+            &mut q,
+            SimTime::MAX,
+            1_000,
+            &mut ObsProbe::new(&mut obs),
+        );
+        assert_eq!(obs.telemetry.ticks(), &[0, 20, 40, 60]);
+        let deltas = obs.telemetry.values("d_engine_events").unwrap();
+        assert_eq!(deltas.iter().sum::<u64>(), 7, "every event attributed");
+        // A bus with a foreign signal set is left alone by the probe.
+        let mut obs = Obs::enabled();
+        obs.telemetry = crate::TelemetryBus::enabled(20, &["something_else"]);
+        let mut sim = Ticker { remaining: 3 };
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        run_probed(
+            &mut sim,
+            &mut q,
+            SimTime::MAX,
+            1_000,
+            &mut ObsProbe::new(&mut obs),
+        );
+        assert!(obs.telemetry.is_empty());
     }
 
     #[test]

@@ -29,6 +29,12 @@ pub const SCHEMA_VERSION_FAULTS: u64 = 2;
 /// stamping schema 1 or 2 bit-for-bit; see `crates/obs/SCHEMA.md`.
 pub const SCHEMA_VERSION_RECOVERY: u64 = 3;
 
+/// Version stamped when a trace contains SLO watchdog annotations
+/// (`slo_breach`/`slo_clear`). Only runs with `--slo` rules loaded can
+/// emit these, so untracked runs — telemetry sampling included — keep
+/// their smaller stamp bit-for-bit; see `crates/obs/SCHEMA.md`.
+pub const SCHEMA_VERSION_TELEMETRY: u64 = 4;
+
 /// An append-only, cycle-stamped event log.
 #[derive(Clone, Debug, Default)]
 pub struct TraceSink {

@@ -53,6 +53,11 @@ pub struct Scheduler {
     pub max_dispatchable_per_user: Option<u32>,
     fairshare: FairShare,
     queue: Vec<Job>,
+    /// Estimated CPU·seconds of demand sitting in the queue, maintained
+    /// incrementally on submit/requeue/start so telemetry sampling never
+    /// rescans the queue. Estimate-based ([`Job::planning_estimate`]) —
+    /// the scheduler cannot see actual runtimes.
+    queued_demand_cpu_s: u64,
     /// Jobs requeued after a fault kill: they outrank every priority policy
     /// until they restart (the work was already admitted once; a node crash
     /// must not send its victim to the back of the line).
@@ -102,6 +107,7 @@ impl Scheduler {
             max_dispatchable_per_user: None,
             fairshare: FairShare::new(fairshare_half_life),
             queue: Vec::new(),
+            queued_demand_cpu_s: 0,
             boosted: std::collections::BTreeSet::new(),
             last_head_reservation: None,
             counters: Counters::default(),
@@ -153,8 +159,14 @@ impl Scheduler {
         }
     }
 
+    /// Estimated CPU·seconds one queued job contributes to demand.
+    fn demand_of(job: &Job) -> u64 {
+        u64::from(job.cpus) * job.planning_estimate().as_secs()
+    }
+
     /// Enqueue a newly submitted job.
     pub fn submit(&mut self, job: Job) {
+        self.queued_demand_cpu_s += Self::demand_of(&job);
         self.queue.push(job);
     }
 
@@ -164,6 +176,7 @@ impl Scheduler {
     /// order among themselves.
     pub fn requeue_front(&mut self, job: Job) {
         self.boosted.insert(job.id);
+        self.queued_demand_cpu_s += Self::demand_of(&job);
         self.queue.push(job);
     }
 
@@ -194,6 +207,12 @@ impl Scheduler {
     /// interstitial condition (`jobsInQueue == 0`).
     pub fn queue_is_empty(&self) -> bool {
         self.queue.is_empty()
+    }
+
+    /// Estimated CPU·seconds of work waiting in the queue (the telemetry
+    /// `queued_cpu_s` signal). Maintained incrementally — O(1) to read.
+    pub fn queued_demand_cpu_s(&self) -> u64 {
+        self.queued_demand_cpu_s
     }
 
     /// The reservation for the blocked queue head from the most recent
@@ -332,6 +351,8 @@ impl Scheduler {
             if !self.boosted.is_empty() {
                 self.boosted.retain(|id| !started.contains(id));
             }
+            let started_demand: u64 = plan.starts.iter().map(Self::demand_of).sum();
+            self.queued_demand_cpu_s = self.queued_demand_cpu_s.saturating_sub(started_demand);
         }
         plan
     }
@@ -468,6 +489,25 @@ mod tests {
         let rs = RunningSet::new();
         s.cycle(t(0), 10, &rs, true);
         assert!(s.queue_is_empty());
+    }
+
+    #[test]
+    fn queued_demand_tracks_submits_requeues_and_starts() {
+        let mut s = Scheduler::lsf();
+        assert_eq!(s.queued_demand_cpu_s(), 0);
+        s.submit(job(1, 1, 4, 100)); // 400 CPU·s
+        s.submit(job(2, 2, 4, 50)); // 200 CPU·s
+        assert_eq!(s.queued_demand_cpu_s(), 600);
+        s.requeue_front(job(3, 3, 2, 30)); // +60 CPU·s
+        assert_eq!(s.queued_demand_cpu_s(), 660);
+        // Everything fits: all three start, demand drains to zero.
+        let rs = RunningSet::new();
+        let starts = s.cycle(t(0), 16, &rs, true);
+        assert_eq!(starts.len(), 3);
+        assert_eq!(s.queued_demand_cpu_s(), 0);
+        // A zero-second estimate still counts its planning floor of 1 s.
+        s.submit(job(4, 1, 8, 0));
+        assert_eq!(s.queued_demand_cpu_s(), 8);
     }
 
     #[test]

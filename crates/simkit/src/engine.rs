@@ -32,6 +32,14 @@ pub trait Probe {
     /// Called after each event has been handled.
     fn on_event(&mut self, now: SimTime);
 
+    /// Called after [`Probe::on_event`] with the loop clock and the
+    /// current future-event-list depth — the hook a fixed-cadence
+    /// telemetry sampler hangs off. Default no-op, so existing probes are
+    /// unaffected and [`NoProbe`] still compiles down to the
+    /// uninstrumented loop.
+    #[inline]
+    fn on_advance(&mut self, _now: SimTime, _queue_depth: usize) {}
+
     /// Called once when the loop stops, with the final stats.
     fn on_stop(&mut self, stats: &RunStats);
 }
@@ -114,6 +122,7 @@ pub fn run_probed<S: Simulation, Q: FutureEventList<S::Event>, P: Probe>(
         sim.handle(now, ev, queue);
         steps += 1;
         probe.on_event(now);
+        probe.on_advance(now, queue.len());
     };
     probe.on_stop(&stats);
     stats

@@ -492,6 +492,37 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_module_stays_inside_the_purity_scope() {
+        // The telemetry bus's whole contract is sim-time purity: the same
+        // seed must export byte-identical series (DESIGN.md §16). That
+        // only holds while the module stays in the determinism/R2 scope —
+        // a clock sneaking into cadence math must fail the lint, not skew
+        // ticks. Unlike profile.rs/recorder.rs, telemetry.rs has no
+        // audited wall-clock exception, and this test pins both halves.
+        let clock = "impl TelemetryBus {\n    fn skewed(&self) -> u64 {\n        \
+                     Instant::now().elapsed().as_secs()\n    }\n}\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/obs/src/telemetry.rs", clock)),
+            ["R2"],
+            "wall-clock reads in the telemetry module must keep tripping R2"
+        );
+        let map = "fn columns() -> HashMap<&'static str, Vec<u64>> {\n    HashMap::new()\n}\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/obs/src/telemetry.rs", map)),
+            ["R1", "R1"],
+            "hash-ordered storage in the telemetry module must keep tripping R1"
+        );
+        // And the workspace allowlist must not quietly grow a telemetry
+        // exception: the two existing wall-clock allows are the only ones.
+        let allows = crate::allow::parse(include_str!("../../../simlint.toml"))
+            .expect("workspace simlint.toml parses");
+        assert!(
+            allows.iter().all(|a| !a.path.contains("telemetry")),
+            "no simlint.toml exception may cover the telemetry module"
+        );
+    }
+
+    #[test]
     fn token_boundaries_respected() {
         // Identifiers merely containing the pattern are not violations.
         let src = "struct MyHashMapLike;\nfn hash_set_ish() {}\n";

@@ -129,6 +129,21 @@ pub enum Transition {
         /// What the recovery policy did.
         mark: RecoveryMark,
     },
+    /// An SLO watchdog annotation (schema v4): a rule crossed its limit
+    /// (`breached: true`) or recovered (`breached: false`). Pure time-axis
+    /// markers — applying one never touches the busy counters.
+    SloEdge {
+        /// Rule index within the run's `--slo` spec.
+        rule: u32,
+        /// The rule's metric key.
+        metric: &'static str,
+        /// Observed signal value at the transition tick.
+        value: u64,
+        /// The rule's limit, in the signal's units.
+        limit: u64,
+        /// True for a breach, false for a clear.
+        breached: bool,
+    },
     /// The event contradicts reconstructed state (duplicate submit,
     /// finish without start, …); counters were left untouched where the
     /// contradiction made them unknowable.
@@ -424,6 +439,30 @@ impl Occupancy {
                 id: job,
                 mark: RecoveryMark::Resumed { remaining_s },
             },
+            EventKind::SloBreach {
+                rule,
+                metric,
+                value,
+                limit,
+            } => Transition::SloEdge {
+                rule,
+                metric,
+                value,
+                limit,
+                breached: true,
+            },
+            EventKind::SloClear {
+                rule,
+                metric,
+                value,
+                limit,
+            } => Transition::SloEdge {
+                rule,
+                metric,
+                value,
+                limit,
+                breached: false,
+            },
         };
         self.peak_tracked = self.peak_tracked.max(self.tracked_jobs());
         out
@@ -697,6 +736,50 @@ mod tests {
             }
         ));
         assert_eq!(occ.inter_busy(), 8);
+        assert_eq!(occ.inconsistencies(), 0);
+    }
+
+    #[test]
+    fn slo_annotations_leave_occupancy_untouched() {
+        let mut occ = Occupancy::new(Some(64));
+        occ.apply(&submit(0, 1, 16, false));
+        occ.apply(&start(5, 1, 16, StartKind::InOrder));
+        let tr = occ.apply(&ev(
+            600,
+            EventKind::SloBreach {
+                rule: 0,
+                metric: "util",
+                value: 250,
+                limit: 850,
+            },
+        ));
+        assert_eq!(
+            tr,
+            Transition::SloEdge {
+                rule: 0,
+                metric: "util",
+                value: 250,
+                limit: 850,
+                breached: true,
+            }
+        );
+        let tr = occ.apply(&ev(
+            1200,
+            EventKind::SloClear {
+                rule: 0,
+                metric: "util",
+                value: 900,
+                limit: 850,
+            },
+        ));
+        assert!(matches!(
+            tr,
+            Transition::SloEdge {
+                breached: false,
+                ..
+            }
+        ));
+        assert_eq!(occ.native_busy(), 16, "annotations move no CPUs");
         assert_eq!(occ.inconsistencies(), 0);
     }
 

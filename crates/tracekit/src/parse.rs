@@ -129,7 +129,7 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Every field schemas 1 through 3 can carry, collected in one pass.
+/// Every field schemas 1 through 4 can carry, collected in one pass.
 #[derive(Default)]
 struct Fields<'a> {
     t: Option<u64>,
@@ -145,11 +145,15 @@ struct Fields<'a> {
     salvaged_s: Option<u64>,
     lost_s: Option<u64>,
     remaining_s: Option<u64>,
+    rule: Option<u64>,
+    value: Option<u64>,
+    limit: Option<u64>,
     ev: Option<&'a str>,
     class: Option<&'a str>,
     kind: Option<&'a str>,
     up: Option<&'a str>,
     machine: Option<&'a str>,
+    metric: Option<&'a str>,
 }
 
 fn as_num(v: Value<'_>, key: &str) -> Result<u64, ParseError> {
@@ -185,6 +189,15 @@ fn interstitial_of(class: &str) -> Result<bool, ParseError> {
     }
 }
 
+/// Intern an SLO metric name to the `&'static str` the in-memory event
+/// carries; names outside the watchdog's grammar mark a corrupt line.
+fn metric_of(metric: &str) -> Result<&'static str, ParseError> {
+    match obs::telemetry::slo_metric_key(metric) {
+        Some(key) => Ok(key),
+        None => err(format!("unknown slo metric {metric:?}")),
+    }
+}
+
 /// Parse one trimmed line into a [`Line`]. Borrowed string values point
 /// into `line` (zero-copy); errors allocate only their message.
 pub fn parse_line(line: &str) -> Result<Line<'_>, ParseError> {
@@ -211,11 +224,15 @@ pub fn parse_line(line: &str) -> Result<Line<'_>, ParseError> {
                 "salvaged_s" => f.salvaged_s = Some(as_num(v, key)?),
                 "lost_s" => f.lost_s = Some(as_num(v, key)?),
                 "remaining_s" => f.remaining_s = Some(as_num(v, key)?),
+                "rule" => f.rule = Some(as_num(v, key)?),
+                "value" => f.value = Some(as_num(v, key)?),
+                "limit" => f.limit = Some(as_num(v, key)?),
                 "ev" => f.ev = Some(as_str(v, key)?),
                 "class" => f.class = Some(as_str(v, key)?),
                 "kind" => f.kind = Some(as_str(v, key)?),
                 "up" => f.up = Some(as_str(v, key)?),
                 "machine" => f.machine = Some(as_str(v, key)?),
+                "metric" => f.metric = Some(as_str(v, key)?),
                 _ => {} // reserved for forward-compatible additions
             }
             match c.peek() {
@@ -311,6 +328,18 @@ pub fn parse_line(line: &str) -> Result<Line<'_>, ParseError> {
             job: req(f.job, "job")?,
             remaining_s: req(f.remaining_s, "remaining_s")?,
         },
+        "slo_breach" => EventKind::SloBreach {
+            rule: cpus_u32(req(f.rule, "rule")?)?,
+            metric: metric_of(req(f.metric, "metric")?)?,
+            value: req(f.value, "value")?,
+            limit: req(f.limit, "limit")?,
+        },
+        "slo_clear" => EventKind::SloClear {
+            rule: cpus_u32(req(f.rule, "rule")?)?,
+            metric: metric_of(req(f.metric, "metric")?)?,
+            value: req(f.value, "value")?,
+            limit: req(f.limit, "limit")?,
+        },
         other => return err(format!("unknown event {other:?}")),
     };
     Ok(Line::Event(TraceEvent { t, cycle, kind }))
@@ -390,6 +419,18 @@ mod tests {
                 job: 1 << 40,
                 remaining_s: 30,
             },
+            EventKind::SloBreach {
+                rule: 1,
+                metric: "native_p99_wait",
+                value: 4_000,
+                limit: 3_600,
+            },
+            EventKind::SloClear {
+                rule: 0,
+                metric: "util",
+                value: 912,
+                limit: 900,
+            },
         ];
         for kind in kinds {
             let ev = TraceEvent {
@@ -453,6 +494,8 @@ mod tests {
             "{\"t\":5,\"cycle\":1,\"ev\":\"submit\",\"job\":1,\"cpus\":2,\"estimate_s\":1,\"class\":\"alien\"}",
             "{\"t\":5,\"cycle\":1,\"ev\":\"node_down\",\"cpus\":8}", // missing node
             "{\"t\":5,\"cycle\":1,\"ev\":\"job_requeued\",\"job\":1}", // missing attempt
+            "{\"t\":5,\"cycle\":1,\"ev\":\"slo_breach\",\"rule\":0,\"metric\":\"vibes\",\"value\":1,\"limit\":2}",
+            "{\"t\":5,\"cycle\":1,\"ev\":\"slo_clear\",\"rule\":0,\"value\":1,\"limit\":2}", // missing metric
         ] {
             assert!(parse_line(bad).is_err(), "accepted {bad:?}");
         }

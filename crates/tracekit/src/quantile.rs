@@ -1,262 +1,10 @@
 //! Streaming quantile estimation — the P² algorithm.
 //!
-//! Jain & Chlamtac's P² method (CACM 1985) tracks a single quantile with
-//! five markers updated per observation: constant memory, one pass, no
-//! buffering — exactly what percentile summaries over multi-million-line
-//! traces need. The first five observations are held exactly, so small
-//! samples report true order statistics; beyond that the middle marker
-//! approximates the quantile with rank error that the property suite
-//! bounds on sorted, random and adversarial inputs.
+//! The estimator itself lives in [`obs::p2`] so that online consumers
+//! (the core driver's telemetry bus feeds a rolling native-wait P99)
+//! share the exact marker arithmetic with the post-hoc summaries here,
+//! without a dependency cycle through this crate. The re-export keeps
+//! `tracekit::P2` / `tracekit::Quantiles` as the public spelling every
+//! analyzer and the CLI already use.
 
-/// One-quantile P² estimator.
-#[derive(Clone, Debug)]
-pub struct P2 {
-    /// The target quantile in (0, 1).
-    p: f64,
-    /// Observations seen.
-    count: u64,
-    /// Marker heights (ascending).
-    q: [f64; 5],
-    /// Actual marker positions (1-based ranks).
-    n: [f64; 5],
-    /// Desired marker positions.
-    np: [f64; 5],
-    /// Per-observation increments of the desired positions.
-    dn: [f64; 5],
-}
-
-impl P2 {
-    /// Estimator for quantile `p` (e.g. 0.5 for the median). `p` must be
-    /// strictly inside (0, 1).
-    pub fn new(p: f64) -> Self {
-        debug_assert!(p > 0.0 && p < 1.0, "quantile must be in (0,1)");
-        P2 {
-            p,
-            count: 0,
-            q: [0.0; 5],
-            n: [1.0, 2.0, 3.0, 4.0, 5.0],
-            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
-            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
-        }
-    }
-
-    /// The target quantile.
-    pub fn quantile(&self) -> f64 {
-        self.p
-    }
-
-    /// Observations fed so far.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Feed one observation.
-    pub fn observe(&mut self, x: f64) {
-        if self.count < 5 {
-            // Exact phase: insert into the sorted prefix of q.
-            let mut i = self.count as usize;
-            self.q[i] = x;
-            while i > 0 && self.q[i - 1] > self.q[i] {
-                self.q.swap(i - 1, i);
-                i -= 1;
-            }
-            self.count += 1;
-            return;
-        }
-        self.count += 1;
-
-        // Locate the cell and update the extremes.
-        let k = if x < self.q[0] {
-            self.q[0] = x;
-            0
-        } else if x >= self.q[4] {
-            self.q[4] = x;
-            3
-        } else {
-            // q[k] <= x < q[k+1] for some k in 0..=3.
-            let mut k = 0;
-            while k < 3 && x >= self.q[k + 1] {
-                k += 1;
-            }
-            k
-        };
-
-        for i in (k + 1)..5 {
-            self.n[i] += 1.0;
-        }
-        for i in 0..5 {
-            self.np[i] += self.dn[i];
-        }
-
-        // Adjust the three interior markers toward their desired ranks.
-        for i in 1..4 {
-            let d = self.np[i] - self.n[i];
-            let room_up = self.n[i + 1] - self.n[i] > 1.0;
-            let room_down = self.n[i - 1] - self.n[i] < -1.0;
-            if (d >= 1.0 && room_up) || (d <= -1.0 && room_down) {
-                let d = d.signum();
-                let parabolic = self.q[i]
-                    + d / (self.n[i + 1] - self.n[i - 1])
-                        * ((self.n[i] - self.n[i - 1] + d) * (self.q[i + 1] - self.q[i])
-                            / (self.n[i + 1] - self.n[i])
-                            + (self.n[i + 1] - self.n[i] - d) * (self.q[i] - self.q[i - 1])
-                                / (self.n[i] - self.n[i - 1]));
-                self.q[i] = if self.q[i - 1] < parabolic && parabolic < self.q[i + 1] {
-                    parabolic
-                } else {
-                    // Fall back to linear interpolation toward the
-                    // neighbour in the movement direction.
-                    let j = if d > 0.0 { i + 1 } else { i - 1 };
-                    self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
-                };
-                self.n[i] += d;
-            }
-        }
-    }
-
-    /// Current estimate, or `None` before any observation. Exact
-    /// (nearest-rank) for five or fewer observations.
-    pub fn estimate(&self) -> Option<f64> {
-        if self.count == 0 {
-            return None;
-        }
-        if self.count <= 5 {
-            // q[..count] is sorted; nearest-rank order statistic.
-            let rank = (self.p * self.count as f64).ceil().max(1.0) as usize;
-            return Some(self.q[rank.min(self.count as usize) - 1]);
-        }
-        Some(self.q[2])
-    }
-}
-
-/// The percentile bundle trace summaries report: p50 / p90 / p99.
-#[derive(Clone, Debug)]
-pub struct Quantiles {
-    p50: P2,
-    p90: P2,
-    p99: P2,
-    min: f64,
-    max: f64,
-    sum: f64,
-    count: u64,
-}
-
-impl Default for Quantiles {
-    fn default() -> Self {
-        Quantiles::new()
-    }
-}
-
-impl Quantiles {
-    /// Empty bundle.
-    pub fn new() -> Self {
-        Quantiles {
-            p50: P2::new(0.5),
-            p90: P2::new(0.9),
-            p99: P2::new(0.99),
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-            sum: 0.0,
-            count: 0,
-        }
-    }
-
-    /// Feed one observation into every estimator.
-    pub fn observe(&mut self, x: f64) {
-        self.p50.observe(x);
-        self.p90.observe(x);
-        self.p99.observe(x);
-        self.min = self.min.min(x);
-        self.max = self.max.max(x);
-        self.sum += x;
-        self.count += 1;
-    }
-
-    /// Observations seen.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean, or `None` on an empty bundle.
-    pub fn mean(&self) -> Option<f64> {
-        (self.count > 0).then(|| self.sum / self.count as f64)
-    }
-
-    /// `(min, p50, p90, p99, max)`, or `None` on an empty bundle.
-    pub fn snapshot(&self) -> Option<(f64, f64, f64, f64, f64)> {
-        match (
-            self.p50.estimate(),
-            self.p90.estimate(),
-            self.p99.estimate(),
-        ) {
-            (Some(a), Some(b), Some(c)) => Some((self.min, a, b, c, self.max)),
-            _ => None,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_and_tiny_samples_are_exact() {
-        let mut e = P2::new(0.5);
-        assert_eq!(e.estimate(), None);
-        e.observe(7.0);
-        assert_eq!(e.estimate(), Some(7.0));
-        e.observe(1.0);
-        e.observe(9.0);
-        assert_eq!(e.estimate(), Some(7.0), "median of {{1,7,9}}");
-        e.observe(3.0);
-        e.observe(5.0);
-        assert_eq!(e.estimate(), Some(5.0), "median of {{1,3,5,7,9}}");
-    }
-
-    #[test]
-    fn median_of_uniform_ramp_is_close() {
-        let mut e = P2::new(0.5);
-        for i in 0..10_001 {
-            e.observe(i as f64);
-        }
-        let m = e.estimate().unwrap();
-        assert!((m - 5_000.0).abs() < 100.0, "median estimate {m}");
-    }
-
-    #[test]
-    fn p99_tracks_the_tail() {
-        let mut e = P2::new(0.99);
-        for i in 0..10_000 {
-            e.observe(if i % 100 == 0 { 1_000.0 } else { 1.0 });
-        }
-        let v = e.estimate().unwrap();
-        assert!(v > 1.0, "p99 must see the 1% spike population, got {v}");
-    }
-
-    #[test]
-    fn constant_stream_is_exact() {
-        let mut e = P2::new(0.9);
-        for _ in 0..1_000 {
-            e.observe(4.25);
-        }
-        assert_eq!(e.estimate(), Some(4.25));
-    }
-
-    #[test]
-    fn quantile_bundle_tracks_extremes_and_mean() {
-        let mut q = Quantiles::new();
-        assert_eq!(q.snapshot(), None);
-        assert_eq!(q.mean(), None);
-        for i in 1..=100 {
-            q.observe(i as f64);
-        }
-        let (min, p50, p90, p99, max) = q.snapshot().unwrap();
-        assert_eq!(min, 1.0);
-        assert_eq!(max, 100.0);
-        assert!((q.mean().unwrap() - 50.5).abs() < 1e-9);
-        assert!((p50 - 50.0).abs() < 5.0, "{p50}");
-        assert!((p90 - 90.0).abs() < 5.0, "{p90}");
-        assert!(p99 > 90.0 && p99 <= 100.0, "{p99}");
-        assert_eq!(q.count(), 100);
-    }
-}
+pub use obs::p2::{Quantiles, P2};

@@ -11,7 +11,7 @@
 //! aborting a multi-million-line analysis.
 
 use crate::parse::{self, Line};
-use obs::trace::{SCHEMA_VERSION, SCHEMA_VERSION_RECOVERY};
+use obs::trace::{SCHEMA_VERSION, SCHEMA_VERSION_TELEMETRY};
 use obs::TraceEvent;
 use std::io::BufRead;
 
@@ -35,7 +35,7 @@ impl std::fmt::Display for TraceError {
             TraceError::UnsupportedSchema { found } => write!(
                 f,
                 "unsupported trace schema version {found} (this tracekit reads schemas \
-                 {SCHEMA_VERSION}-{SCHEMA_VERSION_RECOVERY}); regenerate the trace with a \
+                 {SCHEMA_VERSION}-{SCHEMA_VERSION_TELEMETRY}); regenerate the trace with a \
                  matching simulator or upgrade tracekit"
             ),
         }
@@ -54,7 +54,7 @@ impl From<std::io::Error> for TraceError {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TraceMeta {
     /// Declared schema version ([`SCHEMA_VERSION`] through
-    /// [`SCHEMA_VERSION_RECOVERY`] once validated; 0 for a headerless
+    /// [`SCHEMA_VERSION_TELEMETRY`] once validated; 0 for a headerless
     /// legacy stream).
     pub schema: u64,
     /// Machine name from the header, if stamped.
@@ -108,7 +108,7 @@ impl<R: BufRead> TraceReader<R> {
             lineno = 1;
             match parse::parse_line(&buf) {
                 Ok(Line::Header(h)) => {
-                    if !(SCHEMA_VERSION..=SCHEMA_VERSION_RECOVERY).contains(&h.schema) {
+                    if !(SCHEMA_VERSION..=SCHEMA_VERSION_TELEMETRY).contains(&h.schema) {
                         return Err(TraceError::UnsupportedSchema { found: h.schema });
                     }
                     meta.schema = h.schema;
@@ -245,7 +245,7 @@ mod tests {
             other => panic!("{other:?}"),
         }
         let msg = e.to_string();
-        assert!(msg.contains("99") && msg.contains("schemas 1-3"), "{msg}");
+        assert!(msg.contains("99") && msg.contains("schemas 1-4"), "{msg}");
     }
 
     #[test]
@@ -319,6 +319,31 @@ mod tests {
                 remaining_s: 60,
             }
         ));
+    }
+
+    #[test]
+    fn schema_v4_slo_traces_are_accepted() {
+        let text = concat!(
+            "{\"schema\":4,\"machine\":\"Ross\",\"cpus\":1436}\n",
+            "{\"t\":600,\"cycle\":12,\"ev\":\"slo_breach\",\"rule\":1,\
+             \"metric\":\"native_p99_wait\",\"value\":4000,\"limit\":3600}\n",
+            "{\"t\":900,\"cycle\":19,\"ev\":\"slo_clear\",\"rule\":1,\
+             \"metric\":\"native_p99_wait\",\"value\":3100,\"limit\":3600}\n",
+        );
+        let (meta, evs, stats) = read_all(text).unwrap();
+        assert_eq!(meta.schema, 4);
+        assert_eq!(evs.len(), 2);
+        assert_eq!(stats.corrupt, 0);
+        assert!(matches!(
+            evs[0].kind,
+            EventKind::SloBreach {
+                rule: 1,
+                metric: "native_p99_wait",
+                value: 4000,
+                limit: 3600,
+            }
+        ));
+        assert!(matches!(evs[1].kind, EventKind::SloClear { rule: 1, .. }));
     }
 
     #[test]

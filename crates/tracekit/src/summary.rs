@@ -51,6 +51,10 @@ pub struct TraceSummary {
     pub fault_kills: u64,
     /// Requeue/retry announcements for fault victims (schema v2).
     pub fault_requeues: u64,
+    /// SLO watchdog breach edges (schema v4).
+    pub slo_breaches: u64,
+    /// SLO watchdog clear edges (schema v4).
+    pub slo_clears: u64,
     /// Checkpoint-credit markers on evicted jobs (schema v3).
     pub recovery_checkpoints: u64,
     /// Suspension markers on evicted jobs (schema v3).
@@ -216,6 +220,13 @@ impl Summarizer {
                 RecoveryMark::Suspended { .. } => self.out.recovery_suspensions += 1,
                 RecoveryMark::Resumed { .. } => self.out.recovery_resumes += 1,
             },
+            Transition::SloEdge { breached, .. } => {
+                if breached {
+                    self.out.slo_breaches += 1;
+                } else {
+                    self.out.slo_clears += 1;
+                }
+            }
             Transition::Inconsistent(_) => {}
         }
     }
